@@ -1,0 +1,580 @@
+(* qosalloc: command-line front end for the QoS-based function
+   allocation library.
+
+   Subcommands:
+     retrieve   run CBR retrieval over a case base for a request
+     layout     show the Fig. 4/5 RAM images and memory accounting
+     trace      run the hardware unit model with a cycle trace
+     resources  print the Table 2 resource estimate
+     simulate   run the full-system discrete-event simulation
+     demo       emit the built-in paper example as text-format files *)
+
+open Cmdliner
+open Qos_core
+
+let read_file path =
+  try Ok (In_channel.with_open_text path In_channel.input_all)
+  with Sys_error m -> Error m
+
+let load_casebase = function
+  | None -> Ok Scenario_audio.casebase
+  | Some path ->
+      Result.bind (read_file path) (fun text ->
+          Result.map_error
+            (fun e -> Format.asprintf "%s: %a" path Textfmt.pp_parse_error e)
+            (Textfmt.parse_casebase text))
+
+let load_request = function
+  | None -> Ok Scenario_audio.request
+  | Some path ->
+      Result.bind (read_file path) (fun text ->
+          Result.map_error
+            (fun e -> Format.asprintf "%s: %a" path Textfmt.pp_parse_error e)
+            (Textfmt.parse_request text))
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+      prerr_endline ("qosalloc: " ^ m);
+      exit 1
+
+(* --- common args ------------------------------------------------------- *)
+
+let casebase_arg =
+  let doc =
+    "Case base in the qosalloc text format.  Defaults to the built-in \
+     paper example (Fig. 3 audio case base)."
+  in
+  Arg.(value & opt (some file) None & info [ "c"; "casebase" ] ~docv:"FILE" ~doc)
+
+let request_arg =
+  let doc =
+    "Request in the qosalloc text format.  Defaults to the built-in paper \
+     request (bitwidth 16, stereo, 40 kS/s)."
+  in
+  Arg.(value & opt (some file) None & info [ "r"; "request" ] ~docv:"FILE" ~doc)
+
+(* --- retrieve ----------------------------------------------------------- *)
+
+type engine = Float_engine | Fixed_engine | Rtl_engine | Sw_engine
+
+let engine_conv =
+  let parse = function
+    | "float" -> Ok Float_engine
+    | "fixed" -> Ok Fixed_engine
+    | "rtl" -> Ok Rtl_engine
+    | "sw" -> Ok Sw_engine
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  let print ppf e =
+    Format.pp_print_string ppf
+      (match e with
+      | Float_engine -> "float"
+      | Fixed_engine -> "fixed"
+      | Rtl_engine -> "rtl"
+      | Sw_engine -> "sw")
+  in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  let doc =
+    "Engine: $(b,float) (reference), $(b,fixed) (Q15 bit-accurate), \
+     $(b,rtl) (cycle-accurate hardware unit), $(b,sw) (soft-core routine)."
+  in
+  Arg.(value & opt engine_conv Float_engine & info [ "e"; "engine" ] ~doc)
+
+let n_arg =
+  let doc = "Report the $(docv) most similar variants (Sec. 5 extension)." in
+  Arg.(value & opt int 1 & info [ "n" ] ~docv:"N" ~doc)
+
+let threshold_arg =
+  let doc = "Reject variants below this global similarity (Sec. 3)." in
+  Arg.(value & opt (some float) None & info [ "t"; "threshold" ] ~docv:"S" ~doc)
+
+let print_float_ranked threshold ranked =
+  let kept =
+    match threshold with
+    | None -> ranked
+    | Some t -> List.filter (fun r -> r.Retrieval.score >= t) ranked
+  in
+  if kept = [] then print_endline "no variant passes the threshold"
+  else
+    List.iteri
+      (fun i (r : Engine_float.ranked) ->
+        Printf.printf "%d. impl %d on %s: S = %.4f\n" (i + 1)
+          r.Retrieval.impl.Impl.id
+          (Target.to_string r.Retrieval.impl.Impl.target)
+          r.Retrieval.score)
+      kept
+
+let retrieve_cmd =
+  let run casebase request engine n threshold =
+    let cb = or_die (load_casebase casebase) in
+    let req = or_die (load_request request) in
+    match engine with
+    | Float_engine ->
+        let ranked =
+          or_die
+            (Result.map_error Retrieval.error_to_string
+               (Engine_float.n_best ~n cb req))
+        in
+        print_float_ranked threshold ranked
+    | Fixed_engine ->
+        let ranked =
+          or_die
+            (Result.map_error Retrieval.error_to_string
+               (Engine_fixed.n_best ~n cb req))
+        in
+        List.iteri
+          (fun i (r : Engine_fixed.ranked) ->
+            Printf.printf "%d. impl %d on %s: S = %.4f (raw %d)\n" (i + 1)
+              r.Retrieval.impl.Impl.id
+              (Target.to_string r.Retrieval.impl.Impl.target)
+              (Fxp.Q15.to_float r.Retrieval.score)
+              (Fxp.Q15.to_raw r.Retrieval.score))
+          ranked
+    | Rtl_engine ->
+        let o =
+          or_die
+            (Result.map_error Rtlsim.Machine.error_to_string
+               (Rtlsim.Machine.retrieve cb req))
+        in
+        Printf.printf "best: impl %d, S = %.4f (raw %d)\n"
+          o.Rtlsim.Machine.best_impl_id
+          (Fxp.Q15.to_float o.Rtlsim.Machine.best_score)
+          (Fxp.Q15.to_raw o.Rtlsim.Machine.best_score);
+        Format.printf "%a@." Rtlsim.Machine.pp_stats o.Rtlsim.Machine.stats
+    | Sw_engine ->
+        let r = or_die (Mblaze.Retrieval_prog.run cb req) in
+        Format.printf "%a@." Mblaze.Retrieval_prog.pp_result r
+  in
+  let doc = "run CBR retrieval for a QoS-constrained function request" in
+  Cmd.v
+    (Cmd.info "retrieve" ~doc)
+    Term.(const run $ casebase_arg $ request_arg $ engine_arg $ n_arg
+          $ threshold_arg)
+
+(* --- layout -------------------------------------------------------------- *)
+
+let dump_arg =
+  let doc = "Also hex-dump the RAM images." in
+  Arg.(value & flag & info [ "d"; "dump" ] ~doc)
+
+let hexdump name words =
+  Printf.printf "%s (%d words):\n" name (Array.length words);
+  Array.iteri
+    (fun i w ->
+      if i mod 8 = 0 then Printf.printf "%s%04x:" (if i > 0 then "\n" else "") i;
+      Printf.printf " %04x" w)
+    words;
+  print_newline ()
+
+let layout_cmd =
+  let run casebase request dump =
+    let cb = or_die (load_casebase casebase) in
+    let req = or_die (load_request request) in
+    let acc = or_die (Memlayout.account cb req) in
+    Format.printf "%a@." Memlayout.pp_accounting acc;
+    let image = or_die (Memlayout.build_system cb req) in
+    Printf.printf "CB-MEM: %d words (tree @%d, supplemental @%d)\n"
+      (Array.length image.Memlayout.cb_mem)
+      image.Memlayout.tree_base image.Memlayout.supplemental_base;
+    Printf.printf "Req-MEM: %d words\n" (Array.length image.Memlayout.req_mem);
+    if dump then begin
+      hexdump "CB-MEM" image.Memlayout.cb_mem;
+      hexdump "Req-MEM" image.Memlayout.req_mem
+    end
+  in
+  let doc = "compile the Fig. 4/5 RAM images and show memory accounting" in
+  Cmd.v (Cmd.info "layout" ~doc)
+    Term.(const run $ casebase_arg $ request_arg $ dump_arg)
+
+(* --- trace --------------------------------------------------------------- *)
+
+let trace_cmd =
+  let run casebase request compacted restart divider vcd =
+    let cb = or_die (load_casebase casebase) in
+    let req = or_die (load_request request) in
+    let config =
+      {
+        Rtlsim.Machine.resume_scan = not restart;
+        compacted;
+        use_divider = divider;
+        overlap_compute = false;
+        registered_bram = false;
+      }
+    in
+    let o =
+      or_die
+        (Result.map_error Rtlsim.Machine.error_to_string
+           (Rtlsim.Machine.retrieve ~config ~trace:true ~waveform:(vcd <> None)
+              cb req))
+    in
+    List.iter print_endline o.Rtlsim.Machine.trace;
+    Printf.printf "best: impl %d, S = %.4f\n" o.Rtlsim.Machine.best_impl_id
+      (Fxp.Q15.to_float o.Rtlsim.Machine.best_score);
+    Format.printf "%a@." Rtlsim.Machine.pp_stats o.Rtlsim.Machine.stats;
+    match vcd with
+    | None -> ()
+    | Some path ->
+        let text =
+          or_die
+            (Rtlsim.Vcd.render ~signals:Rtlsim.Machine.waveform_signals
+               o.Rtlsim.Machine.waveform)
+        in
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc text);
+        Printf.printf "waveform: %d changes -> %s\n"
+          (List.length o.Rtlsim.Machine.waveform)
+          path
+  in
+  let compacted =
+    Arg.(value & flag & info [ "compacted" ] ~doc:"Compacted block fetches.")
+  in
+  let restart =
+    Arg.(value & flag & info [ "restart-scan" ] ~doc:"Disable resume scanning.")
+  in
+  let divider =
+    Arg.(value & flag & info [ "divider" ] ~doc:"Use an iterative divider.")
+  in
+  let vcd =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE" ~doc:"Also dump a VCD waveform.")
+  in
+  let doc = "run the hardware retrieval unit with a cycle trace" in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ casebase_arg $ request_arg $ compacted $ restart $ divider
+      $ vcd)
+
+(* --- resources ------------------------------------------------------------ *)
+
+let resources_cmd =
+  let run compacted =
+    let datapath =
+      if compacted then Rtlsim.Datapath.compacted_retrieval_unit
+      else Rtlsim.Datapath.retrieval_unit
+    in
+    let e = Resource.estimate datapath in
+    Format.printf "%a@." Resource.pp_estimate e;
+    Format.printf "on %s: %a@." Resource.xc2v3000.Resource.device_name
+      Resource.pp_utilization
+      (Resource.utilization Resource.xc2v3000 e);
+    Printf.printf "paper (Table 2): %d slices, %d BRAM, %d MULT18X18, %.0f MHz\n"
+      Resource.table2.Resource.paper_slices Resource.table2.Resource.paper_brams
+      Resource.table2.Resource.paper_mults
+      Resource.table2.Resource.paper_clock_mhz
+  in
+  let compacted =
+    Arg.(value & flag & info [ "compacted" ] ~doc:"Estimate the compacted variant.")
+  in
+  let doc = "estimate FPGA resources for the retrieval unit (Table 2)" in
+  Cmd.v (Cmd.info "resources" ~doc) Term.(const run $ compacted)
+
+(* --- simulate --------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run duration_us seed trace_csv =
+    let spec =
+      {
+        (Desim.Simulate.default_spec ()) with
+        Desim.Simulate.duration_us;
+        seed;
+        collect_trace = trace_csv <> None;
+      }
+    in
+    let report = Desim.Simulate.run spec in
+    Format.printf "%a@." Desim.Simulate.pp_report report;
+    match trace_csv with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc
+              (Desim.Tracefile.to_csv report.Desim.Simulate.trace));
+        Format.printf "trace: %d rows -> %s@."
+          (List.length report.Desim.Simulate.trace)
+          path;
+        Format.printf "%a@." Desim.Tracefile.pp_analysis
+          (Desim.Tracefile.analyze report.Desim.Simulate.trace)
+  in
+  let duration =
+    Arg.(
+      value
+      & opt float 200_000.0
+      & info [ "duration-us" ] ~docv:"US" ~doc:"Simulated time in microseconds.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  let trace_csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-csv" ] ~docv:"FILE"
+          ~doc:"Write a per-request CSV trace and print its analysis.")
+  in
+  let doc = "simulate the Fig. 1 multi-device system under load" in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ duration $ seed $ trace_csv)
+
+(* --- export --------------------------------------------------------------------- *)
+
+let export_cmd =
+  let run casebase request out_dir formats =
+    let cb = or_die (load_casebase casebase) in
+    let req = or_die (load_request request) in
+    (try if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755
+     with Sys_error m -> or_die (Error m));
+    let write filename contents =
+      let path = Filename.concat out_dir filename in
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc contents);
+      Printf.printf "wrote %s
+" path
+    in
+    let files = or_die (Rtlgen.Vhdl.project cb req) in
+    List.iter
+      (fun (f : Rtlgen.Vhdl.file) -> write f.Rtlgen.Vhdl.filename f.Rtlgen.Vhdl.contents)
+      files;
+    let image = or_die (Memlayout.build_system cb req) in
+    List.iter
+      (fun format ->
+        let ext = Rtlgen.Memfiles.extension format in
+        write ("qos_cb_mem." ^ ext)
+          (or_die (Rtlgen.Memfiles.emit format image.Memlayout.cb_mem));
+        write ("qos_req_mem." ^ ext)
+          (or_die (Rtlgen.Memfiles.emit format image.Memlayout.req_mem)))
+      formats;
+    (* The manifest carries what the raw words cannot: the supplemental
+       base and the expected retrieval result, for `qosalloc verify`. *)
+    let expected =
+      or_die
+        (Result.map_error Retrieval.error_to_string (Engine_fixed.best cb req))
+    in
+    write "qos_manifest.txt"
+      (Printf.sprintf
+         "# qosalloc export manifest\nsupplemental_base %d\nexpected_impl %d\nexpected_score %d\n"
+         image.Memlayout.supplemental_base expected.Retrieval.impl.Impl.id
+         (Fxp.Q15.to_raw expected.Retrieval.score))
+  in
+  let out_dir =
+    Arg.(
+      value & opt string "qos_rtl"
+      & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let format_conv =
+    let parse = function
+      | "coe" -> Ok Rtlgen.Memfiles.Coe
+      | "mif" -> Ok Rtlgen.Memfiles.Mif
+      | "hex" -> Ok Rtlgen.Memfiles.Hex
+      | s -> Error (`Msg (Printf.sprintf "unknown memory format %S" s))
+    in
+    let print ppf f = Format.pp_print_string ppf (Rtlgen.Memfiles.extension f) in
+    Arg.conv (parse, print)
+  in
+  let formats =
+    Arg.(
+      value
+      & opt_all format_conv [ Rtlgen.Memfiles.Hex ]
+      & info [ "f"; "format" ] ~docv:"FMT"
+          ~doc:"Memory-file format(s): $(b,coe), $(b,mif), $(b,hex).")
+  in
+  let doc = "export the retrieval unit as VHDL plus memory images" in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const run $ casebase_arg $ request_arg $ out_dir $ formats)
+
+(* --- verify ---------------------------------------------------------------------- *)
+
+let parse_manifest text =
+  let entries =
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then None
+        else
+          match String.split_on_char ' ' line with
+          | [ key; value ] -> (
+              match int_of_string_opt value with
+              | Some v -> Some (key, v)
+              | None -> None)
+          | _ -> None)
+      (String.split_on_char '\n' text)
+  in
+  match
+    ( List.assoc_opt "supplemental_base" entries,
+      List.assoc_opt "expected_impl" entries,
+      List.assoc_opt "expected_score" entries )
+  with
+  | Some base, Some impl, Some score -> Ok (base, impl, score)
+  | _ -> Error "manifest is missing supplemental_base/expected_impl/expected_score"
+
+let verify_cmd =
+  let run dir =
+    let read name = or_die (read_file (Filename.concat dir name)) in
+    let cb_mem = or_die (Rtlgen.Memfiles.parse_hex (read "qos_cb_mem.hex")) in
+    let req_mem = or_die (Rtlgen.Memfiles.parse_hex (read "qos_req_mem.hex")) in
+    let supplemental_base, expected_impl, expected_score =
+      or_die (parse_manifest (read "qos_manifest.txt"))
+    in
+    let image =
+      or_die (Memlayout.reconstruct_system ~cb_mem ~req_mem ~supplemental_base)
+    in
+    match Rtlsim.Machine.run image with
+    | Error e ->
+        prerr_endline ("qosalloc: retrieval failed: " ^ Rtlsim.Machine.error_to_string e);
+        exit 1
+    | Ok o ->
+        let got_impl = o.Rtlsim.Machine.best_impl_id in
+        let got_score = Fxp.Q15.to_raw o.Rtlsim.Machine.best_score in
+        Printf.printf
+          "reconstructed image: %d CB words, %d request words\n\
+           hardware model: impl %d, raw score %d (%d cycles)\n"
+          (Array.length cb_mem) (Array.length req_mem) got_impl got_score
+          o.Rtlsim.Machine.stats.Rtlsim.Machine.cycles;
+        if got_impl = expected_impl && got_score = expected_score then
+          print_endline "VERIFY: PASS (matches the exported expectations)"
+        else begin
+          Printf.printf
+            "VERIFY: FAIL (manifest expected impl %d, score %d)\n"
+            expected_impl expected_score;
+          exit 1
+        end
+  in
+  let dir =
+    Arg.(
+      value & opt string "qos_rtl"
+      & info [ "i"; "input" ] ~docv:"DIR" ~doc:"Directory written by export.")
+  in
+  let doc = "re-import exported hex images and cross-check the retrieval" in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ dir)
+
+(* --- difftest --------------------------------------------------------------------- *)
+
+let difftest_cmd =
+  let run trials seed =
+    let failures = ref 0 in
+    for i = 1 to trials do
+      let rng = Workload.Prng.create ~seed:(seed + i) in
+      let schema =
+        Workload.Generator.schema rng
+          { Workload.Generator.attr_count = 6; max_bound = 400 }
+      in
+      let cb =
+        Workload.Generator.casebase rng ~schema
+          {
+            Workload.Generator.type_count = 3;
+            impls_per_type = (1, 7);
+            attrs_per_impl = (1, 6);
+          }
+      in
+      let req =
+        Workload.Generator.request rng ~schema ~type_id:1
+          {
+            Workload.Generator.constraints = (1, 6);
+            weight_profile = `Random;
+            value_slack = 0.15;
+          }
+      in
+      let fixed = Engine_fixed.best cb req in
+      let rtl = Rtlsim.Machine.retrieve cb req in
+      let sw = Mblaze.Retrieval_prog.run cb req in
+      let agree =
+        match (fixed, rtl, sw) with
+        | Ok f, Ok o, Ok r ->
+            f.Retrieval.impl.Impl.id = o.Rtlsim.Machine.best_impl_id
+            && o.Rtlsim.Machine.best_impl_id
+               = r.Mblaze.Retrieval_prog.best_impl_id
+            && Fxp.Q15.equal f.Retrieval.score o.Rtlsim.Machine.best_score
+            && Fxp.Q15.equal f.Retrieval.score
+                 r.Mblaze.Retrieval_prog.best_score
+            && Engine_fixed.agrees_with_float cb req
+        | Error _, Error _, Ok r ->
+            r.Mblaze.Retrieval_prog.status <> Mblaze.Retrieval_prog.Found
+        | _ -> false
+      in
+      if not agree then begin
+        incr failures;
+        Printf.printf "MISMATCH at seed %d\n" (seed + i)
+      end
+    done;
+    Printf.printf "difftest: %d/%d scenarios agree across all engines\n"
+      (trials - !failures) trials;
+    if !failures > 0 then exit 1
+  in
+  let trials =
+    Arg.(value & opt int 1000 & info [ "n"; "trials" ] ~docv:"N" ~doc:"Scenario count.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Base seed.")
+  in
+  let doc = "differential-test all retrieval engines on random scenarios" in
+  Cmd.v (Cmd.info "difftest" ~doc) Term.(const run $ trials $ seed)
+
+(* --- analyze --------------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run path =
+    let text = or_die (read_file path) in
+    let rows = or_die (Desim.Tracefile.of_csv text) in
+    Format.printf "%a@." Desim.Tracefile.pp_analysis
+      (Desim.Tracefile.analyze rows);
+    (* Per-app breakdown. *)
+    let apps =
+      List.sort_uniq String.compare
+        (List.map (fun (r : Desim.Tracefile.row) -> r.Desim.Tracefile.app_id) rows)
+    in
+    List.iter
+      (fun app ->
+        let mine =
+          List.filter
+            (fun (r : Desim.Tracefile.row) ->
+              String.equal r.Desim.Tracefile.app_id app)
+            rows
+        in
+        let a = Desim.Tracefile.analyze mine in
+        Printf.printf "%-14s rows=%d granted=%d bypass=%d refused=%d\n" app
+          a.Desim.Tracefile.total a.Desim.Tracefile.granted
+          a.Desim.Tracefile.bypassed a.Desim.Tracefile.refused)
+      apps
+  in
+  let path =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Trace CSV from simulate.")
+  in
+  let doc = "analyse a per-request trace CSV" in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ path)
+
+(* --- demo ---------------------------------------------------------------------- *)
+
+let demo_cmd =
+  let run () =
+    print_string (Textfmt.print_casebase Scenario_audio.casebase);
+    print_newline ();
+    print_string (Textfmt.print_request Scenario_audio.request)
+  in
+  let doc = "print the built-in paper example in the text format" in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const run $ const ())
+
+(* --- main ------------------------------------------------------------------------ *)
+
+let () =
+  let doc = "QoS-based function allocation for reconfigurable systems" in
+  let info = Cmd.info "qosalloc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            retrieve_cmd;
+            layout_cmd;
+            trace_cmd;
+            resources_cmd;
+            simulate_cmd;
+            export_cmd;
+            verify_cmd;
+            difftest_cmd;
+            analyze_cmd;
+            demo_cmd;
+          ]))

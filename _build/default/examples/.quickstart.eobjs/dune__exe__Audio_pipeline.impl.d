@@ -1,0 +1,1 @@
+examples/audio_pipeline.ml: Allocator Desim Printf Qos_core Request

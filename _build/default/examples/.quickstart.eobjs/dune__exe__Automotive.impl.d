@@ -1,0 +1,1 @@
+examples/automotive.ml: Allocator Desim List Option Printf Qos_core Request Target

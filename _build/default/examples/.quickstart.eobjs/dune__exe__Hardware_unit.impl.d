@@ -1,0 +1,1 @@
+examples/hardware_unit.ml: Format Fxp List Mblaze Printf Qos_core Resource Rtlsim Scenario_audio Workload

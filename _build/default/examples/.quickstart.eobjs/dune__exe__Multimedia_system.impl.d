@@ -1,0 +1,1 @@
+examples/multimedia_system.ml: Allocator Desim Format Printf Qos_core

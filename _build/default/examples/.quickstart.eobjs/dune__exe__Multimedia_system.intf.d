@@ -1,0 +1,1 @@
+examples/multimedia_system.mli:

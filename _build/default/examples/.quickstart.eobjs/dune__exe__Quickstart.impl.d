@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attr Casebase Engine_fixed Engine_float Ftype Fxp Impl List Printf Qos_core Request Retrieval Rtlsim Target

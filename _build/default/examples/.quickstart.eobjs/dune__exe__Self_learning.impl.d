@@ -1,0 +1,1 @@
+examples/self_learning.ml: Casebase Engine_float Ftype Fxp Impl Learning List Option Printf Qos_core Retrieval Rtlsim Scenario_audio Target

@@ -1,0 +1,89 @@
+(* Automotive scenario: a safety-critical ECU function preempts
+   infotainment on a constrained platform, and a cruise-control request
+   that misses the similarity threshold is granted after the Sec. 3
+   relaxation loop.
+
+   Run with: dune exec examples/automotive.exe *)
+
+open Qos_core
+module M = Allocator.Manager
+module N = Allocator.Negotiation
+
+let get = function Ok x -> x | Error e -> failwith e
+
+let () =
+  let casebase = Desim.Apps.reference_casebase in
+  (* A deliberately tight platform: one small FPGA and a single DSP slot. *)
+  let fpga =
+    get
+      (Allocator.Device.make ~device_id:"fpga0" ~target:Target.Fpga ~capacity:300
+         ())
+  in
+  let dsp =
+    get (Allocator.Device.make ~device_id:"dsp0" ~target:Target.Dsp ~capacity:1 ())
+  in
+  let manager =
+    M.create ~casebase ~devices:[ fpga; dsp ]
+      ~catalog:(Allocator.Catalog.of_casebase_default casebase)
+      ~policy:{ M.default_policy with M.max_candidates = 2 }
+      ()
+  in
+
+  (* 1. The MP3 player grabs the FPGA first (low priority). *)
+  let mp3_request =
+    get (Request.make ~type_id:3 [ (1, 16, 1.0); (3, 2, 1.0); (4, 48, 1.0) ])
+  in
+  (match M.allocate manager ~app_id:"mp3" ~priority:2 mp3_request with
+  | Ok g ->
+      Printf.printf "mp3 decoder placed on %s (%d units)\n" g.M.task.M.device_id
+        g.M.task.M.units
+  | Error r -> Printf.printf "mp3 refused: %s\n" (M.refusal_to_string r));
+  Printf.printf "fpga free units: %d\n"
+    (Option.get (M.free_units manager ~device_id:"fpga0"));
+
+  (* 2. The ECU function arrives with a hard-safety priority: it needs
+     the FPGA variant and evicts the infotainment task. *)
+  let ecu_request =
+    get (Request.make ~type_id:5 [ (5, 5, 1.5); (9, 2, 1.5) ])
+  in
+  (match M.allocate manager ~app_id:"ecu" ~priority:9 ecu_request with
+  | Ok g ->
+      Printf.printf "\necu control granted: impl %d on %s, preempted %d task(s)\n"
+        g.M.task.M.impl_id g.M.task.M.device_id
+        (List.length g.M.preempted);
+      List.iter
+        (fun victim ->
+          Printf.printf "  evicted: %s's task %d (priority %d)\n"
+            victim.M.app_id victim.M.task_id victim.M.priority)
+        g.M.preempted
+  | Error r -> Printf.printf "ecu refused: %s\n" (M.refusal_to_string r));
+
+  (* 3. Cruise control prefers the FPGA variant, but the ECU now owns
+     the fabric.  The manager falls back to the next acceptable variant
+     (the DSP one) — the paper's "alternative implementation can be
+     offered" path — inside the negotiation loop. *)
+  let strict_cruise =
+    get
+      (Request.make ~type_id:6
+         [ (5, 1, 1.0); (6, 10, 1.0); (9, 0, 1.0); (1, 16, 0.2) ])
+  in
+  print_endline "\ncruise-control negotiation:";
+  let outcome =
+    N.negotiate ~max_rounds:4 manager ~app_id:"cruise" ~priority:4 strict_cruise
+  in
+  List.iteri
+    (fun i (round : N.round) ->
+      Printf.printf "  round %d (%d constraints): %s\n" (i + 1)
+        (Request.constraint_count round.N.round_request)
+        (match round.N.round_result with
+        | Ok g ->
+            Printf.sprintf "granted impl %d (similarity %.3f)"
+              g.M.task.M.impl_id g.M.task.M.score
+        | Error r -> M.refusal_to_string r))
+    outcome.N.rounds;
+  (match outcome.N.final with
+  | Ok g ->
+      Printf.printf "cruise control is running on %s (impl %d).\n"
+        g.M.task.M.device_id g.M.task.M.impl_id
+  | Error _ -> print_endline "cruise control could not be served.");
+  Printf.printf "resident tasks at end: %d\n" (List.length (M.tasks manager))

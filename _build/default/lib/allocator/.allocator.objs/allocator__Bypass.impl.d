@@ -1,0 +1,1 @@
+lib/allocator/bypass.ml: Format Fxp Hashtbl List Qos_core Request String

@@ -1,0 +1,1 @@
+lib/allocator/bypass.mli: Format Qos_core

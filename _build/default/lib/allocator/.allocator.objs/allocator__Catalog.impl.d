@@ -1,0 +1,1 @@
+lib/allocator/catalog.ml: Casebase Ftype Impl List Map Printf Qos_core Target

@@ -1,0 +1,1 @@
+lib/allocator/catalog.mli: Qos_core

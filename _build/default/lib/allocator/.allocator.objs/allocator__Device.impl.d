@@ -1,0 +1,1 @@
+lib/allocator/device.ml: Format Option Printf Qos_core

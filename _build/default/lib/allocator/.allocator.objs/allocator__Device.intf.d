@@ -1,0 +1,1 @@
+lib/allocator/device.mli: Format Qos_core

@@ -1,0 +1,1 @@
+lib/allocator/manager.ml: Bypass Casebase Catalog Device Engine_float Format Hashtbl Impl Int List Option Placement Printf Qos_core Request Retrieval Rtlsim String Target

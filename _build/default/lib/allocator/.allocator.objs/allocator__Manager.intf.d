@@ -1,0 +1,1 @@
+lib/allocator/manager.mli: Bypass Catalog Device Format Placement Qos_core

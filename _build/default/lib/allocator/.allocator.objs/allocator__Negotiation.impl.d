@@ -1,0 +1,1 @@
+lib/allocator/negotiation.ml: List Manager Option Qos_core Request

@@ -1,0 +1,1 @@
+lib/allocator/negotiation.mli: Manager Qos_core

@@ -1,0 +1,1 @@
+lib/allocator/placement.ml: Bytes Format List Printf Result

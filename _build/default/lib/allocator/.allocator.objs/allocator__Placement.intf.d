@@ -1,0 +1,1 @@
+lib/allocator/placement.mli: Format

@@ -1,0 +1,71 @@
+open Qos_core
+
+type key = { app_id : string; type_id : int; fingerprint : int }
+
+let fingerprint (r : Request.t) =
+  let quantise w = Fxp.Q15.to_raw (Fxp.Q15.of_float w) in
+  List.fold_left
+    (fun acc (aid, v, w) ->
+      let h = acc in
+      let h = (h * 1000003) lxor aid in
+      let h = (h * 1000003) lxor v in
+      (h * 1000003) lxor quantise w)
+    (r.type_id * 1000003)
+    (Request.normalized_weights r)
+  land max_int
+
+let key_of ~app_id (r : Request.t) =
+  { app_id; type_id = r.type_id; fingerprint = fingerprint r }
+
+type t = {
+  table : (key, int) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+let create () =
+  { table = Hashtbl.create 64; hits = 0; misses = 0; invalidations = 0 }
+
+let lookup t key =
+  match Hashtbl.find_opt t.table key with
+  | Some impl_id ->
+      t.hits <- t.hits + 1;
+      Some impl_id
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let remember t key ~impl_id = Hashtbl.replace t.table key impl_id
+
+let drop_matching t predicate =
+  let victims =
+    Hashtbl.fold
+      (fun key impl_id acc -> if predicate key impl_id then key :: acc else acc)
+      t.table []
+  in
+  List.iter (Hashtbl.remove t.table) victims;
+  let n = List.length victims in
+  t.invalidations <- t.invalidations + n;
+  n
+
+let invalidate_impl t ~type_id ~impl_id =
+  drop_matching t (fun key stored ->
+      key.type_id = type_id && stored = impl_id)
+
+let invalidate_app t ~app_id =
+  drop_matching t (fun key _ -> String.equal key.app_id app_id)
+
+type stats = { hits : int; misses : int; tokens : int; invalidations : int }
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    tokens = Hashtbl.length t.table;
+    invalidations = t.invalidations;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "hits=%d misses=%d tokens=%d invalidated=%d" s.hits
+    s.misses s.tokens s.invalidations

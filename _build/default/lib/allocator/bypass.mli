@@ -1,0 +1,36 @@
+(** Bypass tokens (Sec. 3): once a function is allocated, repeated calls
+    with the same QoS description skip the retrieval and only check
+    that the variant is still resident.
+
+    A token keys on (application, function type, request fingerprint)
+    and remembers the selected variant.  Tokens are invalidated when
+    the variant is unloaded. *)
+
+type key = { app_id : string; type_id : int; fingerprint : int }
+
+val fingerprint : Qos_core.Request.t -> int
+(** Order-independent (constraints are stored sorted) hash of the
+    constraint triples, with weights quantised to Q15 so requests that
+    the hardware cannot distinguish share a token. *)
+
+val key_of : app_id:string -> Qos_core.Request.t -> key
+
+type t
+
+val create : unit -> t
+
+val lookup : t -> key -> int option
+(** Remembered implementation ID; counts a hit or miss. *)
+
+val remember : t -> key -> impl_id:int -> unit
+
+val invalidate_impl : t -> type_id:int -> impl_id:int -> int
+(** Drop every token pointing at the variant; returns how many were
+    dropped. *)
+
+val invalidate_app : t -> app_id:string -> int
+
+type stats = { hits : int; misses : int; tokens : int; invalidations : int }
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

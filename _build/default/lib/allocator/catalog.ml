@@ -1,0 +1,49 @@
+open Qos_core
+
+type requirement = { units : int; config_words : int }
+
+module Key = struct
+  type t = int * int
+
+  let compare = compare
+end
+
+module Key_map = Map.Make (Key)
+
+type t = requirement Key_map.t
+
+let empty = Key_map.empty
+
+let add ~type_id ~impl_id req t =
+  if req.units <= 0 then
+    Error
+      (Printf.sprintf "impl (%d, %d): units must be positive" type_id impl_id)
+  else if Key_map.mem (type_id, impl_id) t then
+    Error (Printf.sprintf "duplicate catalog entry (%d, %d)" type_id impl_id)
+  else Ok (Key_map.add (type_id, impl_id) req t)
+
+let find t ~type_id ~impl_id = Key_map.find_opt (type_id, impl_id) t
+
+(* Synthetic but deterministic footprints: the richer the variant (more
+   attributes) and the more hardware-ish the target, the bigger the
+   area and configuration data. *)
+let default_requirement (impl : Impl.t) =
+  let richness = 1 + Impl.attr_count impl in
+  match impl.target with
+  | Target.Fpga ->
+      { units = 80 + (24 * richness); config_words = 4096 + (512 * richness) }
+  | Target.Dsp -> { units = 1 + (richness / 8); config_words = 512 + (64 * richness) }
+  | Target.Gpp -> { units = 1; config_words = 256 + (32 * richness) }
+  | Target.Asic -> { units = 1; config_words = 16 }
+  | Target.Custom _ -> { units = 1; config_words = 256 }
+
+let of_casebase_default (cb : Casebase.t) =
+  List.fold_left
+    (fun acc (ft : Ftype.t) ->
+      List.fold_left
+        (fun acc (impl : Impl.t) ->
+          Key_map.add (ft.id, impl.id) (default_requirement impl) acc)
+        acc ft.impls)
+    empty cb.ftypes
+
+let cardinal = Key_map.cardinal

@@ -1,0 +1,32 @@
+(** Resource requirements of implementation variants.
+
+    The case base describes {e QoS} attributes; how many resource units
+    a variant occupies and how long its configuration data (bitstream /
+    opcode, Sec. 3's "global function repository") takes to load is
+    separate design-time metadata, kept here. *)
+
+type requirement = {
+  units : int;  (** Resource units on the matching device class. *)
+  config_words : int;
+      (** Size of the configuration data in 16-bit words (bitstream or
+          opcode in the FLASH repository of Fig. 1). *)
+}
+
+type t
+
+val empty : t
+
+val add :
+  type_id:int -> impl_id:int -> requirement -> t -> (t, string) result
+(** [Error] on duplicate (type, impl) key or non-positive units. *)
+
+val find : t -> type_id:int -> impl_id:int -> requirement option
+
+val of_casebase_default : Qos_core.Casebase.t -> t
+(** Deterministic synthetic footprints for every variant, sized by
+    target class: FPGA variants take 80-320 units and large bitstreams,
+    DSP 1-2 slots, GPP/ASIC 1 slot, scaled by attribute count (a proxy
+    for functional richness).  Documented in DESIGN.md as a
+    substitution for the paper's unpublished per-function data. *)
+
+val cardinal : t -> int

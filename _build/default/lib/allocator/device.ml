@@ -1,0 +1,58 @@
+type t = {
+  device_id : string;
+  target : Qos_core.Target.t;
+  capacity : int;
+  reconfig_us_per_unit : float;
+  power_mw_per_unit : float;
+}
+
+let default_reconfig target =
+  match (target : Qos_core.Target.t) with
+  | Fpga -> 2.0
+  | Dsp | Gpp | Asic | Custom _ -> 0.05
+
+(* 2004-era ballpark active power per resource unit: a busy Virtex-II
+   slice ~0.9 mW, a DSP task slot ~120 mW, a GPP slot ~40 mW, dedicated
+   silicon ~25 mW. *)
+let default_power target =
+  match (target : Qos_core.Target.t) with
+  | Fpga -> 0.9
+  | Dsp -> 120.0
+  | Gpp -> 40.0
+  | Asic -> 25.0
+  | Custom _ -> 50.0
+
+let make ~device_id ~target ~capacity ?reconfig_us_per_unit ?power_mw_per_unit
+    () =
+  if device_id = "" then Error "empty device id"
+  else if capacity <= 0 then
+    Error (Printf.sprintf "device %s: capacity must be positive" device_id)
+  else
+    let reconfig_us_per_unit =
+      Option.value reconfig_us_per_unit ~default:(default_reconfig target)
+    in
+    let power_mw_per_unit =
+      Option.value power_mw_per_unit ~default:(default_power target)
+    in
+    if reconfig_us_per_unit < 0.0 then
+      Error (Printf.sprintf "device %s: negative reconfiguration cost" device_id)
+    else if power_mw_per_unit < 0.0 then
+      Error (Printf.sprintf "device %s: negative power density" device_id)
+    else
+      Ok { device_id; target; capacity; reconfig_us_per_unit; power_mw_per_unit }
+
+let get = function Ok d -> d | Error e -> failwith e
+
+let default_system () =
+  [
+    get (make ~device_id:"fpga0" ~target:Qos_core.Target.Fpga ~capacity:600 ());
+    get (make ~device_id:"fpga1" ~target:Qos_core.Target.Fpga ~capacity:240 ());
+    get (make ~device_id:"dsp0" ~target:Qos_core.Target.Dsp ~capacity:3 ());
+    get (make ~device_id:"gpp0" ~target:Qos_core.Target.Gpp ~capacity:8 ());
+    get (make ~device_id:"asic0" ~target:Qos_core.Target.Asic ~capacity:1 ());
+  ]
+
+let pp ppf d =
+  Format.fprintf ppf "%s (%a, %d units, %.2fus/unit, %.1fmW/unit)" d.device_id
+    Qos_core.Target.pp d.target d.capacity d.reconfig_us_per_unit
+    d.power_mw_per_unit

@@ -1,0 +1,37 @@
+(** Execution resources of the multi-device system (Fig. 1): partially
+    reconfigurable FPGAs, DSPs and general-purpose processors, each
+    with a capacity budget in abstract resource units (slices for
+    FPGAs, task slots for processors). *)
+
+type t = private {
+  device_id : string;
+  target : Qos_core.Target.t;  (** Which implementation variants it runs. *)
+  capacity : int;  (** Total resource units. *)
+  reconfig_us_per_unit : float;
+      (** Configuration-load time per unit — models partial-bitstream /
+          code download latency. *)
+  power_mw_per_unit : float;
+      (** Active power drawn per occupied resource unit — feeds the
+          energy accounting of the system simulation (the intro's
+          "energy/power-efficiency" motivation). *)
+}
+
+val make :
+  device_id:string ->
+  target:Qos_core.Target.t ->
+  capacity:int ->
+  ?reconfig_us_per_unit:float ->
+  ?power_mw_per_unit:float ->
+  unit ->
+  (t, string) result
+(** Default reconfiguration cost: 2.0 us/unit for FPGAs (partial
+    bitstream download), 0.05 us/unit otherwise (code load).  Default
+    power density per target class: FPGA 0.9, DSP 120, GPP 40, ASIC 25,
+    custom 50 mW/unit. *)
+
+val default_system : unit -> t list
+(** The Fig. 1 reference platform: a mid-size reconfigurable FPGA
+    (600 units), a small FPGA (240 units), a DSP (3 slots), a GPP
+    (8 slots) and one dedicated ASIC slot. *)
+
+val pp : Format.formatter -> t -> unit

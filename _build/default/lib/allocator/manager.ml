@@ -1,0 +1,447 @@
+open Qos_core
+
+type policy = {
+  threshold : float;
+  max_candidates : int;
+  allow_preemption : bool;
+  flash_read_us_per_word : float;
+  retrieval_clock_mhz : float option;
+}
+
+let default_policy =
+  {
+    threshold = 0.5;
+    max_candidates = 4;
+    allow_preemption = true;
+    flash_read_us_per_word = 0.02;
+    retrieval_clock_mhz = None;
+  }
+
+type task = {
+  task_id : int;
+  app_id : string;
+  type_id : int;
+  impl_id : int;
+  device_id : string;
+  units : int;
+  priority : int;
+  score : float;
+  extent : Placement.extent option;
+      (** Column extent on a fragmented (FPGA) device; [None] on
+          counter-managed devices. *)
+}
+
+type grant = {
+  task : task;
+  preempted : task list;
+  setup_time_us : float;
+  retrieval_us : float;
+  via_bypass : bool;
+}
+
+type offer = {
+  offer_impl_id : int;
+  offer_score : float;
+  offer_target : Target.t;
+}
+
+type refusal =
+  | Unknown_request of Retrieval.error
+  | All_below_threshold of offer list
+  | No_feasible of offer list
+
+type event =
+  | Granted of grant
+  | Refused of { app_id : string; type_id : int; refusal : refusal }
+  | Preempted_task of task
+  | Released_task of task
+
+type t = {
+  casebase : Casebase.t;
+  devices : Device.t list;
+  catalog : Catalog.t;
+  policy : policy;
+  bypass : Bypass.t;
+  column_maps : (string, Placement.t) Hashtbl.t;
+      (** Present only when fragmentation modelling is on: one column
+          map per FPGA-class device. *)
+  placement_policy : Placement.policy option;
+  mutable running : task list;
+  mutable next_task_id : int;
+  mutable rev_events : event list;
+}
+
+let create ~casebase ~devices ~catalog ?(policy = default_policy)
+    ?placement_policy () =
+  let column_maps = Hashtbl.create 4 in
+  (match placement_policy with
+  | None -> ()
+  | Some _ ->
+      List.iter
+        (fun (d : Device.t) ->
+          match d.target with
+          | Target.Fpga ->
+              Hashtbl.replace column_maps d.device_id
+                (Placement.create ~width:d.capacity)
+          | Target.Dsp | Target.Gpp | Target.Asic | Target.Custom _ -> ())
+        devices);
+  {
+    casebase;
+    devices;
+    catalog;
+    policy;
+    bypass = Bypass.create ();
+    column_maps;
+    placement_policy;
+    running = [];
+    next_task_id = 1;
+    rev_events = [];
+  }
+
+let push_event t e = t.rev_events <- e :: t.rev_events
+
+let tasks t = t.running
+
+let used_units t device_id =
+  List.fold_left
+    (fun acc task ->
+      if String.equal task.device_id device_id then acc + task.units else acc)
+    0 t.running
+
+let free_units t ~device_id =
+  List.find_opt
+    (fun (d : Device.t) -> String.equal d.device_id device_id)
+    t.devices
+  |> Option.map (fun (d : Device.t) -> d.capacity - used_units t d.device_id)
+
+let offer_of (r : Engine_float.ranked) =
+  {
+    offer_impl_id = r.Retrieval.impl.Impl.id;
+    offer_score = r.Retrieval.score;
+    offer_target = r.Retrieval.impl.Impl.target;
+  }
+
+(* Devices able to host the variant, most free space first. *)
+let matching_devices t (target : Target.t) =
+  t.devices
+  |> List.filter (fun (d : Device.t) -> Target.equal d.target target)
+  |> List.map (fun (d : Device.t) ->
+         (d, d.capacity - used_units t d.device_id))
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let setup_time t (device : Device.t) units config_words =
+  (device.reconfig_us_per_unit *. float_of_int units)
+  +. (t.policy.flash_read_us_per_word *. float_of_int config_words)
+
+let column_map t device_id = Hashtbl.find_opt t.column_maps device_id
+
+(* Reserve capacity on a device: a contiguous column extent on
+   fragmented FPGAs, a simple counter check elsewhere (the caller has
+   already verified counter capacity). *)
+let reserve t device_id ~units =
+  match column_map t device_id with
+  | None -> Some None
+  | Some map -> (
+      match t.placement_policy with
+      | None -> Some None
+      | Some policy -> (
+          match Placement.place map policy ~length:units with
+          | Ok extent -> Some (Some extent)
+          | Error _ -> None))
+
+let unreserve t task =
+  match (column_map t task.device_id, task.extent) with
+  | Some map, Some extent -> ignore (Placement.release map extent)
+  | _, _ -> ()
+
+(* Does the device have room for [units], honouring fragmentation? *)
+let device_fits t device_id ~free ~units =
+  if free < units then false
+  else
+    match column_map t device_id with
+    | None -> true
+    | Some map -> Placement.would_fit map ~length:units
+
+let place t ~app_id ~priority ~type_id ~impl_id ~device_id ~units ~score
+    ~extent =
+  let task =
+    {
+      task_id = t.next_task_id;
+      app_id;
+      type_id;
+      impl_id;
+      device_id;
+      units;
+      priority;
+      score;
+      extent;
+    }
+  in
+  t.next_task_id <- t.next_task_id + 1;
+  t.running <- task :: t.running;
+  task
+
+let remove_tasks t victims =
+  let victim_ids = List.map (fun v -> v.task_id) victims in
+  List.iter (unreserve t) victims;
+  t.running <-
+    List.filter (fun task -> not (List.mem task.task_id victim_ids)) t.running
+
+let resident_instance t ~app_id ~type_id ~impl_id =
+  List.find_opt
+    (fun task ->
+      String.equal task.app_id app_id
+      && task.type_id = type_id && task.impl_id = impl_id)
+    t.running
+
+(* Try to host one candidate, first in free space, then by preemption. *)
+let try_host t ~app_id ~priority ~type_id (r : Engine_float.ranked) =
+  let impl = r.Retrieval.impl in
+  match Catalog.find t.catalog ~type_id ~impl_id:impl.Impl.id with
+  | None -> None
+  | Some req ->
+      let devices = matching_devices t impl.Impl.target in
+      let units = req.Catalog.units in
+      let grant_on device victims extent =
+        let task =
+          place t ~app_id ~priority ~type_id ~impl_id:impl.Impl.id
+            ~device_id:device.Device.device_id ~units ~score:r.Retrieval.score
+            ~extent
+        in
+        Some
+          {
+            task;
+            preempted = victims;
+            setup_time_us = setup_time t device units req.Catalog.config_words;
+            retrieval_us = 0.0;
+            via_bypass = false;
+          }
+      in
+      let rec free_fit = function
+        | [] -> None
+        | (device, free) :: rest ->
+            if device_fits t device.Device.device_id ~free ~units then
+              match reserve t device.Device.device_id ~units with
+              | Some extent -> grant_on device [] extent
+              | None -> free_fit rest
+            else free_fit rest
+      in
+      let with_preemption () =
+        if not t.policy.allow_preemption then None
+        else
+          let rec try_devices = function
+            | [] -> None
+            | (device, free) :: rest -> (
+                let device_id = device.Device.device_id in
+                (* On fragmented devices eviction by unit count is not
+                   enough: evict cheapest-first until a contiguous gap
+                   appears. *)
+                let enough_after victims =
+                  match column_map t device_id with
+                  | None ->
+                      free
+                      + List.fold_left (fun acc v -> acc + v.units) 0 victims
+                      >= units
+                  | Some map ->
+                      (* Tentatively free the victims' extents. *)
+                      let freed =
+                        List.filter_map
+                          (fun v ->
+                            match v.extent with
+                            | Some e when Placement.release map e = Ok () ->
+                                Some e
+                            | Some _ | None -> None)
+                          victims
+                      in
+                      let fits = Placement.would_fit map ~length:units in
+                      (* Roll the tentative frees back; the real
+                         eviction happens in remove_tasks. *)
+                      List.iter (fun e -> ignore (Placement.place_at map e)) freed;
+                      fits
+                in
+                let candidates =
+                  t.running
+                  |> List.filter (fun task ->
+                         String.equal task.device_id device_id
+                         && task.priority < priority)
+                  |> List.sort (fun a b ->
+                         match Int.compare a.priority b.priority with
+                         | 0 -> Int.compare a.units b.units
+                         | c -> c)
+                in
+                let rec grow chosen = function
+                  | [] -> None
+                  | v :: rest ->
+                      let chosen = chosen @ [ v ] in
+                      if enough_after chosen then Some chosen
+                      else grow chosen rest
+                in
+                let victims =
+                  if enough_after [] then Some [] else grow [] candidates
+                in
+                match victims with
+                | None -> try_devices rest
+                | Some victims -> (
+                    remove_tasks t victims;
+                    List.iter
+                      (fun v ->
+                        ignore
+                          (Bypass.invalidate_impl t.bypass ~type_id:v.type_id
+                             ~impl_id:v.impl_id);
+                        push_event t (Preempted_task v))
+                      victims;
+                    match reserve t device_id ~units with
+                    | Some extent -> grant_on device victims extent
+                    | None ->
+                        (* Should not happen: enough_after verified the
+                           gap.  Fail this device rather than crash. *)
+                        try_devices rest))
+          in
+          try_devices devices
+      in
+      (match free_fit devices with
+      | Some grant -> Some grant
+      | None -> with_preemption ())
+
+let allocate t ~app_id ?(priority = 0) (request : Request.t) =
+  let key = Bypass.key_of ~app_id request in
+  let bypass_grant =
+    match Bypass.lookup t.bypass key with
+    | None -> None
+    | Some impl_id -> (
+        match
+          resident_instance t ~app_id ~type_id:request.type_id ~impl_id
+        with
+        | Some task ->
+            Some
+              {
+                task;
+                preempted = [];
+                setup_time_us = 0.0;
+                retrieval_us = 0.0;
+                via_bypass = true;
+              }
+        | None -> None)
+  in
+  match bypass_grant with
+  | Some grant ->
+      push_event t (Granted grant);
+      Ok grant
+  | None -> (
+      (* The retrieval itself costs time on the hardware unit; model it
+         once per (non-bypass) request when a clock is configured. *)
+      let retrieval_us =
+        match t.policy.retrieval_clock_mhz with
+        | None -> 0.0
+        | Some mhz -> (
+            match Rtlsim.Machine.retrieve t.casebase request with
+            | Ok o ->
+                float_of_int o.Rtlsim.Machine.stats.Rtlsim.Machine.cycles /. mhz
+            | Error _ -> 0.0)
+      in
+      match
+        Engine_float.n_best ~n:t.policy.max_candidates t.casebase request
+      with
+      | Error e ->
+          let refusal = Unknown_request e in
+          push_event t (Refused { app_id; type_id = request.type_id; refusal });
+          Error refusal
+      | Ok ranked -> (
+          let acceptable, rejected =
+            List.partition
+              (fun (r : Engine_float.ranked) ->
+                r.Retrieval.score >= t.policy.threshold)
+              ranked
+          in
+          match acceptable with
+          | [] ->
+              let refusal = All_below_threshold (List.map offer_of rejected) in
+              push_event t
+                (Refused { app_id; type_id = request.type_id; refusal });
+              Error refusal
+          | _ -> (
+              let rec attempt = function
+                | [] ->
+                    let refusal =
+                      No_feasible (List.map offer_of acceptable)
+                    in
+                    push_event t
+                      (Refused { app_id; type_id = request.type_id; refusal });
+                    Error refusal
+                | candidate :: rest -> (
+                    match
+                      try_host t ~app_id ~priority ~type_id:request.type_id
+                        candidate
+                    with
+                    | Some grant ->
+                        let grant =
+                          {
+                            grant with
+                            retrieval_us;
+                            setup_time_us = grant.setup_time_us +. retrieval_us;
+                          }
+                        in
+                        Bypass.remember t.bypass key
+                          ~impl_id:grant.task.impl_id;
+                        push_event t (Granted grant);
+                        Ok grant
+                    | None -> attempt rest)
+              in
+              attempt acceptable)))
+
+let release t ~task_id =
+  match List.find_opt (fun task -> task.task_id = task_id) t.running with
+  | None -> Error (Printf.sprintf "no running task %d" task_id)
+  | Some task ->
+      unreserve t task;
+      t.running <- List.filter (fun x -> x.task_id <> task_id) t.running;
+      let still_resident =
+        List.exists
+          (fun x -> x.type_id = task.type_id && x.impl_id = task.impl_id)
+          t.running
+      in
+      if not still_resident then
+        ignore
+          (Bypass.invalidate_impl t.bypass ~type_id:task.type_id
+             ~impl_id:task.impl_id);
+      push_event t (Released_task task);
+      Ok task
+
+let release_app t ~app_id =
+  let mine, _ =
+    List.partition (fun task -> String.equal task.app_id app_id) t.running
+  in
+  List.iter (fun task -> ignore (release t ~task_id:task.task_id)) mine;
+  List.length mine
+
+let fragmentation t ~device_id =
+  Option.map Placement.fragmentation (column_map t device_id)
+
+let largest_gap t ~device_id =
+  Option.map Placement.largest_gap (column_map t device_id)
+
+let bypass_stats t = Bypass.stats t.bypass
+
+let drain_events t =
+  let events = List.rev t.rev_events in
+  t.rev_events <- [];
+  events
+
+let refusal_to_string = function
+  | Unknown_request e -> "unknown request: " ^ Retrieval.error_to_string e
+  | All_below_threshold offers ->
+      Printf.sprintf "all %d variants below threshold" (List.length offers)
+  | No_feasible offers ->
+      Printf.sprintf "no feasible placement among %d acceptable variants"
+        (List.length offers)
+
+let pp_task ppf task =
+  Format.fprintf ppf "task %d: app=%s type=%d impl=%d on %s (%d units, prio %d, s=%.3f)"
+    task.task_id task.app_id task.type_id task.impl_id task.device_id
+    task.units task.priority task.score
+
+let pp_grant ppf g =
+  Format.fprintf ppf "%a%s setup=%.1fus preempted=%d" pp_task g.task
+    (if g.via_bypass then " [bypass]" else "")
+    g.setup_time_us
+    (List.length g.preempted)

@@ -1,0 +1,124 @@
+(** The function-allocation manager (Fig. 1, "Function-Allocation-
+    Management" layer).
+
+    For each application request it: checks the bypass-token cache;
+    runs CBR retrieval for the n best variants above the acceptance
+    threshold (Sec. 3); checks feasibility of each against current
+    device load; optionally preempts strictly lower-priority tasks
+    (the paper's previous work managed hardware tasks "with adaptive
+    priorities"); and either grants a placement or returns the
+    still-acceptable variants as an offer the application can react to
+    (the QoS negotiation hook). *)
+
+type policy = {
+  threshold : float;
+      (** Minimum acceptable global similarity (Sec. 3's rejection
+          threshold). *)
+  max_candidates : int;  (** How many n-best variants to consider. *)
+  allow_preemption : bool;
+  flash_read_us_per_word : float;
+      (** Configuration-repository read cost, per 16-bit word. *)
+  retrieval_clock_mhz : float option;
+      (** When set, every non-bypass allocation also runs the
+          cycle-accurate retrieval unit model and charges its latency at
+          this clock — so bypass tokens save measurable microseconds.
+          [None] (the default) models retrieval as free. *)
+}
+
+val default_policy : policy
+(** threshold 0.5, 4 candidates, preemption on, 0.02 us/word, retrieval
+    latency not modelled. *)
+
+type task = private {
+  task_id : int;
+  app_id : string;
+  type_id : int;
+  impl_id : int;
+  device_id : string;
+  units : int;
+  priority : int;  (** Higher preempts lower. *)
+  score : float;  (** Similarity at grant time. *)
+  extent : Placement.extent option;
+      (** Column extent when the hosting device is fragmentation-
+          modelled (see [placement_policy]); [None] otherwise. *)
+}
+
+type grant = {
+  task : task;
+  preempted : task list;
+  setup_time_us : float;
+      (** Placement cost (reconfiguration + repository read), plus the
+          retrieval latency when modelled.  0 for bypass grants. *)
+  retrieval_us : float;
+      (** Retrieval-unit latency included in [setup_time_us]; 0 when
+          not modelled or served via bypass. *)
+  via_bypass : bool;
+}
+
+type offer = {
+  offer_impl_id : int;
+  offer_score : float;
+  offer_target : Qos_core.Target.t;
+}
+
+type refusal =
+  | Unknown_request of Qos_core.Retrieval.error
+  | All_below_threshold of offer list
+      (** Retrieval worked but nothing met the threshold; the scored
+          variants are reported so the caller can decide to relax. *)
+  | No_feasible of offer list
+      (** Acceptable variants exist but none fits, even after allowed
+          preemption; the offers support the negotiation loop. *)
+
+type event =
+  | Granted of grant
+  | Refused of { app_id : string; type_id : int; refusal : refusal }
+  | Preempted_task of task
+  | Released_task of task
+
+type t
+
+val create :
+  casebase:Qos_core.Casebase.t ->
+  devices:Device.t list ->
+  catalog:Catalog.t ->
+  ?policy:policy ->
+  ?placement_policy:Placement.policy ->
+  unit ->
+  t
+(** With [placement_policy] set, every FPGA-class device is modelled as
+    a 1D column map ([Placement]): admission requires a {e contiguous}
+    gap, preemption evicts until one appears, and tasks carry their
+    column extent.  Without it (the default) devices are simple
+    capacity counters. *)
+
+val allocate :
+  t -> app_id:string -> ?priority:int -> Qos_core.Request.t
+  -> (grant, refusal) result
+(** Default priority 0. *)
+
+val release : t -> task_id:int -> (task, string) result
+(** Unloads the task and invalidates bypass tokens pointing at its
+    variant if no other instance remains resident. *)
+
+val release_app : t -> app_id:string -> int
+(** Releases every task of the application; returns the count. *)
+
+val tasks : t -> task list
+val free_units : t -> device_id:string -> int option
+
+val fragmentation : t -> device_id:string -> float option
+(** Fragmentation of a column-mapped device ([Placement.fragmentation]);
+    [None] for counter-managed devices. *)
+
+val largest_gap : t -> device_id:string -> int option
+(** Largest contiguous free extent of a column-mapped device. *)
+
+val bypass_stats : t -> Bypass.stats
+
+val drain_events : t -> event list
+(** Events since the last drain, oldest first. *)
+
+val refusal_to_string : refusal -> string
+val pp_task : Format.formatter -> task -> unit
+val pp_grant : Format.formatter -> grant -> unit

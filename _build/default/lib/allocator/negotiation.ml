@@ -1,0 +1,48 @@
+open Qos_core
+
+type round = {
+  round_request : Request.t;
+  round_result : (Manager.grant, Manager.refusal) result;
+}
+
+type outcome = {
+  rounds : round list;
+  final : (Manager.grant, Manager.refusal) result;
+}
+
+let weakest (r : Request.t) =
+  match r.constraints with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun (acc : Request.constr) (c : Request.constr) ->
+             if c.weight < acc.weight then c else acc)
+           first rest)
+
+let drop_weakest_constraint r =
+  Option.map
+    (fun (c : Request.constr) -> Request.drop_constraint r c.attr)
+    (weakest r)
+
+let halve_weakest_weight r =
+  Option.bind (weakest r) (fun (c : Request.constr) ->
+      match Request.reweight r c.attr (c.weight /. 2.0) with
+      | Ok relaxed -> Some relaxed
+      | Error _ -> None)
+
+let negotiate ?(max_rounds = 4) ?(relax = drop_weakest_constraint) manager
+    ~app_id ?priority request =
+  let rec loop round_no request rev_rounds =
+    let result = Manager.allocate manager ~app_id ?priority request in
+    let entry = { round_request = request; round_result = result } in
+    let rev_rounds = entry :: rev_rounds in
+    match result with
+    | Ok _ -> { rounds = List.rev rev_rounds; final = result }
+    | Error _ when round_no < max_rounds -> (
+        match relax request with
+        | Some relaxed -> loop (round_no + 1) relaxed rev_rounds
+        | None -> { rounds = List.rev rev_rounds; final = result })
+    | Error _ -> { rounds = List.rev rev_rounds; final = result }
+  in
+  loop 1 request []

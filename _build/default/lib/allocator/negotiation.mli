@@ -1,0 +1,33 @@
+(** The QoS negotiation loop of Sec. 3: when nothing acceptable or
+    feasible exists, "the application has to repeat its request with
+    rather relaxed constraints giving a chance to the third low
+    performance implementation". *)
+
+type round = {
+  round_request : Qos_core.Request.t;
+  round_result : (Manager.grant, Manager.refusal) result;
+}
+
+type outcome = {
+  rounds : round list;  (** Chronological. *)
+  final : (Manager.grant, Manager.refusal) result;  (** Of the last round. *)
+}
+
+val drop_weakest_constraint : Qos_core.Request.t -> Qos_core.Request.t option
+(** Remove the constraint with the smallest weight (first such on
+    ties); [None] when no constraint remains to drop. *)
+
+val halve_weakest_weight : Qos_core.Request.t -> Qos_core.Request.t option
+(** Gentler relaxation: halve the smallest weight instead of dropping
+    the constraint; [None] when the request has no constraints. *)
+
+val negotiate :
+  ?max_rounds:int ->
+  ?relax:(Qos_core.Request.t -> Qos_core.Request.t option) ->
+  Manager.t ->
+  app_id:string ->
+  ?priority:int ->
+  Qos_core.Request.t ->
+  outcome
+(** Ask, and on refusal relax and re-ask, up to [max_rounds] (default
+    4) times.  Default relaxation: {!drop_weakest_constraint}. *)

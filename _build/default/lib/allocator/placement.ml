@@ -1,0 +1,133 @@
+type extent = { start : int; length : int }
+
+(* Occupied extents kept sorted by start; invariants: lengths positive,
+   extents within [0, width), no overlap. *)
+type t = { width : int; mutable occupied : extent list }
+
+type policy = First_fit | Best_fit | Worst_fit
+
+let all_policies = [ First_fit; Best_fit; Worst_fit ]
+
+let policy_to_string = function
+  | First_fit -> "first-fit"
+  | Best_fit -> "best-fit"
+  | Worst_fit -> "worst-fit"
+
+let create ~width =
+  if width <= 0 then invalid_arg "Placement.create: width must be positive"
+  else { width; occupied = [] }
+
+let width t = t.width
+
+let used_columns t =
+  List.fold_left (fun acc e -> acc + e.length) 0 t.occupied
+
+let free_columns t = t.width - used_columns t
+
+let gaps t =
+  let rec walk cursor = function
+    | [] -> if cursor < t.width then [ { start = cursor; length = t.width - cursor } ] else []
+    | e :: rest ->
+        let before =
+          if e.start > cursor then [ { start = cursor; length = e.start - cursor } ]
+          else []
+        in
+        before @ walk (e.start + e.length) rest
+  in
+  walk 0 t.occupied
+
+let largest_gap t =
+  List.fold_left (fun acc g -> max acc g.length) 0 (gaps t)
+
+let fragmentation t =
+  let free = free_columns t in
+  if free = 0 then 0.0
+  else 1.0 -. (float_of_int (largest_gap t) /. float_of_int free)
+
+let would_fit t ~length = length > 0 && largest_gap t >= length
+
+let insert_sorted occupied e =
+  let rec insert = function
+    | [] -> [ e ]
+    | head :: rest ->
+        if e.start < head.start then e :: head :: rest
+        else head :: insert rest
+  in
+  insert occupied
+
+let overlaps a b =
+  a.start < b.start + b.length && b.start < a.start + a.length
+
+let place_at t e =
+  if e.length <= 0 then Error "extent length must be positive"
+  else if e.start < 0 || e.start + e.length > t.width then
+    Error
+      (Printf.sprintf "extent [%d, %d) outside the %d-column device" e.start
+         (e.start + e.length) t.width)
+  else if List.exists (overlaps e) t.occupied then
+    Error
+      (Printf.sprintf "extent [%d, %d) overlaps an existing placement" e.start
+         (e.start + e.length))
+  else begin
+    t.occupied <- insert_sorted t.occupied e;
+    Ok ()
+  end
+
+let choose_gap policy candidates =
+  match candidates with
+  | [] -> None
+  | first :: rest -> (
+      match policy with
+      | First_fit -> Some first
+      | Best_fit ->
+          Some
+            (List.fold_left
+               (fun (acc : extent) g -> if g.length < acc.length then g else acc)
+               first rest)
+      | Worst_fit ->
+          Some
+            (List.fold_left
+               (fun (acc : extent) g -> if g.length > acc.length then g else acc)
+               first rest))
+
+let place t policy ~length =
+  if length <= 0 then Error "placement length must be positive"
+  else
+    let candidates = List.filter (fun g -> g.length >= length) (gaps t) in
+    match choose_gap policy candidates with
+    | None ->
+        Error
+          (Printf.sprintf
+             "no contiguous gap of %d columns (free %d, largest gap %d)" length
+             (free_columns t) (largest_gap t))
+    | Some gap ->
+        let e = { start = gap.start; length } in
+        Result.map (fun () -> e) (place_at t e)
+
+let release t e =
+  if
+    List.exists
+      (fun x -> x.start = e.start && x.length = e.length)
+      t.occupied
+  then begin
+    t.occupied <-
+      List.filter (fun x -> not (x.start = e.start && x.length = e.length)) t.occupied;
+    Ok ()
+  end
+  else
+    Error
+      (Printf.sprintf "extent [%d, %d) is not currently placed" e.start
+         (e.start + e.length))
+
+let extents t = t.occupied
+
+let pp ppf t =
+  let cells = Bytes.make t.width '.' in
+  List.iter
+    (fun e ->
+      for i = e.start to e.start + e.length - 1 do
+        Bytes.set cells i '#'
+      done)
+    t.occupied;
+  Format.fprintf ppf "|%s| %d/%d used, frag %.2f" (Bytes.to_string cells)
+    (used_columns t) t.width (fragmentation t)

@@ -1,0 +1,64 @@
+(** One-dimensional column placement for partially reconfigurable
+    FPGAs.
+
+    Virtex-II partial reconfiguration is column-granular: a hardware
+    task occupies a contiguous range of configuration columns (the
+    slot model of the authors' earlier run-time system, [7] in the
+    paper).  A simple free-units check overestimates what fits — free
+    capacity may be fragmented across non-contiguous gaps.  This module
+    models the column map of one device and the classic placement
+    policies, so the allocation manager can account for fragmentation.
+
+    Columns are indexed [0 .. width-1]; a placement is a [(start,
+    length)] extent.  The map never holds overlapping extents. *)
+
+type t
+(** Mutable column map of one device. *)
+
+type extent = { start : int; length : int }
+
+type policy =
+  | First_fit  (** Leftmost gap that fits. *)
+  | Best_fit  (** Smallest gap that fits (leftmost on ties). *)
+  | Worst_fit  (** Largest gap (leftmost on ties) — keeps big gaps rare. *)
+
+val all_policies : policy list
+val policy_to_string : policy -> string
+
+val create : width:int -> t
+(** An empty map of [width] columns. @raise Invalid_argument when
+    [width <= 0]. *)
+
+val width : t -> int
+val free_columns : t -> int
+val used_columns : t -> int
+
+val gaps : t -> extent list
+(** Maximal free extents, left to right. *)
+
+val largest_gap : t -> int
+(** 0 when full. *)
+
+val fragmentation : t -> float
+(** [1 - largest_gap / free_columns]; 0 when free space is one block
+    (or when nothing is free). *)
+
+val place : t -> policy -> length:int -> (extent, string) result
+(** Reserve a contiguous extent; fails when no gap is large enough
+    (even if total free capacity would suffice — that is the point). *)
+
+val place_at : t -> extent -> (unit, string) result
+(** Reserve an explicit extent; fails on overlap or out-of-range. *)
+
+val release : t -> extent -> (unit, string) result
+(** Free a previously placed extent; fails if it is not currently
+    placed exactly as given. *)
+
+val extents : t -> extent list
+(** Occupied extents, left to right. *)
+
+val would_fit : t -> length:int -> bool
+(** True iff some gap can host [length] columns. *)
+
+val pp : Format.formatter -> t -> unit
+(** Column map as a string, '#' used / '.' free. *)

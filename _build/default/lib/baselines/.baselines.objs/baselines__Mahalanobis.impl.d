@@ -1,0 +1,1 @@
+lib/baselines/mahalanobis.ml: Array Attr Casebase Float Ftype Impl List Matrix Printf Qos_core Request Result

@@ -1,0 +1,1 @@
+lib/baselines/mahalanobis.mli: Qos_core

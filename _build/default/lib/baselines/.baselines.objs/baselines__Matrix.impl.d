@@ -1,0 +1,1 @@
+lib/baselines/matrix.ml: Array Float Format List Result

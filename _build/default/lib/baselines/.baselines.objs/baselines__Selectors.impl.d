@@ -1,0 +1,1 @@
+lib/baselines/selectors.ml: Casebase Engine_float Ftype Impl List Qos_core Request Retrieval Target Workload

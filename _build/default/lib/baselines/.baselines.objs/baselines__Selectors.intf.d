@@ -1,0 +1,1 @@
+lib/baselines/selectors.mli: Qos_core Workload

@@ -1,0 +1,42 @@
+(** Mahalanobis-distance retrieval — the statistically grounded but
+    computationally heavy alternative the paper names and rejects in
+    Sec. 2.2 ("very effective concerning the results but the
+    computational efforts would be too large").
+
+    Implementation vectors are embedded in the schema's attribute space
+    (missing attributes take the midpoint of their design bounds), the
+    covariance matrix of all variants of the requested type is computed
+    and (ridge-regularised) inverted once per case base, and variants
+    are ranked by ascending Mahalanobis distance to the request vector.
+
+    The floating-point operation counts let the benchmarks quantify the
+    "too large" claim against the CBR datapath's handful of 16-bit
+    ops. *)
+
+type model
+(** Prepared (inverted-covariance) model for one function type. *)
+
+type flops = {
+  prepare_flops : int;  (** Covariance + inversion, paid once. *)
+  per_query_flops : int;  (** Distance evaluation for one variant. *)
+}
+
+val prepare :
+  ?ridge:float ->
+  Qos_core.Casebase.t ->
+  type_id:int ->
+  (model, string) result
+(** [ridge] (default 1e-6) is added to the covariance diagonal so
+    degenerate attribute sets stay invertible. *)
+
+val flops : model -> flops
+
+type ranked = { impl : Qos_core.Impl.t; distance : float; score : float }
+(** [score = 1 / (1 + distance)], a similarity-like value in (0, 1]. *)
+
+val rank : model -> Qos_core.Request.t -> ranked list
+(** Ascending distance; ties keep case-base order.  Request attributes
+    absent from the schema are ignored; schema attributes absent from
+    the request take the request-side midpoint (no preference). *)
+
+val best : model -> Qos_core.Request.t -> ranked option

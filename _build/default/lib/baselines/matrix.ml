@@ -1,0 +1,189 @@
+type t = { data : float array array; rows : int; cols : int }
+
+let make ~rows ~cols fill =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.make: non-positive size"
+  else { data = Array.make_matrix rows cols fill; rows; cols }
+
+let identity n =
+  let m = make ~rows:n ~cols:n 0.0 in
+  for i = 0 to n - 1 do
+    m.data.(i).(i) <- 1.0
+  done;
+  m
+
+let of_rows = function
+  | [] -> Error "empty matrix"
+  | first :: _ as rows_list ->
+      let cols = List.length first in
+      if cols = 0 then Error "empty row"
+      else if List.exists (fun r -> List.length r <> cols) rows_list then
+        Error "ragged rows"
+      else
+        let rows = List.length rows_list in
+        let data =
+          Array.of_list (List.map Array.of_list rows_list)
+        in
+        Ok { data; rows; cols }
+
+let rows m = m.rows
+let cols m = m.cols
+let get m i j = m.data.(i).(j)
+let set m i j v = m.data.(i).(j) <- v
+
+let copy m =
+  { m with data = Array.map Array.copy m.data }
+
+let transpose m =
+  let r = make ~rows:m.cols ~cols:m.rows 0.0 in
+  for i = 0 to m.rows - 1 do
+    for j = 0 to m.cols - 1 do
+      r.data.(j).(i) <- m.data.(i).(j)
+    done
+  done;
+  r
+
+let mul a b =
+  if a.cols <> b.rows then Error "Matrix.mul: dimension mismatch"
+  else begin
+    let r = make ~rows:a.rows ~cols:b.cols 0.0 in
+    for i = 0 to a.rows - 1 do
+      for j = 0 to b.cols - 1 do
+        let acc = ref 0.0 in
+        for k = 0 to a.cols - 1 do
+          acc := !acc +. (a.data.(i).(k) *. b.data.(k).(j))
+        done;
+        r.data.(i).(j) <- !acc
+      done
+    done;
+    Ok r
+  end
+
+let add_scaled_identity m lambda =
+  if m.rows <> m.cols then invalid_arg "add_scaled_identity: non-square"
+  else begin
+    let r = copy m in
+    for i = 0 to m.rows - 1 do
+      r.data.(i).(i) <- r.data.(i).(i) +. lambda
+    done;
+    r
+  end
+
+let singular_epsilon = 1e-12
+
+let inverse m =
+  if m.rows <> m.cols then Error "Matrix.inverse: non-square"
+  else begin
+    let n = m.rows in
+    let a = (copy m).data in
+    let inv = (identity n).data in
+    let swap arr i j =
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp
+    in
+    let rec eliminate col =
+      if col = n then Ok ()
+      else begin
+        (* Partial pivoting. *)
+        let pivot_row = ref col in
+        for i = col + 1 to n - 1 do
+          if Float.abs a.(i).(col) > Float.abs a.(!pivot_row).(col) then
+            pivot_row := i
+        done;
+        if Float.abs a.(!pivot_row).(col) < singular_epsilon then
+          Error "Matrix.inverse: singular matrix"
+        else begin
+          swap a col !pivot_row;
+          swap inv col !pivot_row;
+          let pivot = a.(col).(col) in
+          for j = 0 to n - 1 do
+            a.(col).(j) <- a.(col).(j) /. pivot;
+            inv.(col).(j) <- inv.(col).(j) /. pivot
+          done;
+          for i = 0 to n - 1 do
+            if i <> col then begin
+              let factor = a.(i).(col) in
+              if factor <> 0.0 then
+                for j = 0 to n - 1 do
+                  a.(i).(j) <- a.(i).(j) -. (factor *. a.(col).(j));
+                  inv.(i).(j) <- inv.(i).(j) -. (factor *. inv.(col).(j))
+                done
+            end
+          done;
+          eliminate (col + 1)
+        end
+      end
+    in
+    Result.map (fun () -> { data = inv; rows = n; cols = n }) (eliminate 0)
+  end
+
+let covariance samples =
+  match samples with
+  | [] -> Error "Matrix.covariance: no samples"
+  | first :: _ ->
+      let dim = Array.length first in
+      if dim = 0 then Error "Matrix.covariance: zero-dimensional samples"
+      else if List.exists (fun s -> Array.length s <> dim) samples then
+        Error "Matrix.covariance: inconsistent dimensions"
+      else begin
+        let n = float_of_int (List.length samples) in
+        let mean = Array.make dim 0.0 in
+        List.iter
+          (fun s -> Array.iteri (fun i v -> mean.(i) <- mean.(i) +. v) s)
+          samples;
+        Array.iteri (fun i v -> mean.(i) <- v /. n) mean;
+        let cov = make ~rows:dim ~cols:dim 0.0 in
+        List.iter
+          (fun s ->
+            for i = 0 to dim - 1 do
+              for j = 0 to dim - 1 do
+                cov.data.(i).(j) <-
+                  cov.data.(i).(j)
+                  +. ((s.(i) -. mean.(i)) *. (s.(j) -. mean.(j)))
+              done
+            done)
+          samples;
+        for i = 0 to dim - 1 do
+          for j = 0 to dim - 1 do
+            cov.data.(i).(j) <- cov.data.(i).(j) /. n
+          done
+        done;
+        Ok cov
+      end
+
+let quadratic_form m v =
+  if m.rows <> m.cols || Array.length v <> m.rows then
+    Error "Matrix.quadratic_form: dimension mismatch"
+  else begin
+    let n = m.rows in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        acc := !acc +. (v.(i) *. m.data.(i).(j) *. v.(j))
+      done
+    done;
+    Ok !acc
+  end
+
+let max_abs_diff a b =
+  if a.rows <> b.rows || a.cols <> b.cols then infinity
+  else begin
+    let worst = ref 0.0 in
+    for i = 0 to a.rows - 1 do
+      for j = 0 to a.cols - 1 do
+        worst := Float.max !worst (Float.abs (a.data.(i).(j) -. b.data.(i).(j)))
+      done
+    done;
+    !worst
+  end
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "[";
+    for j = 0 to m.cols - 1 do
+      Format.fprintf ppf "%s%.4g" (if j > 0 then " " else "") m.data.(i).(j)
+    done;
+    Format.fprintf ppf "]@,"
+  done;
+  Format.fprintf ppf "@]"

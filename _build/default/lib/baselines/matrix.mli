@@ -1,0 +1,40 @@
+(** Small dense float matrices — enough linear algebra for the
+    Mahalanobis-distance baseline of Sec. 2.2 (covariance matrix,
+    Gauss-Jordan inversion). *)
+
+type t
+
+val make : rows:int -> cols:int -> float -> t
+val identity : int -> t
+val of_rows : float list list -> (t, string) result
+(** Fails on ragged or empty input. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val copy : t -> t
+val transpose : t -> t
+
+val mul : t -> t -> (t, string) result
+(** Fails on dimension mismatch. *)
+
+val add_scaled_identity : t -> float -> t
+(** [add_scaled_identity m lambda] is [m + lambda * I] (ridge
+    regularisation); requires a square matrix. *)
+
+val inverse : t -> (t, string) result
+(** Gauss-Jordan with partial pivoting; fails on non-square or
+    (numerically) singular input. *)
+
+val covariance : float array list -> (t, string) result
+(** Sample covariance of row vectors (denominator [n]); fails on empty
+    input or inconsistent dimensions. *)
+
+val quadratic_form : t -> float array -> (float, string) result
+(** [quadratic_form m v] is [v^T m v]; fails on dimension mismatch. *)
+
+val max_abs_diff : t -> t -> float
+(** For approximate-equality tests; [infinity] on shape mismatch. *)
+
+val pp : Format.formatter -> t -> unit

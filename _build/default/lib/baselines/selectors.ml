@@ -1,0 +1,48 @@
+open Qos_core
+
+let impls_of cb (request : Request.t) =
+  match Casebase.find_type cb request.type_id with
+  | None -> []
+  | Some ft -> ft.Ftype.impls
+
+let exact_match cb (request : Request.t) =
+  let matches impl =
+    List.for_all
+      (fun (c : Request.constr) ->
+        match Impl.find_attr impl c.attr with
+        | Some v -> v = c.value
+        | None -> false)
+      request.constraints
+  in
+  List.find_opt matches (impls_of cb request)
+
+let default_priority = Target.[ Fpga; Dsp; Asic; Gpp ]
+
+let rule_based ?(priority = default_priority) cb request =
+  let impls = impls_of cb request in
+  let by_target target =
+    List.find_opt (fun (i : Impl.t) -> Target.equal i.target target) impls
+  in
+  let rec first_of = function
+    | [] -> (match impls with [] -> None | i :: _ -> Some i)
+    | target :: rest -> (
+        match by_target target with Some i -> Some i | None -> first_of rest)
+  in
+  first_of priority
+
+let random_choice rng cb request =
+  match impls_of cb request with
+  | [] -> None
+  | impls -> Some (Workload.Prng.choose rng impls)
+
+let first_listed cb request =
+  match impls_of cb request with [] -> None | i :: _ -> Some i
+
+let regret cb request pick =
+  match Engine_float.best cb request with
+  | Error _ -> 0.0
+  | Ok best -> (
+      match pick with
+      | None -> best.Retrieval.score
+      | Some impl ->
+          best.Retrieval.score -. Engine_float.score_impl cb.schema request impl)

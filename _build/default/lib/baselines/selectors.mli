@@ -1,0 +1,42 @@
+(** Naive allocation strategies used as comparison points.
+
+    The paper's introduction motivates QoS-aware retrieval by
+    contrasting it with embedded systems where "the location for
+    execution is normally pre-defined at design time" — i.e. selection
+    by fixed rule, ignoring the request's QoS needs.  These selectors
+    make that contrast measurable: each picks a variant, and
+    [Qos_core.Engine_float.score_impl] scores how well the pick matches
+    the request. *)
+
+val exact_match :
+  Qos_core.Casebase.t -> Qos_core.Request.t -> Qos_core.Impl.t option
+(** First variant whose stored value equals the requested value for
+    {e every} constraint; [None] when nothing matches exactly (the
+    brittleness this strategy is punished for). *)
+
+val rule_based :
+  ?priority:Qos_core.Target.t list ->
+  Qos_core.Casebase.t ->
+  Qos_core.Request.t ->
+  Qos_core.Impl.t option
+(** Design-time rule: pick the first variant of the most-preferred
+    execution target, regardless of attributes.  Default priority:
+    FPGA, DSP, ASIC, GPP. *)
+
+val random_choice :
+  Workload.Prng.t ->
+  Qos_core.Casebase.t ->
+  Qos_core.Request.t ->
+  Qos_core.Impl.t option
+(** Uniform choice among the type's variants. *)
+
+val first_listed :
+  Qos_core.Casebase.t -> Qos_core.Request.t -> Qos_core.Impl.t option
+(** The first variant in case-base order. *)
+
+val regret :
+  Qos_core.Casebase.t -> Qos_core.Request.t -> Qos_core.Impl.t option
+  -> float
+(** Similarity gap between the CBR-optimal variant and the given pick:
+    [best_score - pick_score]; a missing pick costs the full best
+    score.  0 when the case base lacks the type. *)

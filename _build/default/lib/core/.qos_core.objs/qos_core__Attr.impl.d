@@ -1,0 +1,1 @@
+lib/core/attr.ml: Format Fxp Int List Map Option Printf Result String

@@ -1,0 +1,1 @@
+lib/core/casebase.ml: Attr Format Ftype Impl Int List Map Option Printf Result String

@@ -1,0 +1,1 @@
+lib/core/casebase.mli: Attr Format Ftype Impl

@@ -1,0 +1,1 @@
+lib/core/engine_fixed.ml: Attr Casebase Engine_float Ftype Fxp Impl List Request Result Retrieval

@@ -1,0 +1,1 @@
+lib/core/engine_fixed.mli: Attr Casebase Fxp Impl Request Retrieval

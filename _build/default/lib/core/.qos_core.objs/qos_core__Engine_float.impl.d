@@ -1,0 +1,1 @@
+lib/core/engine_float.ml: Attr Casebase Float Ftype Impl List Request Result Retrieval Similarity

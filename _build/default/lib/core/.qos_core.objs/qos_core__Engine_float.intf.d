@@ -1,0 +1,1 @@
+lib/core/engine_float.mli: Attr Casebase Impl Request Retrieval Similarity

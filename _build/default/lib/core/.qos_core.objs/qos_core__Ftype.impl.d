@@ -1,0 +1,1 @@
+lib/core/ftype.ml: Attr Format Impl Int List Printf Result String

@@ -1,0 +1,1 @@
+lib/core/ftype.mli: Format Impl

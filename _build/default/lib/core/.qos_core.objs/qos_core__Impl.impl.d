@@ -1,0 +1,1 @@
+lib/core/impl.ml: Attr Format Int List Printf Result Target

@@ -1,0 +1,1 @@
+lib/core/impl.mli: Attr Format Target

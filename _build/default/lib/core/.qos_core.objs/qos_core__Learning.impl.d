@@ -1,0 +1,1 @@
+lib/core/learning.ml: Attr Casebase Float Ftype Impl List Printf Result

@@ -1,0 +1,1 @@
+lib/core/learning.mli: Attr Casebase Ftype Impl

@@ -1,0 +1,1 @@
+lib/core/request.ml: Attr Float Format Int List Printf Result

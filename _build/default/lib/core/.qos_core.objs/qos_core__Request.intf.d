@@ -1,0 +1,1 @@
+lib/core/request.mli: Attr Format

@@ -1,0 +1,1 @@
+lib/core/retrieval.ml: Format Impl Printf

@@ -1,0 +1,1 @@
+lib/core/retrieval.mli: Format Impl

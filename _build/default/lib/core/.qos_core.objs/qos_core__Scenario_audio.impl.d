@@ -1,0 +1,1 @@
+lib/core/scenario_audio.ml: Attr Casebase Ftype Impl Request Target

@@ -1,0 +1,1 @@
+lib/core/scenario_audio.mli: Attr Casebase Request

@@ -1,0 +1,1 @@
+lib/core/similarity.ml: Float Format List Printf

@@ -1,0 +1,1 @@
+lib/core/similarity.mli: Attr Format

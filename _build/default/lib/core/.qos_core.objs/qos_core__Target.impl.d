@@ -1,0 +1,1 @@
+lib/core/target.ml: Format Int Printf String

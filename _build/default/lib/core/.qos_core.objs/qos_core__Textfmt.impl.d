@@ -1,0 +1,1 @@
+lib/core/textfmt.ml: Attr Buffer Casebase Format Ftype Impl List Option Printf Request Result String Target

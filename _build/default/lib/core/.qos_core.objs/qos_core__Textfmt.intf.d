@@ -1,0 +1,1 @@
+lib/core/textfmt.mli: Casebase Format Request

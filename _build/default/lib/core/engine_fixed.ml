@@ -1,0 +1,77 @@
+module Q = Fxp.Q15
+
+type score = Q.t
+
+type ranked = score Retrieval.ranked
+
+let local_fixed ~recip a b =
+  Q.complement_to_one (Q.mul_int recip (Q.abs_diff_int a b))
+
+let quantize_weights triples =
+  List.map (fun (aid, v, w) -> (aid, v, Q.of_float w)) triples
+
+let score_impl schema request impl =
+  let add acc (aid, rvalue, weight) =
+    let local =
+      match (Impl.find_attr impl aid, Attr.Schema.recip schema aid) with
+      | None, _ | _, None -> Q.zero
+      | Some cvalue, Some recip -> local_fixed ~recip rvalue cvalue
+    in
+    Q.add acc (Q.mul local weight)
+  in
+  List.fold_left add Q.zero
+    (quantize_weights (Request.normalized_weights request))
+
+let rank_all casebase (request : Request.t) =
+  match Casebase.find_type casebase request.type_id with
+  | None -> Error (Retrieval.Unknown_type request.type_id)
+  | Some ft when Ftype.impl_count ft = 0 ->
+      Error (Retrieval.No_implementations request.type_id)
+  | Some ft ->
+      let score impl =
+        { Retrieval.impl; score = score_impl casebase.schema request impl }
+      in
+      let scored = List.map score ft.Ftype.impls in
+      Ok
+        (List.stable_sort
+           (fun a b -> Q.compare b.Retrieval.score a.Retrieval.score)
+           scored)
+
+let best casebase request =
+  Result.bind (rank_all casebase request) (function
+    | [] -> Error (Retrieval.No_implementations request.Request.type_id)
+    | top :: _ -> Ok top)
+
+let take n list =
+  let rec loop n acc = function
+    | [] -> List.rev acc
+    | _ when n <= 0 -> List.rev acc
+    | x :: rest -> loop (n - 1) (x :: acc) rest
+  in
+  loop n [] list
+
+let n_best ~n casebase request = Result.map (take n) (rank_all casebase request)
+
+let above_threshold ~threshold casebase request =
+  Result.map
+    (List.filter (fun r -> Q.compare r.Retrieval.score threshold >= 0))
+    (rank_all casebase request)
+
+let agrees_with_float casebase request =
+  match (best casebase request, Engine_float.rank_all casebase request) with
+  | Error _, Error _ -> true
+  | Error _, Ok _ | Ok _, Error _ -> false
+  | Ok fixed, Ok ([] | _ :: _ as float_ranked) -> (
+      match float_ranked with
+      | [] -> false
+      | top :: _ ->
+          (* The float top group within one Q15 ulp is an acceptable pick:
+             scores that close are indistinguishable at 16-bit precision. *)
+          let tied =
+            List.filter
+              (fun r -> top.Retrieval.score -. r.Retrieval.score <= Q.ulp)
+              float_ranked
+          in
+          List.exists
+            (fun r -> r.Retrieval.impl.Impl.id = fixed.Retrieval.impl.Impl.id)
+            tied)

@@ -1,0 +1,52 @@
+type ranked = float Retrieval.ranked
+
+let score_impl ?(amalgamation = Similarity.Weighted_sum) schema request impl =
+  let pair (aid, rvalue, weight) =
+    match (Impl.find_attr impl aid, Attr.Schema.dmax schema aid) with
+    | None, _ | _, None -> (weight, Similarity.local_missing)
+    | Some cvalue, Some dmax ->
+        (weight, Similarity.local ~dmax rvalue cvalue)
+  in
+  let pairs = List.map pair (Request.normalized_weights request) in
+  Similarity.amalgamate amalgamation pairs
+
+let rank_all ?amalgamation casebase (request : Request.t) =
+  match Casebase.find_type casebase request.type_id with
+  | None -> Error (Retrieval.Unknown_type request.type_id)
+  | Some ft when Ftype.impl_count ft = 0 ->
+      Error (Retrieval.No_implementations request.type_id)
+  | Some ft ->
+      let score impl =
+        {
+          Retrieval.impl;
+          score = score_impl ?amalgamation casebase.schema request impl;
+        }
+      in
+      let scored = List.map score ft.Ftype.impls in
+      (* Stable descending sort: ties keep case-base order, matching the
+         hardware's strict greater-than best-register update. *)
+      Ok
+        (List.stable_sort
+           (fun a b -> Float.compare b.Retrieval.score a.Retrieval.score)
+           scored)
+
+let best ?amalgamation casebase request =
+  Result.bind (rank_all ?amalgamation casebase request) (function
+    | [] -> Error (Retrieval.No_implementations request.Request.type_id)
+    | top :: _ -> Ok top)
+
+let take n list =
+  let rec loop n acc = function
+    | [] -> List.rev acc
+    | _ when n <= 0 -> List.rev acc
+    | x :: rest -> loop (n - 1) (x :: acc) rest
+  in
+  loop n [] list
+
+let n_best ?amalgamation ~n casebase request =
+  Result.map (take n) (rank_all ?amalgamation casebase request)
+
+let above_threshold ?amalgamation ~threshold casebase request =
+  Result.map
+    (List.filter (fun r -> r.Retrieval.score >= threshold))
+    (rank_all ?amalgamation casebase request)

@@ -1,0 +1,29 @@
+type t = { id : int; name : string; impls : Impl.t list }
+
+let rec check_unique = function
+  | [] | [ _ ] -> Ok ()
+  | (a : Impl.t) :: (b :: _ as rest) ->
+      if a.Impl.id = b.Impl.id then
+        Error (Printf.sprintf "duplicate implementation id %d" a.Impl.id)
+      else check_unique rest
+
+let make ~id ~name impls =
+  if id <= 0 || id > Attr.max_word then
+    Error (Printf.sprintf "function-type id %d outside (0, %d]" id Attr.max_word)
+  else
+    let sorted =
+      List.sort (fun (a : Impl.t) (b : Impl.t) -> Int.compare a.id b.id) impls
+    in
+    Result.map (fun () -> { id; name; impls = sorted }) (check_unique sorted)
+
+let find_impl t id = List.find_opt (fun (i : Impl.t) -> i.id = id) t.impls
+let impl_count t = List.length t.impls
+
+let equal a b =
+  a.id = b.id && String.equal a.name b.name
+  && List.equal Impl.equal a.impls b.impls
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>type %d %S:@ %a@]" t.id t.name
+    (Format.pp_print_list Impl.pp)
+    t.impls

@@ -1,0 +1,17 @@
+(** A basic function type (level 0 of the implementation tree) together
+    with all of its implementation variants. *)
+
+type t = private {
+  id : int;  (** Global function-type ID ([IDType] in Fig. 3). *)
+  name : string;
+  impls : Impl.t list;  (** Sorted by implementation ID. *)
+}
+
+val make : id:int -> name:string -> Impl.t list -> (t, string) result
+(** Sorts the variant list; rejects non-positive type IDs and duplicate
+    implementation IDs. *)
+
+val find_impl : t -> int -> Impl.t option
+val impl_count : t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+(** One implementation variant of a function type — a "case" in the
+    case base.
+
+    Each variant targets one execution resource and carries its QoS
+    attribute/value pairs (Fig. 3, levels 1-2 of the implementation
+    tree).  Attribute lists are kept sorted by ascending ID, the
+    invariant Sec. 4.1 relies on for linear resume-scans. *)
+
+type t = private {
+  id : int;  (** Implementation ID, unique within its function type. *)
+  target : Target.t;
+  attrs : (Attr.id * Attr.value) list;  (** Sorted by ID, no duplicates. *)
+}
+
+val make :
+  id:int -> target:Target.t -> (Attr.id * Attr.value) list -> (t, string) result
+(** Sorts the attribute list; rejects non-positive IDs, duplicate
+    attribute IDs and out-of-word-range values. *)
+
+val find_attr : t -> Attr.id -> Attr.value option
+val attr_count : t -> int
+val attr_ids : t -> Attr.id list
+
+val conforms : Attr.Schema.t -> t -> (unit, string) result
+(** Checks every attribute is declared in the schema and its value lies
+    within the design-time bounds. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(** Dynamic case-base maintenance — the paper's Sec. 5 outlook
+    ("dynamic update mechanisms of Case-Base-data structures and
+    function repositories at run-time enabling for a self-learning
+    system") and the CBR retain step of Fig. 2.
+
+    All operations are functional: they return a fresh, fully
+    re-validated case base.  Layout images must be regenerated after an
+    update (the paper's tree is static precisely because the hardware
+    image is compiled at design time). *)
+
+val retain_variant :
+  Casebase.t -> type_id:int -> Impl.t -> (Casebase.t, string) result
+(** Add a newly learned implementation variant to a function type (the
+    CBR "retain" of a solved case).  Fails on an unknown type, a
+    duplicate implementation ID, or attribute values outside the
+    schema bounds (widen first with {!widen_schema_for}). *)
+
+val forget_variant :
+  Casebase.t -> type_id:int -> impl_id:int -> (Casebase.t, string) result
+(** Remove a variant (e.g. its configuration data left the repository). *)
+
+val add_type : Casebase.t -> Ftype.t -> (Casebase.t, string) result
+
+val remove_type : Casebase.t -> type_id:int -> (Casebase.t, string) result
+
+val observe :
+  Casebase.t ->
+  type_id:int ->
+  impl_id:int ->
+  measurements:(Attr.id * Attr.value) list ->
+  smoothing:float ->
+  (Casebase.t, string) result
+(** Revise a stored case from run-time measurements: each measured
+    attribute value moves the stored value by exponential smoothing
+    ([new = round((1-a) * old + a * measured)], clamped into the schema
+    bounds).  [smoothing] must lie in (0, 1]; measurements of
+    attributes the variant does not carry are an error (retain a new
+    variant instead). *)
+
+val widen_schema_for : Casebase.t -> Impl.t -> (Casebase.t, string) result
+(** Extend the design-time bounds so the given variant's values fit:
+    per attribute, lower/upper move outward when needed and unknown
+    attribute IDs gain fresh descriptors.  Widening changes [dmax] and
+    therefore similarity normalisation — callers should re-run
+    retrievals, not reuse cached scores. *)

@@ -1,0 +1,17 @@
+type error = Unknown_type of int | No_implementations of int
+
+type 'score ranked = { impl : Impl.t; score : 'score }
+
+let error_to_string = function
+  | Unknown_type id -> Printf.sprintf "function type %d not in case base" id
+  | No_implementations id ->
+      Printf.sprintf "function type %d has no implementations" id
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+let equal_error a b =
+  match (a, b) with
+  | Unknown_type x, Unknown_type y | No_implementations x, No_implementations y
+    ->
+      x = y
+  | (Unknown_type _ | No_implementations _), _ -> false

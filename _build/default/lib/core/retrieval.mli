@@ -1,0 +1,17 @@
+(** Types shared by the retrieval engines. *)
+
+type error =
+  | Unknown_type of int
+      (** The requested function type is absent from the case base.  The
+          paper notes this "should not happen" since functional
+          requirements are known at design time — it is still an error a
+          run-time system must surface. *)
+  | No_implementations of int
+      (** The function type exists but its variant list is empty. *)
+
+type 'score ranked = { impl : Impl.t; score : 'score }
+(** One scored implementation variant. *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+val equal_error : error -> error -> bool

@@ -1,0 +1,57 @@
+let get = function Ok x -> x | Error e -> failwith ("Scenario_audio: " ^ e)
+
+let fir_equalizer_type_id = 1
+let fft_type_id = 2
+
+let schema =
+  get
+    (Attr.Schema.of_list
+       [
+         get (Attr.descriptor ~id:1 ~name:"bitwidth" ~lower:8 ~upper:16);
+         get (Attr.descriptor ~id:2 ~name:"processing-mode" ~lower:0 ~upper:1);
+         get (Attr.descriptor ~id:3 ~name:"output-mode" ~lower:0 ~upper:2);
+         get (Attr.descriptor ~id:4 ~name:"sample-rate" ~lower:8 ~upper:44);
+       ])
+
+let impl ~id ~target attrs = get (Impl.make ~id ~target attrs)
+
+let fir_equalizer =
+  get
+    (Ftype.make ~id:fir_equalizer_type_id ~name:"fir-equalizer"
+       [
+         impl ~id:1 ~target:Target.Fpga [ (1, 16); (2, 0); (3, 2); (4, 44) ];
+         impl ~id:2 ~target:Target.Dsp [ (1, 16); (2, 0); (3, 1); (4, 44) ];
+         impl ~id:3 ~target:Target.Gpp [ (1, 8); (2, 0); (3, 0); (4, 22) ];
+       ])
+
+let fft =
+  get
+    (Ftype.make ~id:fft_type_id ~name:"1d-fft"
+       [
+         impl ~id:1 ~target:Target.Fpga [ (1, 16); (2, 0); (4, 44) ];
+         impl ~id:2 ~target:Target.Gpp [ (1, 16); (2, 1); (4, 22) ];
+       ])
+
+let casebase =
+  get (Casebase.make ~name:"audio-dsp" ~schema [ fir_equalizer; fft ])
+
+let request =
+  get
+    (Request.make ~type_id:fir_equalizer_type_id
+       [ (1, 16, 1.0); (3, 1, 1.0); (4, 40, 1.0) ])
+
+let paper_globals = [ (1, 0.85); (2, 0.96); (3, 0.43) ]
+
+let expected_globals =
+  (* (1 + 2/3 + 33/37) / 3, (1 + 1 + 33/37) / 3, (1/9 + 2/3 + 19/37) / 3 *)
+  [
+    (1, (1.0 +. (2.0 /. 3.0) +. (33.0 /. 37.0)) /. 3.0);
+    (2, (1.0 +. 1.0 +. (33.0 /. 37.0)) /. 3.0);
+    (3, ((1.0 /. 9.0) +. (2.0 /. 3.0) +. (19.0 /. 37.0)) /. 3.0);
+  ]
+
+let expected_best_impl = 2
+
+let relaxed_request =
+  let dropped = Request.drop_constraint request 4 in
+  get (Request.with_value dropped 1 8)

@@ -1,0 +1,41 @@
+(** The paper's running example (Fig. 3 / Table 1): an audio application
+    requesting an FIR-equalizer with QoS constraints, against a case
+    base offering FPGA, DSP and general-purpose-processor variants.
+
+    Attribute dictionary:
+    - 1: processing bitwidth (bits), design-global bounds [8, 16]
+    - 2: processing mode (0 = integer, 1 = float), bounds [0, 1]
+    - 3: output mode (0 = mono, 1 = stereo, 2 = surround), bounds [0, 2]
+    - 4: sampling rate (kSamples/s), design-global bounds [8, 44]
+
+    The bounds reproduce the paper's dmax table exactly
+    (16-8=8, 2-0=2, 44-8=36). *)
+
+val fir_equalizer_type_id : int
+(** 1 — [IDType] of the FIR equalizer. *)
+
+val fft_type_id : int
+(** 2 — the 1D-FFT type also present in Fig. 3's tree. *)
+
+val schema : Attr.Schema.t
+val casebase : Casebase.t
+
+val request : Request.t
+(** Desired type FIR equalizer; bitwidth 16, stereo output, 40 kS/s;
+    equal weights (w = 1/3). *)
+
+val paper_globals : (int * float) list
+(** Implementation ID -> global similarity as printed in Table 1:
+    [(1, 0.85); (2, 0.96); (3, 0.43)]. *)
+
+val expected_globals : (int * float) list
+(** Implementation ID -> full-precision global similarity:
+    [(1, 0.85286...); (2, 0.96396...); (3, 0.43056...)]. *)
+
+val expected_best_impl : int
+(** 2 — the DSP variant wins. *)
+
+val relaxed_request : Request.t
+(** The Sec. 3 relaxation scenario: drop the sampling-rate constraint
+    and lower the bitwidth demand to 8, which lets the low-performance
+    GP-processor variant become acceptable. *)

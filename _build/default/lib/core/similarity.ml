@@ -1,0 +1,54 @@
+let clamp01 x = if x < 0.0 then 0.0 else if x > 1.0 then 1.0 else x
+
+let local ~dmax a b =
+  if dmax < 0 then invalid_arg "Similarity.local: negative dmax"
+  else
+    let d = float_of_int (abs (a - b)) in
+    clamp01 (1.0 -. (d /. (1.0 +. float_of_int dmax)))
+
+let local_missing = 0.0
+
+let local_euclidean ~dmax a b =
+  if dmax < 0 then invalid_arg "Similarity.local_euclidean: negative dmax"
+  else
+    let r = float_of_int (abs (a - b)) /. (1.0 +. float_of_int dmax) in
+    clamp01 (1.0 -. (r *. r))
+
+type amalgamation =
+  | Weighted_sum
+  | Minimum
+  | Maximum
+  | Weighted_geometric
+
+let all_amalgamations = [ Weighted_sum; Minimum; Maximum; Weighted_geometric ]
+
+let amalgamate kind pairs =
+  match (kind, pairs) with
+  | _, [] -> 0.0
+  | Weighted_sum, _ ->
+      clamp01 (List.fold_left (fun acc (w, s) -> acc +. (w *. s)) 0.0 pairs)
+  | Minimum, _ -> List.fold_left (fun acc (_, s) -> Float.min acc s) 1.0 pairs
+  | Maximum, _ -> List.fold_left (fun acc (_, s) -> Float.max acc s) 0.0 pairs
+  | Weighted_geometric, _ ->
+      let product =
+        List.fold_left
+          (fun acc (w, s) -> if s <= 0.0 then 0.0 else acc *. (s ** w))
+          1.0 pairs
+      in
+      clamp01 product
+
+let amalgamation_to_string = function
+  | Weighted_sum -> "weighted-sum"
+  | Minimum -> "minimum"
+  | Maximum -> "maximum"
+  | Weighted_geometric -> "weighted-geometric"
+
+let amalgamation_of_string = function
+  | "weighted-sum" -> Ok Weighted_sum
+  | "minimum" -> Ok Minimum
+  | "maximum" -> Ok Maximum
+  | "weighted-geometric" -> Ok Weighted_geometric
+  | s -> Error (Printf.sprintf "unknown amalgamation %S" s)
+
+let pp_amalgamation ppf a =
+  Format.pp_print_string ppf (amalgamation_to_string a)

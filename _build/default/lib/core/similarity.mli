@@ -1,0 +1,38 @@
+(** Local similarity measures and amalgamation functions (Sec. 2.2).
+
+    A {e local} measure maps one request/case attribute pair into
+    [0, 1]; an {e amalgamation} folds the per-attribute local
+    similarities into one global similarity, also in [0, 1]. *)
+
+val local : dmax:int -> Attr.value -> Attr.value -> float
+(** Equation (1): [1 - d / (1 + dmax)] with Manhattan distance
+    [d = |a - b|], clamped into [0, 1] (a request value outside the
+    design-time bounds can otherwise push the raw formula negative).
+    @raise Invalid_argument when [dmax < 0]. *)
+
+val local_missing : float
+(** Similarity assigned when the case lacks the requested attribute:
+    0 — "a missing attribute can be seen as unsatisfiable requirement"
+    (Sec. 3). *)
+
+val local_euclidean : dmax:int -> Attr.value -> Attr.value -> float
+(** Variant transformation using squared (Euclidean, one-dimensional)
+    distance: [1 - (d / (1 + dmax))^2].  Provided for the measure
+    comparison the paper alludes to; not used by the hardware. *)
+
+(** How to combine weighted local similarities into a global one. *)
+type amalgamation =
+  | Weighted_sum  (** Equation (2) — the paper's choice. *)
+  | Minimum  (** Weakest-link: min over [s_i] (weights ignored). *)
+  | Maximum  (** Optimistic: max over [s_i] (weights ignored). *)
+  | Weighted_geometric  (** [prod s_i ^ w_i]; 0 whenever any [s_i] is 0. *)
+
+val all_amalgamations : amalgamation list
+
+val amalgamate : amalgamation -> (float * float) list -> float
+(** [amalgamate a pairs] folds [(weight, local-similarity)] pairs.
+    Weights are assumed normalised (sum to 1); the empty list yields 0. *)
+
+val amalgamation_to_string : amalgamation -> string
+val amalgamation_of_string : string -> (amalgamation, string) result
+val pp_amalgamation : Format.formatter -> amalgamation -> unit

@@ -1,0 +1,37 @@
+type t = Fpga | Dsp | Gpp | Asic | Custom of string
+
+let all_builtin = [ Fpga; Dsp; Gpp; Asic ]
+
+let to_string = function
+  | Fpga -> "fpga"
+  | Dsp -> "dsp"
+  | Gpp -> "gpp"
+  | Asic -> "asic"
+  | Custom name -> "custom:" ^ name
+
+let of_string s =
+  match s with
+  | "fpga" -> Ok Fpga
+  | "dsp" -> Ok Dsp
+  | "gpp" -> Ok Gpp
+  | "asic" -> Ok Asic
+  | _ -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "custom" && i + 1 < String.length s ->
+          Ok (Custom (String.sub s (i + 1) (String.length s - i - 1)))
+      | Some _ | None -> Error (Printf.sprintf "unknown target %S" s))
+
+let equal a b =
+  match (a, b) with
+  | Fpga, Fpga | Dsp, Dsp | Gpp, Gpp | Asic, Asic -> true
+  | Custom x, Custom y -> String.equal x y
+  | (Fpga | Dsp | Gpp | Asic | Custom _), _ -> false
+
+let rank = function Fpga -> 0 | Dsp -> 1 | Gpp -> 2 | Asic -> 3 | Custom _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Custom x, Custom y -> String.compare x y
+  | _ -> Int.compare (rank a) (rank b)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,25 @@
+(** Execution targets an implementation variant can run on.
+
+    The paper's system (Fig. 1) mixes partially reconfigurable FPGAs,
+    DSPs, general-purpose processors and fixed-function ASICs. *)
+
+type t =
+  | Fpga  (** Run-time reconfigurable fabric slot. *)
+  | Dsp  (** Digital signal processor. *)
+  | Gpp  (** General-purpose (soft- or hard-core) processor. *)
+  | Asic  (** Dedicated fixed-function hardware. *)
+  | Custom of string  (** Forward-compatible escape hatch. *)
+
+val all_builtin : t list
+(** [Fpga; Dsp; Gpp; Asic], the targets named by the paper. *)
+
+val to_string : t -> string
+(** Lower-case keyword form used by the text format ("fpga", "dsp", ...). *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; unknown keywords become [Custom] only via
+    the explicit "custom:<name>" spelling, otherwise [Error]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/desim/apps.ml: Attr Casebase Ftype Impl List Qos_core Request Target Workload

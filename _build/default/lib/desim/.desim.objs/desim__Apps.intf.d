@@ -1,0 +1,1 @@
+lib/desim/apps.mli: Qos_core Workload

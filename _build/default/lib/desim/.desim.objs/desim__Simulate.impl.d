@@ -1,0 +1,1 @@
+lib/desim/simulate.ml: Allocator Apps Bypass Catalog Device Engine Format Hashtbl List Manager Negotiation Option Placement Qos_core String Tracefile Workload

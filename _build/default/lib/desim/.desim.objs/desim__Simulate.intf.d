@@ -1,0 +1,1 @@
+lib/desim/simulate.mli: Allocator Apps Format Qos_core Tracefile

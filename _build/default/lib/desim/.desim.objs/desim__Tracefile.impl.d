@@ -1,0 +1,1 @@
+lib/desim/tracefile.ml: Buffer Format List Option Printf Result String Workload

@@ -1,0 +1,1 @@
+lib/desim/tracefile.mli: Format Workload

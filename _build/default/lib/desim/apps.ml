@@ -1,0 +1,189 @@
+open Qos_core
+
+let get = function Ok x -> x | Error e -> failwith ("Apps: " ^ e)
+
+let reference_schema =
+  let d id name lower upper = get (Attr.descriptor ~id ~name ~lower ~upper) in
+  get
+    (Attr.Schema.of_list
+       [
+         d 1 "bitwidth" 8 32;
+         d 2 "processing-mode" 0 1;
+         d 3 "output-mode" 0 2;
+         d 4 "sample-rate" 8 48;
+         d 5 "latency-class" 1 1000;
+         d 6 "power-mw" 10 5000;
+         d 7 "frame-rate" 5 60;
+         d 8 "resolution-class" 1 16;
+         d 9 "error-rate-class" 0 100;
+       ])
+
+let impl ~id ~target attrs = get (Impl.make ~id ~target attrs)
+
+let ftype ~id ~name impls = get (Ftype.make ~id ~name impls)
+
+let reference_casebase =
+  get
+    (Casebase.make ~name:"multimedia-automotive" ~schema:reference_schema
+       [
+         ftype ~id:1 ~name:"fir-equalizer"
+           [
+             impl ~id:1 ~target:Target.Fpga
+               [ (1, 24); (2, 0); (3, 2); (4, 48); (5, 10); (6, 900) ];
+             impl ~id:2 ~target:Target.Dsp
+               [ (1, 16); (2, 0); (3, 1); (4, 44); (5, 40); (6, 400) ];
+             impl ~id:3 ~target:Target.Gpp
+               [ (1, 8); (2, 0); (3, 0); (4, 22); (5, 200); (6, 150) ];
+           ];
+         ftype ~id:2 ~name:"fft-1d"
+           [
+             impl ~id:1 ~target:Target.Fpga
+               [ (1, 32); (2, 1); (4, 48); (5, 8); (6, 1200) ];
+             impl ~id:2 ~target:Target.Dsp
+               [ (1, 16); (2, 0); (4, 44); (5, 60); (6, 350) ];
+             impl ~id:3 ~target:Target.Gpp
+               [ (1, 16); (2, 1); (4, 22); (5, 400); (6, 180) ];
+           ];
+         ftype ~id:3 ~name:"mp3-decode"
+           [
+             impl ~id:1 ~target:Target.Fpga
+               [ (1, 16); (2, 0); (3, 2); (4, 48); (5, 20); (6, 700) ];
+             impl ~id:2 ~target:Target.Dsp
+               [ (1, 16); (2, 0); (3, 1); (4, 44); (5, 80); (6, 300) ];
+             impl ~id:3 ~target:Target.Gpp
+               [ (1, 16); (2, 0); (3, 1); (4, 44); (5, 250); (6, 200) ];
+           ];
+         ftype ~id:4 ~name:"video-scaler"
+           [
+             impl ~id:1 ~target:Target.Fpga
+               [ (1, 8); (5, 16); (6, 2200); (7, 60); (8, 16) ];
+             impl ~id:2 ~target:Target.Dsp
+               [ (1, 8); (5, 90); (6, 800); (7, 30); (8, 8) ];
+             impl ~id:3 ~target:Target.Gpp
+               [ (1, 8); (5, 300); (6, 400); (7, 15); (8, 4) ];
+           ];
+         ftype ~id:5 ~name:"ecu-control"
+           [
+             impl ~id:1 ~target:Target.Asic
+               [ (1, 16); (5, 2); (6, 80); (9, 1) ];
+             impl ~id:2 ~target:Target.Fpga
+               [ (1, 16); (5, 5); (6, 250); (9, 2) ];
+             impl ~id:3 ~target:Target.Gpp
+               [ (1, 16); (5, 50); (6, 120); (9, 10) ];
+           ];
+         ftype ~id:6 ~name:"cruise-pid"
+           [
+             impl ~id:1 ~target:Target.Fpga
+               [ (1, 16); (5, 5); (6, 200); (9, 2) ];
+             impl ~id:2 ~target:Target.Dsp
+               [ (1, 16); (5, 15); (6, 160); (9, 4) ];
+             impl ~id:3 ~target:Target.Gpp
+               [ (1, 16); (5, 40); (6, 100); (9, 8) ];
+           ];
+       ])
+
+type template = {
+  t_type_id : int;
+  t_constraints : (Attr.id * Attr.value * int * float) list;
+}
+
+type arrival = Periodic | Poisson
+
+type profile = {
+  app_id : string;
+  priority : int;
+  arrival : arrival;
+  period_us : float;
+  hold_us : float * float;
+  templates : template list;
+}
+
+let mp3_player =
+  {
+    app_id = "mp3-player";
+    priority = 2;
+    arrival = Periodic;
+    period_us = 8_000.0;
+    hold_us = (4_000.0, 12_000.0);
+    templates =
+      [
+        {
+          t_type_id = 3;
+          t_constraints =
+            [ (1, 16, 0, 1.0); (3, 1, 1, 1.0); (4, 44, 4, 1.0); (5, 100, 40, 0.5) ];
+        };
+        {
+          t_type_id = 1;
+          t_constraints = [ (1, 16, 4, 1.0); (3, 1, 1, 1.0); (4, 40, 4, 1.0) ];
+        };
+      ];
+  }
+
+let video_scaler =
+  {
+    app_id = "video";
+    priority = 3;
+    arrival = Poisson;
+    period_us = 15_000.0;
+    hold_us = (10_000.0, 30_000.0);
+    templates =
+      [
+        {
+          t_type_id = 4;
+          t_constraints =
+            [ (7, 30, 10, 1.0); (8, 8, 4, 1.0); (5, 50, 20, 0.8); (6, 1500, 400, 0.4) ];
+        };
+        {
+          t_type_id = 2;
+          t_constraints = [ (1, 16, 8, 1.0); (4, 44, 4, 1.0); (5, 50, 20, 0.6) ];
+        };
+      ];
+  }
+
+let automotive_ecu =
+  {
+    app_id = "ecu";
+    priority = 5;
+    arrival = Periodic;
+    period_us = 2_000.0;
+    hold_us = (2_500.0, 5_000.0);
+    (* Control requests are fixed at design time: no jitter, so repeated
+       calls share a bypass-token fingerprint (Sec. 3). *)
+    templates =
+      [
+        {
+          t_type_id = 5;
+          t_constraints = [ (5, 5, 0, 1.5); (9, 2, 0, 1.5); (6, 150, 0, 0.5) ];
+        };
+      ];
+  }
+
+let cruise_control =
+  {
+    app_id = "cruise";
+    priority = 4;
+    arrival = Periodic;
+    period_us = 5_000.0;
+    hold_us = (6_000.0, 12_000.0);
+    templates =
+      [
+        {
+          t_type_id = 6;
+          t_constraints = [ (5, 10, 0, 1.0); (6, 150, 0, 0.8); (9, 4, 0, 1.0) ];
+        };
+      ];
+  }
+
+let standard_apps = [ mp3_player; video_scaler; automotive_ecu; cruise_control ]
+
+let instantiate rng template =
+  let jittered (aid, value, jitter, weight) =
+    let value =
+      if jitter = 0 then value
+      else value + Workload.Prng.int_in rng ~lo:(-jitter) ~hi:jitter
+    in
+    (aid, min (max value 0) Attr.max_word, weight)
+  in
+  get
+    (Request.make ~type_id:template.t_type_id
+       (List.map jittered template.t_constraints))

@@ -1,0 +1,49 @@
+(** Application models for the Fig. 1 system: an MP3 player, a video
+    scaler, an automotive ECU function and a cruise controller, each
+    issuing QoS-constrained function requests over time.
+
+    Also provides the multimedia/automotive reference case base these
+    applications request against.  Attribute dictionary (IDs shared
+    with the paper example where applicable):
+    1 bitwidth [8,32] - 2 processing mode [0,1] - 3 output mode [0,2] -
+    4 sample rate [8,48] kS/s - 5 response latency class [1,1000] -
+    6 power [10,5000] mW - 7 frame rate [5,60] fps -
+    8 resolution class [1,16] - 9 error-rate class [0,100]. *)
+
+val reference_schema : Qos_core.Attr.Schema.t
+
+val reference_casebase : Qos_core.Casebase.t
+(** Six function types (FIR equalizer, 1D-FFT, MP3 decode, video
+    scaler, ECU control, cruise PID), 3 variants each across
+    FPGA/DSP/GPP/ASIC targets. *)
+
+(** One request shape an application issues. *)
+type template = {
+  t_type_id : int;
+  t_constraints : (Qos_core.Attr.id * Qos_core.Attr.value * int * float) list;
+      (** (attribute, nominal value, +/- jitter, weight). *)
+}
+
+type arrival = Periodic | Poisson
+
+type profile = {
+  app_id : string;
+  priority : int;
+  arrival : arrival;
+  period_us : float;  (** Mean inter-request time. *)
+  hold_us : float * float;  (** Uniform task-lifetime range. *)
+  templates : template list;  (** Cycled round-robin. *)
+}
+
+val mp3_player : profile
+val video_scaler : profile
+val automotive_ecu : profile
+val cruise_control : profile
+
+val standard_apps : profile list
+(** The four applications of Fig. 1. *)
+
+val instantiate :
+  Workload.Prng.t -> template -> Qos_core.Request.t
+(** Apply jitter to the nominal values (clamped to the 16-bit word
+    range). *)

@@ -1,0 +1,33 @@
+type t = { queue : (t -> unit) Heap.t; mutable clock : float }
+
+let create () = { queue = Heap.create (); clock = 0.0 }
+
+let now t = t.clock
+
+let schedule_at t ~time callback =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: %g is before now (%g)" time t.clock)
+  else Heap.push t.queue ~time callback
+
+let schedule t ~delay callback =
+  if delay < 0.0 || not (Float.is_finite delay) then
+    invalid_arg "Engine.schedule: negative or non-finite delay"
+  else schedule_at t ~time:(t.clock +. delay) callback
+
+let run ?(until = infinity) t =
+  let rec loop fired =
+    match Heap.peek_time t.queue with
+    | None -> fired
+    | Some time when time > until -> fired
+    | Some _ -> (
+        match Heap.pop t.queue with
+        | None -> fired
+        | Some (time, callback) ->
+            t.clock <- time;
+            callback t;
+            loop (fired + 1))
+  in
+  loop 0
+
+let pending t = Heap.size t.queue

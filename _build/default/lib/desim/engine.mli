@@ -1,0 +1,22 @@
+(** Minimal discrete-event simulation core: a virtual clock and a
+    min-heap of callbacks. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Simulated time in microseconds. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** [delay >= 0] relative to {!now}. @raise Invalid_argument otherwise. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Absolute; must not be in the past. *)
+
+val run : ?until:float -> t -> int
+(** Processes events in time order (insertion order among ties) until
+    the queue empties or the clock would pass [until]; returns how many
+    events fired. *)
+
+val pending : t -> int

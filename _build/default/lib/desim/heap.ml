@@ -1,0 +1,75 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let size t = t.size
+let is_empty t = t.size = 0
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t entry =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let bigger = Array.make (max 16 (2 * capacity)) entry in
+    Array.blit t.data 0 bigger 0 t.size;
+    t.data <- bigger
+  end
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if precedes t.data.(i) t.data.(parent) then begin
+        let tmp = t.data.(i) in
+        t.data.(i) <- t.data.(parent);
+        t.data.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      (* Sift down. *)
+      let rec down i =
+        let left = (2 * i) + 1 in
+        let right = left + 1 in
+        let smallest =
+          if left < t.size && precedes t.data.(left) t.data.(i) then left else i
+        in
+        let smallest =
+          if right < t.size && precedes t.data.(right) t.data.(smallest) then
+            right
+          else smallest
+        in
+        if smallest <> i then begin
+          let tmp = t.data.(i) in
+          t.data.(i) <- t.data.(smallest);
+          t.data.(smallest) <- tmp;
+          down smallest
+        end
+      in
+      down 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.data.(0).time

@@ -1,0 +1,16 @@
+(** Array-based binary min-heap keyed by [(time, sequence)] — ties fire
+    in insertion order, which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Sequence numbers are assigned internally. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Smallest time (earliest inserted among equals), or [None]. *)
+
+val peek_time : 'a t -> float option

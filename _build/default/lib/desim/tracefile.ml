@@ -1,0 +1,141 @@
+type outcome = Granted | Granted_bypass | Refused
+
+type row = {
+  time_us : float;
+  app_id : string;
+  type_id : int;
+  outcome : outcome;
+  impl_id : int;
+  device_id : string;
+  similarity : float;
+  setup_us : float;
+  rounds : int;
+}
+
+let outcome_to_string = function
+  | Granted -> "granted"
+  | Granted_bypass -> "bypass"
+  | Refused -> "refused"
+
+let outcome_of_string = function
+  | "granted" -> Ok Granted
+  | "bypass" -> Ok Granted_bypass
+  | "refused" -> Ok Refused
+  | s -> Error (Printf.sprintf "unknown outcome %S" s)
+
+let csv_header = "time_us,app,type,outcome,impl,device,similarity,setup_us,rounds"
+
+let field_ok s = not (String.exists (fun c -> c = ',' || c = '\n') s)
+
+let to_csv rows =
+  let buf = Buffer.create (64 + (List.length rows * 48)) in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      if not (field_ok r.app_id && field_ok r.device_id) then
+        invalid_arg "Tracefile.to_csv: IDs must not contain commas or newlines";
+      Buffer.add_string buf
+        (Printf.sprintf "%.3f,%s,%d,%s,%d,%s,%.6f,%.3f,%d\n" r.time_us r.app_id
+           r.type_id
+           (outcome_to_string r.outcome)
+           r.impl_id r.device_id r.similarity r.setup_us r.rounds))
+    rows;
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let parse_row line_no line =
+  let err what = Error (Printf.sprintf "line %d: %s" line_no what) in
+  match String.split_on_char ',' line with
+  | [ time_us; app_id; type_id; outcome; impl_id; device_id; similarity;
+      setup_us; rounds ] -> (
+      match
+        ( float_of_string_opt time_us,
+          int_of_string_opt type_id,
+          outcome_of_string outcome,
+          int_of_string_opt impl_id,
+          float_of_string_opt similarity,
+          float_of_string_opt setup_us,
+          int_of_string_opt rounds )
+      with
+      | Some time_us, Some type_id, Ok outcome, Some impl_id, Some similarity,
+        Some setup_us, Some rounds ->
+          Ok
+            {
+              time_us;
+              app_id;
+              type_id;
+              outcome;
+              impl_id;
+              device_id;
+              similarity;
+              setup_us;
+              rounds;
+            }
+      | _ -> err "malformed field")
+  | _ -> err "wrong field count"
+
+let of_csv text =
+  match String.split_on_char '\n' text with
+  | [] -> Error "empty trace"
+  | header :: rest ->
+      if not (String.equal (String.trim header) csv_header) then
+        Error "unrecognised CSV header"
+      else
+        let* rev_rows, _ =
+          List.fold_left
+            (fun acc line ->
+              let* rows, line_no = acc in
+              let line_no = line_no + 1 in
+              if String.trim line = "" then Ok (rows, line_no)
+              else
+                let* row = parse_row line_no line in
+                Ok (row :: rows, line_no))
+            (Ok ([], 1))
+            rest
+        in
+        Ok (List.rev rev_rows)
+
+type analysis = {
+  total : int;
+  granted : int;
+  bypassed : int;
+  refused : int;
+  similarity_stats : Workload.Stats.summary option;
+  setup_stats : Workload.Stats.summary option;
+  rounds_mean : float;
+}
+
+let analyze rows =
+  let count p = List.length (List.filter p rows) in
+  let grants =
+    List.filter (fun r -> r.outcome = Granted || r.outcome = Granted_bypass) rows
+  in
+  {
+    total = List.length rows;
+    granted = count (fun r -> r.outcome = Granted);
+    bypassed = count (fun r -> r.outcome = Granted_bypass);
+    refused = count (fun r -> r.outcome = Refused);
+    similarity_stats =
+      Workload.Stats.summarize (List.map (fun r -> r.similarity) grants);
+    setup_stats =
+      Workload.Stats.summarize
+        (List.filter_map
+           (fun r -> if r.outcome = Granted then Some r.setup_us else None)
+           rows);
+    rounds_mean =
+      Option.value ~default:0.0
+        (Workload.Stats.mean (List.map (fun r -> float_of_int r.rounds) rows));
+  }
+
+let pp_analysis ppf a =
+  Format.fprintf ppf "@[<v>rows=%d granted=%d bypass=%d refused=%d rounds=%.2f@,"
+    a.total a.granted a.bypassed a.refused a.rounds_mean;
+  (match a.similarity_stats with
+  | Some s -> Format.fprintf ppf "similarity: %a@," Workload.Stats.pp_summary s
+  | None -> ());
+  (match a.setup_stats with
+  | Some s -> Format.fprintf ppf "setup us:   %a@," Workload.Stats.pp_summary s
+  | None -> ());
+  Format.fprintf ppf "@]"

@@ -1,0 +1,40 @@
+(** Per-request trace rows of a system simulation, with CSV
+    import/export and summary analysis — the raw material for offline
+    evaluation of allocation behaviour. *)
+
+type outcome = Granted | Granted_bypass | Refused
+
+type row = {
+  time_us : float;  (** Arrival time of the request. *)
+  app_id : string;
+  type_id : int;
+  outcome : outcome;
+  impl_id : int;  (** 0 when refused. *)
+  device_id : string;  (** "" when refused. *)
+  similarity : float;  (** 0 when refused. *)
+  setup_us : float;
+  rounds : int;  (** Negotiation rounds used. *)
+}
+
+val outcome_to_string : outcome -> string
+val outcome_of_string : string -> (outcome, string) result
+
+val to_csv : row list -> string
+(** Header line plus one line per row; fields never contain commas
+    (app/device IDs are rejected if they do). *)
+
+val of_csv : string -> (row list, string) result
+(** Inverse of {!to_csv}; tolerates blank lines. *)
+
+type analysis = {
+  total : int;
+  granted : int;
+  bypassed : int;
+  refused : int;
+  similarity_stats : Workload.Stats.summary option;  (** Over grants. *)
+  setup_stats : Workload.Stats.summary option;  (** Over non-bypass grants. *)
+  rounds_mean : float;  (** Over all rows. *)
+}
+
+val analyze : row list -> analysis
+val pp_analysis : Format.formatter -> analysis -> unit

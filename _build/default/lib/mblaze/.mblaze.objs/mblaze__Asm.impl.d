@@ -1,0 +1,1 @@
+lib/mblaze/asm.ml: Array Format Isa List Printf Result

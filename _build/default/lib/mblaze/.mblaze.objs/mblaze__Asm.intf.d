@@ -1,0 +1,1 @@
+lib/mblaze/asm.mli: Format Isa

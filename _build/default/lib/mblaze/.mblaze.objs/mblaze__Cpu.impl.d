@@ -1,0 +1,1 @@
+lib/mblaze/cpu.ml: Array Asm Format Isa Printf

@@ -1,0 +1,1 @@
+lib/mblaze/cpu.mli: Asm Format Isa

@@ -1,0 +1,1 @@
+lib/mblaze/isa.ml: Format Printf

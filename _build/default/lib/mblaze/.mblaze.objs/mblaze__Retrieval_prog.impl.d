@@ -1,0 +1,1 @@
+lib/mblaze/retrieval_prog.ml: Array Asm Cpu Format Fxp Isa Memlayout

@@ -1,0 +1,1 @@
+lib/mblaze/retrieval_prog.mli: Asm Cpu Format Fxp Isa Memlayout Qos_core Stdlib

@@ -1,0 +1,161 @@
+type stats = {
+  cycles : int;
+  instructions : int;
+  loads : int;
+  stores : int;
+  multiplies : int;
+  branches : int;
+  branches_taken : int;
+}
+
+type state = { regs : int array; memory : int array; stats : stats }
+
+type error =
+  | Out_of_fuel of int
+  | Memory_fault of { pc : int; addr : int }
+  | Pc_fault of int
+
+let error_to_string = function
+  | Out_of_fuel fuel -> Printf.sprintf "out of fuel after %d instructions" fuel
+  | Memory_fault { pc; addr } ->
+      Printf.sprintf "memory fault at pc=%d, address %d" pc addr
+  | Pc_fault pc -> Printf.sprintf "control transfer outside program: %d" pc
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "cycles=%d insns=%d loads=%d stores=%d mults=%d branches=%d taken=%d"
+    s.cycles s.instructions s.loads s.stores s.multiplies s.branches
+    s.branches_taken
+
+exception Fault of error
+
+let run ?(costs = Isa.microblaze_costs) ?(fuel = 50_000_000) (p : Asm.program)
+    ~memory =
+  let memory = Array.copy memory in
+  let mem_size = Array.length memory in
+  let regs = Array.make Isa.reg_count 0 in
+  let program = p.Asm.insns in
+  let program_size = Array.length program in
+  let cycles = ref 0 in
+  let instructions = ref 0 in
+  let loads = ref 0 in
+  let stores = ref 0 in
+  let multiplies = ref 0 in
+  let branches = ref 0 in
+  let branches_taken = ref 0 in
+  let read r = regs.(r) in
+  let write r v = if r <> 0 then regs.(r) <- v in
+  let load pc addr =
+    if addr < 0 || addr >= mem_size then raise (Fault (Memory_fault { pc; addr }))
+    else memory.(addr)
+  in
+  let store pc addr v =
+    if addr < 0 || addr >= mem_size then raise (Fault (Memory_fault { pc; addr }))
+    else memory.(addr) <- v
+  in
+  let target pc t =
+    if t < 0 || t >= program_size then raise (Fault (Pc_fault pc)) else t
+  in
+  let rec step pc remaining_fuel =
+    if remaining_fuel <= 0 then raise (Fault (Out_of_fuel fuel))
+    else if pc < 0 || pc >= program_size then raise (Fault (Pc_fault pc))
+    else begin
+      incr instructions;
+      let insn = program.(pc) in
+      let charge taken = cycles := !cycles + Isa.cost costs ~taken insn in
+      let next = pc + 1 in
+      let continue pc = step pc (remaining_fuel - 1) in
+      match insn with
+      | Isa.Li (rd, imm) ->
+          charge false;
+          write rd imm;
+          continue next
+      | Isa.Lw (rd, ra, off) ->
+          charge false;
+          incr loads;
+          write rd (load pc (read ra + off));
+          continue next
+      | Isa.Sw (rs, ra, off) ->
+          charge false;
+          incr stores;
+          store pc (read ra + off) (read rs);
+          continue next
+      | Isa.Add (rd, ra, rb) ->
+          charge false;
+          write rd (read ra + read rb);
+          continue next
+      | Isa.Addi (rd, ra, imm) ->
+          charge false;
+          write rd (read ra + imm);
+          continue next
+      | Isa.Sub (rd, ra, rb) ->
+          charge false;
+          write rd (read ra - read rb);
+          continue next
+      | Isa.Mul (rd, ra, rb) ->
+          charge false;
+          incr multiplies;
+          write rd (read ra * read rb);
+          continue next
+      | Isa.Sll (rd, ra, sh) ->
+          charge false;
+          write rd (read ra lsl sh);
+          continue next
+      | Isa.Srl (rd, ra, sh) ->
+          charge false;
+          write rd (read ra lsr sh);
+          continue next
+      | Isa.Sra (rd, ra, sh) ->
+          charge false;
+          write rd (read ra asr sh);
+          continue next
+      | Isa.And (rd, ra, rb) ->
+          charge false;
+          write rd (read ra land read rb);
+          continue next
+      | Isa.Or (rd, ra, rb) ->
+          charge false;
+          write rd (read ra lor read rb);
+          continue next
+      | Isa.Xor (rd, ra, rb) ->
+          charge false;
+          write rd (read ra lxor read rb);
+          continue next
+      | Isa.Beq (ra, rb, t) -> branch pc (read ra = read rb) t remaining_fuel
+      | Isa.Bne (ra, rb, t) -> branch pc (read ra <> read rb) t remaining_fuel
+      | Isa.Blt (ra, rb, t) -> branch pc (read ra < read rb) t remaining_fuel
+      | Isa.Bge (ra, rb, t) -> branch pc (read ra >= read rb) t remaining_fuel
+      | Isa.Jmp t ->
+          charge false;
+          continue (target pc t)
+      | Isa.Halt ->
+          charge false;
+          ()
+    end
+  and branch pc taken t remaining_fuel =
+    incr branches;
+    cycles := !cycles + Isa.cost costs ~taken (Isa.Beq (0, 0, t));
+    if taken then begin
+      incr branches_taken;
+      step (target pc t) (remaining_fuel - 1)
+    end
+    else step (pc + 1) (remaining_fuel - 1)
+  in
+  match step 0 fuel with
+  | () ->
+      Ok
+        {
+          regs;
+          memory;
+          stats =
+            {
+              cycles = !cycles;
+              instructions = !instructions;
+              loads = !loads;
+              stores = !stores;
+              multiplies = !multiplies;
+              branches = !branches;
+              branches_taken = !branches_taken;
+            };
+        }
+  | exception Fault e -> Error e

@@ -1,0 +1,39 @@
+(** Cycle-cost interpreter for the soft core.
+
+    Registers are 32-bit-style OCaml ints (the retrieval routine never
+    exceeds 32-bit magnitudes); data memory is word-addressed.  Every
+    instruction is charged per the {!Isa.cost_model}; memory has no
+    wait states beyond the load/store cost, matching on-chip BRAM. *)
+
+type stats = {
+  cycles : int;
+  instructions : int;
+  loads : int;
+  stores : int;
+  multiplies : int;
+  branches : int;  (** Conditional branches executed (taken or not). *)
+  branches_taken : int;
+}
+
+type state = {
+  regs : int array;  (** Final register file. *)
+  memory : int array;  (** Final data memory. *)
+  stats : stats;
+}
+
+type error =
+  | Out_of_fuel of int  (** Instruction budget exhausted. *)
+  | Memory_fault of { pc : int; addr : int }
+  | Pc_fault of int  (** Jump/branch outside the program. *)
+
+val run :
+  ?costs:Isa.cost_model ->
+  ?fuel:int ->
+  Asm.program ->
+  memory:int array ->
+  (state, error) result
+(** Executes from instruction 0 until [Halt].  [memory] is copied.
+    Default [fuel] is 50 million instructions. *)
+
+val error_to_string : error -> string
+val pp_stats : Format.formatter -> stats -> unit

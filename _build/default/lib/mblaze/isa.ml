@@ -1,0 +1,133 @@
+type reg = int
+
+let reg_count = 16
+
+type 'lbl insn =
+  | Li of reg * int
+  | Lw of reg * reg * int
+  | Sw of reg * reg * int
+  | Add of reg * reg * reg
+  | Addi of reg * reg * int
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Sll of reg * reg * int
+  | Srl of reg * reg * int
+  | Sra of reg * reg * int
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Beq of reg * reg * 'lbl
+  | Bne of reg * reg * 'lbl
+  | Blt of reg * reg * 'lbl
+  | Bge of reg * reg * 'lbl
+  | Jmp of 'lbl
+  | Halt
+
+let map_label f = function
+  | Li (a, b) -> Li (a, b)
+  | Lw (a, b, c) -> Lw (a, b, c)
+  | Sw (a, b, c) -> Sw (a, b, c)
+  | Add (a, b, c) -> Add (a, b, c)
+  | Addi (a, b, c) -> Addi (a, b, c)
+  | Sub (a, b, c) -> Sub (a, b, c)
+  | Mul (a, b, c) -> Mul (a, b, c)
+  | Sll (a, b, c) -> Sll (a, b, c)
+  | Srl (a, b, c) -> Srl (a, b, c)
+  | Sra (a, b, c) -> Sra (a, b, c)
+  | And (a, b, c) -> And (a, b, c)
+  | Or (a, b, c) -> Or (a, b, c)
+  | Xor (a, b, c) -> Xor (a, b, c)
+  | Beq (a, b, l) -> Beq (a, b, f l)
+  | Bne (a, b, l) -> Bne (a, b, f l)
+  | Blt (a, b, l) -> Blt (a, b, f l)
+  | Bge (a, b, l) -> Bge (a, b, f l)
+  | Jmp l -> Jmp (f l)
+  | Halt -> Halt
+
+let encoded_bytes _ = 4
+
+let check_reg r = r >= 0 && r < reg_count
+
+let validate insn =
+  let ok = Ok () in
+  let bad fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let regs2 a b = if check_reg a && check_reg b then ok else bad "bad register" in
+  let regs3 a b c =
+    if check_reg a && check_reg b && check_reg c then ok else bad "bad register"
+  in
+  match insn with
+  | Li (rd, _) -> if check_reg rd then ok else bad "bad register %d" rd
+  | Lw (rd, ra, _) | Sw (rd, ra, _) -> regs2 rd ra
+  | Add (rd, ra, rb)
+  | Sub (rd, ra, rb)
+  | Mul (rd, ra, rb)
+  | And (rd, ra, rb)
+  | Or (rd, ra, rb)
+  | Xor (rd, ra, rb) ->
+      regs3 rd ra rb
+  | Addi (rd, ra, _) -> regs2 rd ra
+  | Sll (rd, ra, sh) | Srl (rd, ra, sh) | Sra (rd, ra, sh) ->
+      if not (check_reg rd && check_reg ra) then bad "bad register"
+      else if sh < 0 || sh > 31 then bad "bad shift amount %d" sh
+      else ok
+  | Beq (ra, rb, _) | Bne (ra, rb, _) | Blt (ra, rb, _) | Bge (ra, rb, _) ->
+      regs2 ra rb
+  | Jmp _ | Halt -> ok
+
+type cost_model = {
+  alu : int;
+  mul : int;
+  load : int;
+  store : int;
+  branch_taken : int;
+  branch_not_taken : int;
+  jump : int;
+  halt : int;
+}
+
+let microblaze_costs =
+  {
+    alu = 1;
+    mul = 3;
+    load = 2;
+    store = 2;
+    branch_taken = 3;
+    branch_not_taken = 1;
+    jump = 2;
+    halt = 1;
+  }
+
+let cost model ~taken = function
+  | Li _ | Add _ | Addi _ | Sub _ | Sll _ | Srl _ | Sra _ | And _ | Or _
+  | Xor _ ->
+      model.alu
+  | Mul _ -> model.mul
+  | Lw _ -> model.load
+  | Sw _ -> model.store
+  | Beq _ | Bne _ | Blt _ | Bge _ ->
+      if taken then model.branch_taken else model.branch_not_taken
+  | Jmp _ -> model.jump
+  | Halt -> model.halt
+
+let pp_insn pp_lbl ppf insn =
+  let f fmt = Format.fprintf ppf fmt in
+  match insn with
+  | Li (rd, imm) -> f "li r%d, %d" rd imm
+  | Lw (rd, ra, off) -> f "lw r%d, %d(r%d)" rd off ra
+  | Sw (rs, ra, off) -> f "sw r%d, %d(r%d)" rs off ra
+  | Add (rd, ra, rb) -> f "add r%d, r%d, r%d" rd ra rb
+  | Addi (rd, ra, imm) -> f "addi r%d, r%d, %d" rd ra imm
+  | Sub (rd, ra, rb) -> f "sub r%d, r%d, r%d" rd ra rb
+  | Mul (rd, ra, rb) -> f "mul r%d, r%d, r%d" rd ra rb
+  | Sll (rd, ra, sh) -> f "sll r%d, r%d, %d" rd ra sh
+  | Srl (rd, ra, sh) -> f "srl r%d, r%d, %d" rd ra sh
+  | Sra (rd, ra, sh) -> f "sra r%d, r%d, %d" rd ra sh
+  | And (rd, ra, rb) -> f "and r%d, r%d, r%d" rd ra rb
+  | Or (rd, ra, rb) -> f "or r%d, r%d, r%d" rd ra rb
+  | Xor (rd, ra, rb) -> f "xor r%d, r%d, r%d" rd ra rb
+  | Beq (ra, rb, l) -> f "beq r%d, r%d, %a" ra rb pp_lbl l
+  | Bne (ra, rb, l) -> f "bne r%d, r%d, %a" ra rb pp_lbl l
+  | Blt (ra, rb, l) -> f "blt r%d, r%d, %a" ra rb pp_lbl l
+  | Bge (ra, rb, l) -> f "bge r%d, r%d, %a" ra rb pp_lbl l
+  | Jmp l -> f "jmp %a" pp_lbl l
+  | Halt -> f "halt"

@@ -1,0 +1,69 @@
+(** Instruction set of the MicroBlaze-like soft core used as the
+    software baseline (Sec. 4.2).
+
+    A deliberately small RISC: 16 general-purpose 32-bit registers with
+    [r0] hard-wired to zero, word-addressed data memory, and the
+    handful of operations the retrieval routine needs.  Instructions
+    are 4 bytes when encoded, which is what the code-size accounting
+    reports (the paper's C version took 1984 bytes of opcode). *)
+
+type reg = int
+(** Register number, 0..15.  Writes to register 0 are discarded. *)
+
+val reg_count : int
+
+(** Instructions, parameterised over the branch-label representation:
+    [string Isa.insn] before assembly, [int Isa.insn] (absolute
+    instruction index) after. *)
+type 'lbl insn =
+  | Li of reg * int  (** [rd := imm] *)
+  | Lw of reg * reg * int  (** [rd := mem[ra + off]] *)
+  | Sw of reg * reg * int  (** [mem[ra + off] := rs] *)
+  | Add of reg * reg * reg
+  | Addi of reg * reg * int
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Sll of reg * reg * int
+  | Srl of reg * reg * int  (** Logical right shift. *)
+  | Sra of reg * reg * int  (** Arithmetic right shift. *)
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Beq of reg * reg * 'lbl
+  | Bne of reg * reg * 'lbl
+  | Blt of reg * reg * 'lbl  (** Signed [ra < rb]. *)
+  | Bge of reg * reg * 'lbl  (** Signed [ra >= rb]. *)
+  | Jmp of 'lbl
+  | Halt
+
+val map_label : ('a -> 'b) -> 'a insn -> 'b insn
+
+val encoded_bytes : 'lbl insn -> int
+(** 4 — fixed-width encoding. *)
+
+val validate : 'lbl insn -> (unit, string) result
+(** Checks register numbers and shift amounts. *)
+
+(** Per-instruction-class cycle costs.  Defaults follow a 3-stage
+    MicroBlaze-class pipeline: single-cycle ALU, 3-cycle multiply,
+    2-cycle loads/stores (on-chip BRAM), 3-cycle taken branches. *)
+type cost_model = {
+  alu : int;
+  mul : int;
+  load : int;
+  store : int;
+  branch_taken : int;
+  branch_not_taken : int;
+  jump : int;
+  halt : int;
+}
+
+val microblaze_costs : cost_model
+
+val cost :
+  cost_model -> taken:bool -> 'lbl insn -> int
+(** Cycle cost of executing one instruction; [taken] matters only for
+    branches. *)
+
+val pp_insn : (Format.formatter -> 'lbl -> unit) -> Format.formatter
+  -> 'lbl insn -> unit

@@ -1,0 +1,403 @@
+type status = Found | Type_not_found | No_implementations
+
+type style = Hand_optimized | Compiled_c
+
+type outcome = {
+  status : status;
+  best_impl_id : int;
+  best_score : Fxp.Q15.t;
+  stats : Cpu.stats;
+  code_bytes : int;
+  data_words : int;
+}
+
+type memory_map = {
+  memory : int array;
+  supp_base : int;
+  req_base : int;
+  result_base : int;
+  frame_base : int;
+}
+
+let result_words = 4
+
+let frame_words = 16
+
+let build_memory (image : Memlayout.system_image) =
+  let req_base = Array.length image.cb_mem in
+  let result_base = req_base + Array.length image.req_mem in
+  let frame_base = result_base + result_words in
+  let memory =
+    Array.concat
+      [ image.cb_mem; image.req_mem; Array.make (result_words + frame_words) 0 ]
+  in
+  { memory; supp_base = image.supplemental_base; req_base; result_base; frame_base }
+
+(* Register convention:
+   r1 rtype          r2 END constant     r3 current impl id
+   r4 list cursor    r5 best score       r6 best impl id
+   r7 attr cursor    r8 supplemental cursor
+   r9 request cursor r10 accumulator     r11 request attr id
+   r12 request value r13 weight          r14/r15 scratch *)
+let hand_optimized_items ~supp_base ~req_base ~result_base =
+  let open Isa in
+    [
+      Asm.Label "start";
+      Asm.Insn (Li (9, req_base));
+      Asm.Insn (Lw (1, 9, 0));
+      Asm.Insn (Li (2, Memlayout.end_marker));
+      Asm.Insn (Li (4, 0));
+      Asm.Label "scan_type";
+      Asm.Insn (Lw (3, 4, 0));
+      Asm.Insn (Beq (3, 2, "type_missing"));
+      Asm.Insn (Beq (3, 1, "type_found"));
+      Asm.Insn (Addi (4, 4, 2));
+      Asm.Insn (Jmp "scan_type");
+      Asm.Label "type_found";
+      Asm.Insn (Lw (4, 4, 1));
+      Asm.Insn (Li (5, -1));
+      Asm.Insn (Li (6, 0));
+      Asm.Label "impl_loop";
+      Asm.Insn (Lw (3, 4, 0));
+      Asm.Insn (Beq (3, 2, "finish"));
+      Asm.Insn (Lw (7, 4, 1));
+      Asm.Insn (Li (8, supp_base));
+      Asm.Insn (Li (10, 0));
+      Asm.Insn (Li (9, req_base + 1));
+      Asm.Label "req_loop";
+      Asm.Insn (Lw (11, 9, 0));
+      Asm.Insn (Beq (11, 2, "impl_done"));
+      Asm.Insn (Lw (12, 9, 1));
+      Asm.Insn (Lw (13, 9, 2));
+      Asm.Label "supp_loop";
+      Asm.Insn (Lw (14, 8, 0));
+      Asm.Insn (Beq (14, 2, "local_zero"));
+      Asm.Insn (Blt (14, 11, "supp_next"));
+      Asm.Insn (Beq (14, 11, "supp_hit"));
+      Asm.Insn (Jmp "local_zero");
+      Asm.Label "supp_next";
+      Asm.Insn (Addi (8, 8, 4));
+      Asm.Insn (Jmp "supp_loop");
+      Asm.Label "supp_hit";
+      Asm.Insn (Lw (15, 8, 3));
+      Asm.Insn (Addi (8, 8, 4));
+      Asm.Label "attr_loop";
+      Asm.Insn (Lw (14, 7, 0));
+      Asm.Insn (Beq (14, 2, "local_zero"));
+      Asm.Insn (Blt (14, 11, "attr_next"));
+      Asm.Insn (Beq (14, 11, "attr_hit"));
+      Asm.Insn (Jmp "local_zero");
+      Asm.Label "attr_next";
+      Asm.Insn (Addi (7, 7, 2));
+      Asm.Insn (Jmp "attr_loop");
+      Asm.Label "attr_hit";
+      Asm.Insn (Lw (14, 7, 1));
+      Asm.Insn (Addi (7, 7, 2));
+      Asm.Insn (Sub (14, 12, 14));
+      Asm.Insn (Bge (14, 0, "abs_done"));
+      Asm.Insn (Sub (14, 0, 14));
+      Asm.Label "abs_done";
+      Asm.Insn (Mul (14, 14, 15));
+      Asm.Insn (Li (15, 65535));
+      Asm.Insn (Bge (15, 14, "sat1_ok"));
+      Asm.Insn (Add (14, 15, 0));
+      Asm.Label "sat1_ok";
+      Asm.Insn (Li (15, 32768));
+      Asm.Insn (Bge (14, 15, "comp_zero"));
+      Asm.Insn (Sub (14, 15, 14));
+      Asm.Insn (Jmp "accumulate");
+      Asm.Label "comp_zero";
+      Asm.Insn (Li (14, 0));
+      Asm.Insn (Jmp "accumulate");
+      Asm.Label "local_zero";
+      Asm.Insn (Li (14, 0));
+      Asm.Label "accumulate";
+      Asm.Insn (Mul (14, 14, 13));
+      Asm.Insn (Addi (14, 14, 16384));
+      Asm.Insn (Srl (14, 14, 15));
+      Asm.Insn (Li (15, 65535));
+      Asm.Insn (Bge (15, 14, "sat2_ok"));
+      Asm.Insn (Add (14, 15, 0));
+      Asm.Label "sat2_ok";
+      Asm.Insn (Add (10, 10, 14));
+      Asm.Insn (Bge (15, 10, "sat3_ok"));
+      Asm.Insn (Add (10, 15, 0));
+      Asm.Label "sat3_ok";
+      Asm.Insn (Addi (9, 9, 3));
+      Asm.Insn (Jmp "req_loop");
+      Asm.Label "impl_done";
+      Asm.Insn (Bge (5, 10, "not_better"));
+      Asm.Insn (Add (5, 10, 0));
+      Asm.Insn (Add (6, 3, 0));
+      Asm.Label "not_better";
+      Asm.Insn (Addi (4, 4, 2));
+      Asm.Insn (Jmp "impl_loop");
+      Asm.Label "finish";
+      Asm.Insn (Li (14, 0));
+      Asm.Insn (Bne (6, 0, "store_result"));
+      Asm.Insn (Li (14, 2));
+      Asm.Label "store_result";
+      Asm.Insn (Li (15, result_base));
+      Asm.Insn (Sw (14, 15, 0));
+      Asm.Insn (Sw (6, 15, 1));
+      Asm.Insn (Bge (5, 0, "score_ok"));
+      Asm.Insn (Li (5, 0));
+      Asm.Label "score_ok";
+      Asm.Insn (Sw (5, 15, 2));
+      Asm.Insn Halt;
+      Asm.Label "type_missing";
+      Asm.Insn (Li (14, 1));
+      Asm.Insn (Li (15, result_base));
+      Asm.Insn (Sw (14, 15, 0));
+      Asm.Insn (Sw (0, 15, 1));
+      Asm.Insn (Sw (0, 15, 2));
+      Asm.Insn Halt;
+    ]
+
+(* Stack-frame slot numbers for the Compiled_c style. *)
+let slot_rtype = 0
+let slot_cursor = 1
+let slot_best_score = 2
+let slot_best_id = 3
+let slot_attr_cursor = 4
+let slot_supp_cursor = 5
+let slot_req_cursor = 6
+let slot_acc = 7
+let slot_aid = 8
+let slot_rvalue = 9
+let slot_weight = 10
+let slot_recip = 11
+let slot_impl_id = 12
+
+(* Compiled-C shape: r1 is the frame pointer; every local lives in the
+   frame and is reloaded around each use, exactly like unoptimised
+   compiler output.  The arithmetic is identical to the hand version. *)
+let compiled_c_items ~supp_base ~req_base ~result_base ~frame_base =
+  let open Isa in
+  let lv rd slot = Asm.Insn (Lw (rd, 1, slot)) in
+  let sv rs slot = Asm.Insn (Sw (rs, 1, slot)) in
+  [
+    Asm.Label "start";
+    Asm.Insn (Li (1, frame_base));
+    Asm.Insn (Li (2, req_base));
+    Asm.Insn (Lw (3, 2, 0));
+    sv 3 slot_rtype;
+    Asm.Insn (Li (2, 0));
+    sv 2 slot_cursor;
+    Asm.Label "scan_type";
+    lv 2 slot_cursor;
+    Asm.Insn (Lw (3, 2, 0));
+    Asm.Insn (Li (4, Memlayout.end_marker));
+    Asm.Insn (Beq (3, 4, "type_missing"));
+    lv 5 slot_rtype;
+    Asm.Insn (Beq (3, 5, "type_found"));
+    lv 2 slot_cursor;
+    Asm.Insn (Addi (2, 2, 2));
+    sv 2 slot_cursor;
+    Asm.Insn (Jmp "scan_type");
+    Asm.Label "type_found";
+    lv 2 slot_cursor;
+    Asm.Insn (Lw (3, 2, 1));
+    sv 3 slot_cursor;
+    Asm.Insn (Li (2, -1));
+    sv 2 slot_best_score;
+    Asm.Insn (Li (2, 0));
+    sv 2 slot_best_id;
+    Asm.Label "impl_loop";
+    lv 2 slot_cursor;
+    Asm.Insn (Lw (3, 2, 0));
+    Asm.Insn (Li (4, Memlayout.end_marker));
+    Asm.Insn (Beq (3, 4, "finish"));
+    sv 3 slot_impl_id;
+    lv 2 slot_cursor;
+    Asm.Insn (Lw (3, 2, 1));
+    sv 3 slot_attr_cursor;
+    Asm.Insn (Li (2, supp_base));
+    sv 2 slot_supp_cursor;
+    Asm.Insn (Li (2, 0));
+    sv 2 slot_acc;
+    Asm.Insn (Li (2, req_base + 1));
+    sv 2 slot_req_cursor;
+    Asm.Label "req_loop";
+    lv 2 slot_req_cursor;
+    Asm.Insn (Lw (3, 2, 0));
+    Asm.Insn (Li (4, Memlayout.end_marker));
+    Asm.Insn (Beq (3, 4, "impl_done"));
+    sv 3 slot_aid;
+    lv 2 slot_req_cursor;
+    Asm.Insn (Lw (3, 2, 1));
+    sv 3 slot_rvalue;
+    lv 2 slot_req_cursor;
+    Asm.Insn (Lw (3, 2, 2));
+    sv 3 slot_weight;
+    Asm.Label "supp_loop";
+    lv 2 slot_supp_cursor;
+    Asm.Insn (Lw (3, 2, 0));
+    Asm.Insn (Li (4, Memlayout.end_marker));
+    Asm.Insn (Beq (3, 4, "local_zero"));
+    lv 5 slot_aid;
+    Asm.Insn (Blt (3, 5, "supp_next"));
+    Asm.Insn (Beq (3, 5, "supp_hit"));
+    Asm.Insn (Jmp "local_zero");
+    Asm.Label "supp_next";
+    lv 2 slot_supp_cursor;
+    Asm.Insn (Addi (2, 2, 4));
+    sv 2 slot_supp_cursor;
+    Asm.Insn (Jmp "supp_loop");
+    Asm.Label "supp_hit";
+    lv 2 slot_supp_cursor;
+    Asm.Insn (Lw (3, 2, 3));
+    sv 3 slot_recip;
+    lv 2 slot_supp_cursor;
+    Asm.Insn (Addi (2, 2, 4));
+    sv 2 slot_supp_cursor;
+    Asm.Label "attr_loop";
+    lv 2 slot_attr_cursor;
+    Asm.Insn (Lw (3, 2, 0));
+    Asm.Insn (Li (4, Memlayout.end_marker));
+    Asm.Insn (Beq (3, 4, "local_zero"));
+    lv 5 slot_aid;
+    Asm.Insn (Blt (3, 5, "attr_next"));
+    Asm.Insn (Beq (3, 5, "attr_hit"));
+    Asm.Insn (Jmp "local_zero");
+    Asm.Label "attr_next";
+    lv 2 slot_attr_cursor;
+    Asm.Insn (Addi (2, 2, 2));
+    sv 2 slot_attr_cursor;
+    Asm.Insn (Jmp "attr_loop");
+    Asm.Label "attr_hit";
+    lv 2 slot_attr_cursor;
+    Asm.Insn (Lw (3, 2, 1));
+    lv 2 slot_attr_cursor;
+    Asm.Insn (Addi (2, 2, 2));
+    sv 2 slot_attr_cursor;
+    lv 4 slot_rvalue;
+    Asm.Insn (Sub (3, 4, 3));
+    Asm.Insn (Bge (3, 0, "abs_done"));
+    Asm.Insn (Sub (3, 0, 3));
+    Asm.Label "abs_done";
+    lv 4 slot_recip;
+    Asm.Insn (Mul (3, 3, 4));
+    Asm.Insn (Li (4, 65535));
+    Asm.Insn (Bge (4, 3, "sat1_ok"));
+    Asm.Insn (Add (3, 4, 0));
+    Asm.Label "sat1_ok";
+    Asm.Insn (Li (4, 32768));
+    Asm.Insn (Bge (3, 4, "comp_zero"));
+    Asm.Insn (Sub (3, 4, 3));
+    Asm.Insn (Jmp "accumulate");
+    Asm.Label "comp_zero";
+    Asm.Insn (Li (3, 0));
+    Asm.Insn (Jmp "accumulate");
+    Asm.Label "local_zero";
+    Asm.Insn (Li (3, 0));
+    Asm.Label "accumulate";
+    lv 4 slot_weight;
+    Asm.Insn (Mul (3, 3, 4));
+    Asm.Insn (Addi (3, 3, 16384));
+    Asm.Insn (Srl (3, 3, 15));
+    Asm.Insn (Li (4, 65535));
+    Asm.Insn (Bge (4, 3, "sat2_ok"));
+    Asm.Insn (Add (3, 4, 0));
+    Asm.Label "sat2_ok";
+    lv 4 slot_acc;
+    Asm.Insn (Add (3, 3, 4));
+    Asm.Insn (Li (4, 65535));
+    Asm.Insn (Bge (4, 3, "sat3_ok"));
+    Asm.Insn (Add (3, 4, 0));
+    Asm.Label "sat3_ok";
+    sv 3 slot_acc;
+    lv 2 slot_req_cursor;
+    Asm.Insn (Addi (2, 2, 3));
+    sv 2 slot_req_cursor;
+    Asm.Insn (Jmp "req_loop");
+    Asm.Label "impl_done";
+    lv 2 slot_acc;
+    lv 3 slot_best_score;
+    Asm.Insn (Bge (3, 2, "not_better"));
+    sv 2 slot_best_score;
+    lv 4 slot_impl_id;
+    sv 4 slot_best_id;
+    Asm.Label "not_better";
+    lv 2 slot_cursor;
+    Asm.Insn (Addi (2, 2, 2));
+    sv 2 slot_cursor;
+    Asm.Insn (Jmp "impl_loop");
+    Asm.Label "finish";
+    Asm.Insn (Li (2, 0));
+    lv 3 slot_best_id;
+    Asm.Insn (Bne (3, 0, "store_result"));
+    Asm.Insn (Li (2, 2));
+    Asm.Label "store_result";
+    Asm.Insn (Li (5, result_base));
+    Asm.Insn (Sw (2, 5, 0));
+    lv 3 slot_best_id;
+    Asm.Insn (Sw (3, 5, 1));
+    lv 4 slot_best_score;
+    Asm.Insn (Bge (4, 0, "score_ok"));
+    Asm.Insn (Li (4, 0));
+    Asm.Label "score_ok";
+    Asm.Insn (Sw (4, 5, 2));
+    Asm.Insn Halt;
+    Asm.Label "type_missing";
+    Asm.Insn (Li (2, 1));
+    Asm.Insn (Li (5, result_base));
+    Asm.Insn (Sw (2, 5, 0));
+    Asm.Insn (Sw (0, 5, 1));
+    Asm.Insn (Sw (0, 5, 2));
+    Asm.Insn Halt;
+  ]
+
+let routine ?(style = Hand_optimized) ~supp_base ~req_base ~result_base
+    ~frame_base () =
+  let items =
+    match style with
+    | Hand_optimized ->
+        hand_optimized_items ~supp_base ~req_base ~result_base
+    | Compiled_c ->
+        compiled_c_items ~supp_base ~req_base ~result_base ~frame_base
+  in
+  match Asm.assemble items with
+  | Ok program -> program
+  | Error m -> failwith ("Retrieval_prog.routine: " ^ m)
+
+let run_on_image ?costs ?style image =
+  let map = build_memory image in
+  let program =
+    routine ?style ~supp_base:map.supp_base ~req_base:map.req_base
+      ~result_base:map.result_base ~frame_base:map.frame_base ()
+  in
+  match Cpu.run ?costs program ~memory:map.memory with
+  | Error e -> Error (Cpu.error_to_string e)
+  | Ok state ->
+      let status_word = state.memory.(map.result_base) in
+      let status =
+        match status_word with
+        | 0 -> Found
+        | 1 -> Type_not_found
+        | _ -> No_implementations
+      in
+      Ok
+        {
+          status;
+          best_impl_id = state.memory.(map.result_base + 1);
+          best_score = Fxp.Q15.of_raw_exn state.memory.(map.result_base + 2);
+          stats = state.stats;
+          code_bytes = Asm.code_bytes program;
+          data_words = result_words + frame_words;
+        }
+
+let run ?costs ?style casebase request =
+  match Memlayout.build_system casebase request with
+  | Error m -> Error m
+  | Ok image -> run_on_image ?costs ?style image
+
+let pp_result ppf r =
+  let status =
+    match r.status with
+    | Found -> "found"
+    | Type_not_found -> "type-not-found"
+    | No_implementations -> "no-implementations"
+  in
+  Format.fprintf ppf "%s impl=%d score=%a code=%dB [%a]" status r.best_impl_id
+    Fxp.Q15.pp r.best_score r.code_bytes Cpu.pp_stats r.stats

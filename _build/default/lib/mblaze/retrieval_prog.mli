@@ -1,0 +1,65 @@
+(** The retrieval algorithm as a soft-core routine — the software
+    baseline of Sec. 4.2.
+
+    The routine walks the same RAM image as the hardware unit
+    ([Memlayout]) and performs bit-identical Q15 arithmetic, so its
+    delivered ID and score match [Rtlsim.Machine] and
+    [Qos_core.Engine_fixed] word for word; only the cycle count
+    differs — which is exactly the paper's hardware-vs-software
+    comparison. *)
+
+type status = Found | Type_not_found | No_implementations
+
+(** How the routine was "compiled".
+
+    [Hand_optimized] keeps every loop variable in a register — a lower
+    bound on software cost.  [Compiled_c] keeps locals in a stack
+    frame and reloads them around every use, the code shape 2004-era
+    MicroBlaze C compilers produced at the optimisation levels typical
+    for embedded projects — the faithful stand-in for the paper's
+    1984-byte C routine.  Both compute bit-identical results. *)
+type style = Hand_optimized | Compiled_c
+
+type outcome = {
+  status : status;
+  best_impl_id : int;  (** 0 unless [status = Found]. *)
+  best_score : Fxp.Q15.t;
+  stats : Cpu.stats;
+  code_bytes : int;  (** Size of the routine (the paper's C version: 1984 B). *)
+  data_words : int;  (** Scratch/result words beyond the shared image. *)
+}
+
+type memory_map = {
+  memory : int array;
+      (** CB-MEM image ++ request image ++ result scratch ++ stack frame. *)
+  supp_base : int;
+  req_base : int;
+  result_base : int;
+  frame_base : int;  (** Stack frame used by the [Compiled_c] style. *)
+}
+
+val build_memory : Memlayout.system_image -> memory_map
+
+val routine :
+  ?style:style ->
+  supp_base:int -> req_base:int -> result_base:int -> frame_base:int ->
+  unit -> Asm.program
+(** The assembled retrieval routine for the given memory map (default
+    style [Hand_optimized]).
+    @raise Failure if the fixed program text fails to assemble
+    (programming error, covered by tests). *)
+
+val run :
+  ?costs:Isa.cost_model ->
+  ?style:style ->
+  Qos_core.Casebase.t ->
+  Qos_core.Request.t ->
+  (outcome, string) Stdlib.result
+
+val run_on_image :
+  ?costs:Isa.cost_model ->
+  ?style:style ->
+  Memlayout.system_image ->
+  (outcome, string) Stdlib.result
+
+val pp_result : Format.formatter -> outcome -> unit

@@ -1,0 +1,170 @@
+type cost = { luts : int; ffs : int; brams : int; mults : int }
+
+let zero_cost = { luts = 0; ffs = 0; brams = 0; mults = 0 }
+
+let ceil_div a b = (a + b - 1) / b
+
+(* Virtex-II pricing per component class:
+   - register: one FF per bit;
+   - counter: increment logic (1 LUT/bit via the carry chain) + register;
+   - adder/subtractor/comparator: carry chain, 1 LUT per bit;
+   - ABS: subtract then conditional negate, 2 LUTs per bit;
+   - k:1 mux: a tree of 2:1 muxes, (k-1) LUTs per bit, halved by the
+     dedicated MUXF5/MUXF6 resources;
+   - one-hot FSM: ~3 LUTs of next-state/output decode and 1 FF per state. *)
+let component_cost (c : Rtlsim.Datapath.component) =
+  match c with
+  | Register { bits; _ } -> { zero_cost with ffs = bits }
+  | Counter { bits; _ } -> { zero_cost with luts = bits; ffs = bits }
+  | Adder { bits; _ } | Subtractor { bits; _ } -> { zero_cost with luts = bits }
+  | Comparator { bits; _ } -> { zero_cost with luts = bits }
+  | Abs_unit { bits; _ } -> { zero_cost with luts = 2 * bits }
+  | Multiplier _ -> { zero_cost with mults = 1 }
+  | Mux { inputs; bits; _ } ->
+      { zero_cost with luts = ceil_div ((inputs - 1) * bits) 2 }
+  | Fsm { states; _ } -> { zero_cost with luts = 3 * states; ffs = states }
+  | Bram _ -> { zero_cost with brams = 1 }
+
+type calibration = {
+  overhead : float;
+  lut_delay_ns : float;
+  carry_per_bit_ns : float;
+  bram_access_ns : float;
+  mult_delay_ns : float;
+  routing_factor : float;
+}
+
+(* Delays are Virtex-II speed-grade -4 ballpark figures; [overhead] is
+   calibrated so the reference datapath reproduces Table 2's 441 slices. *)
+let default_calibration =
+  {
+    overhead = 1.86;
+    lut_delay_ns = 0.65;
+    carry_per_bit_ns = 0.10;
+    bram_access_ns = 2.6;
+    mult_delay_ns = 7.0;
+    routing_factor = 1.5;
+  }
+
+type estimate = {
+  slices : int;
+  luts : int;
+  ffs : int;
+  brams : int;
+  mult18x18 : int;
+  clock_mhz : float;
+  critical_path : string;
+}
+
+type path = { path_name : string; logic_ns : float }
+
+(* Candidate register-to-register paths of the Fig. 7 datapath. *)
+let candidate_paths cal components =
+  let has_multiplier =
+    List.exists
+      (function Rtlsim.Datapath.Multiplier _ -> true | _ -> false)
+      components
+  in
+  let bits = 16.0 in
+  let carry = bits *. cal.carry_per_bit_ns in
+  let base =
+    [
+      (* BRAM output -> address mux -> counter increment *)
+      {
+        path_name = "mem-to-counter";
+        logic_ns = cal.bram_access_ns +. cal.lut_delay_ns +. carry;
+      };
+      (* difference register -> ABS -> complement *)
+      {
+        path_name = "abs-complement";
+        logic_ns = (2.0 *. cal.lut_delay_ns) +. (2.0 *. carry);
+      };
+      (* accumulator add + best comparison *)
+      { path_name = "accumulate-compare"; logic_ns = 2.0 *. carry +. cal.lut_delay_ns };
+    ]
+  in
+  if has_multiplier then
+    (* multiplier output -> complement subtract -> register *)
+    { path_name = "multiplier-complement"; logic_ns = cal.mult_delay_ns +. carry }
+    :: base
+  else base
+
+let estimate ?(calibration = default_calibration) components =
+  let add (acc : cost) c =
+    let k = component_cost c in
+    {
+      luts = acc.luts + k.luts;
+      ffs = acc.ffs + k.ffs;
+      brams = acc.brams + k.brams;
+      mults = acc.mults + k.mults;
+    }
+  in
+  let total = List.fold_left add zero_cost components in
+  (* Packing: 2 LUTs and 2 FFs per slice.  Generated FSM code rarely
+     co-locates a datapath LUT with an unrelated FF, so LUT and FF
+     demand are packed separately rather than shared. *)
+  let ideal = ceil_div total.luts 2 + ceil_div total.ffs 2 in
+  let slices =
+    int_of_float (Float.round (float_of_int ideal *. calibration.overhead))
+  in
+  let worst =
+    List.fold_left
+      (fun (acc : path) p -> if p.logic_ns > acc.logic_ns then p else acc)
+      { path_name = "none"; logic_ns = 0.0 }
+      (candidate_paths calibration components)
+  in
+  let period_ns = worst.logic_ns *. calibration.routing_factor in
+  let clock_mhz = if period_ns <= 0.0 then 0.0 else 1000.0 /. period_ns in
+  {
+    slices;
+    luts = total.luts;
+    ffs = total.ffs;
+    brams = total.brams;
+    mult18x18 = total.mults;
+    clock_mhz;
+    critical_path = worst.path_name;
+  }
+
+type device = {
+  device_name : string;
+  device_slices : int;
+  device_brams : int;
+  device_mults : int;
+}
+
+let xc2v3000 =
+  {
+    device_name = "XC2V3000";
+    device_slices = 14336;
+    device_brams = 96;
+    device_mults = 96;
+  }
+
+type utilization = { slice_pct : float; bram_pct : float; mult_pct : float }
+
+let utilization device e =
+  let pct used total = 100.0 *. float_of_int used /. float_of_int total in
+  {
+    slice_pct = pct e.slices device.device_slices;
+    bram_pct = pct e.brams device.device_brams;
+    mult_pct = pct e.mult18x18 device.device_mults;
+  }
+
+type paper_numbers = {
+  paper_slices : int;
+  paper_brams : int;
+  paper_mults : int;
+  paper_clock_mhz : float;
+}
+
+let table2 =
+  { paper_slices = 441; paper_brams = 2; paper_mults = 2; paper_clock_mhz = 77.0 }
+
+let pp_estimate ppf e =
+  Format.fprintf ppf
+    "slices=%d (luts=%d ffs=%d) bram=%d mult18x18=%d clock=%.1fMHz (path: %s)"
+    e.slices e.luts e.ffs e.brams e.mult18x18 e.clock_mhz e.critical_path
+
+let pp_utilization ppf u =
+  Format.fprintf ppf "slices %.1f%%, bram %.1f%%, mult %.1f%%" u.slice_pct
+    u.bram_pct u.mult_pct

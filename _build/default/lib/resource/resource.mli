@@ -1,0 +1,82 @@
+(** FPGA resource and clock estimation for the retrieval unit —
+    reproduces the Table 2 synthesis inventory.
+
+    The model prices each [Rtlsim.Datapath] component in Virtex-II
+    terms (a slice holds two 4-LUTs and two flip-flops; multipliers map
+    to MULT18X18 primitives; memories to 18-kbit block RAMs), sums the
+    inventory, and applies a calibrated overhead factor.
+
+    The overhead factor deserves a note: the paper's VHDL was
+    machine-generated from a Matlab Stateflow model by a beta-state
+    converter (JVHDLgen) and then patched by hand (Sec. 4.2).  Such
+    code synthesises far less densely than hand-written RTL; the
+    default calibration (1.86x over ideal packing) is chosen so the
+    reference datapath lands at the paper's 441 slices and is applied
+    uniformly to every variant, so {e relative} comparisons (e.g.
+    compacted vs word-serial) remain meaningful. *)
+
+(** Raw primitive demand of one component. *)
+type cost = { luts : int; ffs : int; brams : int; mults : int }
+
+val component_cost : Rtlsim.Datapath.component -> cost
+
+(** Calibration constants: packing/overhead and wire/logic delays. *)
+type calibration = {
+  overhead : float;
+      (** Multiplier on ideally packed slices; default 1.86 (generated
+          VHDL, see module doc). *)
+  lut_delay_ns : float;
+  carry_per_bit_ns : float;
+  bram_access_ns : float;
+  mult_delay_ns : float;
+  routing_factor : float;  (** Net delay as a multiple of logic delay. *)
+}
+
+val default_calibration : calibration
+
+type estimate = {
+  slices : int;
+  luts : int;
+  ffs : int;
+  brams : int;
+  mult18x18 : int;
+  clock_mhz : float;
+  critical_path : string;  (** Name of the limiting path. *)
+}
+
+val estimate : ?calibration:calibration -> Rtlsim.Datapath.component list
+  -> estimate
+
+(** A target device's capacity, for utilisation percentages. *)
+type device = {
+  device_name : string;
+  device_slices : int;
+  device_brams : int;
+  device_mults : int;
+}
+
+val xc2v3000 : device
+(** Xilinx Virtex-II 3000: 14336 slices, 96 block RAMs, 96 MULT18X18 —
+    the paper's device. *)
+
+type utilization = {
+  slice_pct : float;
+  bram_pct : float;
+  mult_pct : float;
+}
+
+val utilization : device -> estimate -> utilization
+
+(** The paper's reported numbers, for side-by-side printing. *)
+type paper_numbers = {
+  paper_slices : int;  (** 441 *)
+  paper_brams : int;  (** 2 *)
+  paper_mults : int;  (** 2 *)
+  paper_clock_mhz : float;
+      (** 77 as printed in Table 2; the running text says 75. *)
+}
+
+val table2 : paper_numbers
+
+val pp_estimate : Format.formatter -> estimate -> unit
+val pp_utilization : Format.formatter -> utilization -> unit

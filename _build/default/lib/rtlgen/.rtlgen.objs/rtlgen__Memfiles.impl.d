@@ -1,0 +1,1 @@
+lib/rtlgen/memfiles.ml: Array Buffer List Printf Result String

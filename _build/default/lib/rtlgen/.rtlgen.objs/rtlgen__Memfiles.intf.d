@@ -1,0 +1,1 @@
+lib/rtlgen/memfiles.mli:

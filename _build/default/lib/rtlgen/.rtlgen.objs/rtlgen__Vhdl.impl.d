@@ -1,0 +1,1 @@
+lib/rtlgen/vhdl.ml: Array Buffer Engine_fixed Fxp Impl Memlayout Printf Qos_core Result Retrieval

@@ -1,0 +1,1 @@
+lib/rtlgen/vhdl.mli: Qos_core

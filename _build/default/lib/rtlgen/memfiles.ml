@@ -1,0 +1,74 @@
+type format = Coe | Mif | Hex
+
+let extension = function Coe -> "coe" | Mif -> "mif" | Hex -> "hex"
+
+let word_ok w = w >= 0 && w <= 0xFFFF
+
+let check words =
+  if Array.length words = 0 then Error "empty memory image"
+  else if not (Array.for_all word_ok words) then
+    Error "memory word outside the 16-bit range"
+  else Ok ()
+
+let emit_coe words =
+  let buf = Buffer.create (64 + (Array.length words * 6)) in
+  Buffer.add_string buf "memory_initialization_radix=16;\n";
+  Buffer.add_string buf "memory_initialization_vector=\n";
+  Array.iteri
+    (fun i w ->
+      Buffer.add_string buf (Printf.sprintf "%04x" w);
+      Buffer.add_string buf
+        (if i = Array.length words - 1 then ";\n" else ",\n"))
+    words;
+  Buffer.contents buf
+
+let emit_mif words =
+  let depth = Array.length words in
+  let buf = Buffer.create (128 + (depth * 16)) in
+  Buffer.add_string buf (Printf.sprintf "DEPTH = %d;\n" depth);
+  Buffer.add_string buf "WIDTH = 16;\n";
+  Buffer.add_string buf "ADDRESS_RADIX = HEX;\n";
+  Buffer.add_string buf "DATA_RADIX = HEX;\n";
+  Buffer.add_string buf "CONTENT BEGIN\n";
+  Array.iteri
+    (fun i w -> Buffer.add_string buf (Printf.sprintf "  %x : %04x;\n" i w))
+    words;
+  Buffer.add_string buf "END;\n";
+  Buffer.contents buf
+
+let emit_hex words =
+  let buf = Buffer.create (Array.length words * 5) in
+  Array.iter (fun w -> Buffer.add_string buf (Printf.sprintf "%04x\n" w)) words;
+  Buffer.contents buf
+
+let emit format words =
+  Result.map
+    (fun () ->
+      match format with
+      | Coe -> emit_coe words
+      | Mif -> emit_mif words
+      | Hex -> emit_hex words)
+    (check words)
+
+let parse_hex text =
+  let lines = String.split_on_char '\n' text in
+  let parse_line acc line =
+    Result.bind acc (fun words ->
+        let line = String.trim line in
+        let line =
+          match String.index_opt line '/' with
+          | Some i
+            when i + 1 < String.length line && line.[i + 1] = '/' ->
+              String.trim (String.sub line 0 i)
+          | Some _ | None -> line
+        in
+        if line = "" then Ok words
+        else
+          match int_of_string_opt ("0x" ^ line) with
+          | Some w when word_ok w -> Ok (w :: words)
+          | Some w -> Error (Printf.sprintf "word %d out of range" w)
+          | None -> Error (Printf.sprintf "malformed hex word %S" line))
+  in
+  Result.map
+    (fun words -> Array.of_list (List.rev words))
+    (List.fold_left parse_line (Ok []) lines)

@@ -1,0 +1,25 @@
+(** Memory-initialisation file formats for the RAM images.
+
+    The paper's system keeps opcode/bitstream data in a FLASH repository
+    and the case base in block RAM; tool flows want those images in
+    vendor formats.  Supported:
+
+    - Xilinx COE ([memory_initialization_radix=16]) for block-RAM cores;
+    - Intel/Altera MIF;
+    - plain hex, one 4-digit word per line (simulator [$readmemh]-style).
+
+    All emitters are deterministic and reject words outside the 16-bit
+    range. *)
+
+type format = Coe | Mif | Hex
+
+val extension : format -> string
+(** "coe", "mif", "hex". *)
+
+val emit : format -> int array -> (string, string) result
+(** File contents for one memory image; fails on an empty image or
+    out-of-range words. *)
+
+val parse_hex : string -> (int array, string) result
+(** Inverse of [emit Hex]: ignores blank lines and [//] comments;
+    fails on malformed words. *)

@@ -1,0 +1,47 @@
+(** VHDL code generation for the retrieval unit.
+
+    The paper's flow converted a Matlab Stateflow model into VHDL with a
+    beta-state tool and patched the result by hand (Sec. 4.2).  This
+    module is the equivalent exporter for this repository: it emits a
+    self-contained VHDL-93 project implementing the Fig. 6 most-similar
+    retrieval FSM over the Fig. 4/5 RAM images —
+
+    - [qos_retrieval_pkg]: widths and the end-marker constant;
+    - [qos_retrieval_unit]: the word-serial FSM + datapath (entity with
+      clk/rst/start and ROM-port interfaces);
+    - one ROM entity per memory, initialised from the [Memlayout]
+      images (asynchronous read; map to block RAM by registering the
+      output and adding one wait state per access);
+    - [qos_retrieval_tb]: a self-checking testbench asserting the
+      implementation ID and Q15 score that [Qos_core.Engine_fixed]
+      predicts.
+
+    The generated text is deterministic for a given case base and
+    request.  It is not compiled in this repository's CI (no VHDL
+    toolchain in the sealed environment); structural well-formedness is
+    covered by tests, semantic equivalence by the shared
+    [Rtlsim.Machine] model the FSM text mirrors state for state. *)
+
+type file = { filename : string; contents : string }
+
+val package : unit -> file
+(** [qos_retrieval_pkg.vhd]. *)
+
+val retrieval_unit : unit -> file
+(** [qos_retrieval_unit.vhd] — the FSM/datapath entity. *)
+
+val rom :
+  name:string -> words:int array -> (file, string) result
+(** A 16-bit-wide asynchronous-read ROM entity initialised with
+    [words]; fails on an empty image or out-of-range words. *)
+
+val testbench :
+  Qos_core.Casebase.t -> Qos_core.Request.t -> (file, string) result
+(** [qos_retrieval_tb.vhd]; fails when the request cannot be answered
+    (the expected values come from [Engine_fixed]) or the images cannot
+    be built. *)
+
+val project :
+  Qos_core.Casebase.t -> Qos_core.Request.t -> (file list, string) result
+(** The full file set: package, unit, CB-MEM ROM, Req-MEM ROM,
+    testbench. *)

@@ -1,0 +1,1 @@
+lib/rtlsim/datapath.ml: Format List Printf

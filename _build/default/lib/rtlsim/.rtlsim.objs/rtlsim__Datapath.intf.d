@@ -1,0 +1,1 @@
+lib/rtlsim/datapath.mli: Format

@@ -1,0 +1,1 @@
+lib/rtlsim/machine.ml: Format Fxp List Memlayout Printf Vcd

@@ -1,0 +1,1 @@
+lib/rtlsim/machine.mli: Format Fxp Memlayout Qos_core Vcd

@@ -1,0 +1,1 @@
+lib/rtlsim/vcd.ml: Buffer Char Hashtbl Int List Printf Result String

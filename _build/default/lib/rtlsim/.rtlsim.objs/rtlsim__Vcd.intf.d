@@ -1,0 +1,1 @@
+lib/rtlsim/vcd.mli:

@@ -1,0 +1,116 @@
+type component =
+  | Register of { name : string; bits : int }
+  | Adder of { name : string; bits : int }
+  | Subtractor of { name : string; bits : int }
+  | Abs_unit of { name : string; bits : int }
+  | Comparator of { name : string; bits : int }
+  | Multiplier of { name : string; a_bits : int; b_bits : int }
+  | Mux of { name : string; inputs : int; bits : int }
+  | Counter of { name : string; bits : int }
+  | Fsm of { name : string; states : int }
+  | Bram of { name : string; kbits : int }
+
+(* One entry per box of Fig. 7, plus the control FSM of Fig. 6 (11
+   states: fetch-type, scan-type, select-impl, fetch-req-attr,
+   fetch-supplemental, scan-impl-attr, compute-local, accumulate,
+   compare-best, next-impl, done). *)
+let retrieval_unit =
+  [
+    Bram { name = "cb_mem"; kbits = 18 };
+    Bram { name = "req_mem"; kbits = 18 };
+    Counter { name = "req_addr"; bits = 16 };
+    Counter { name = "cb_addr"; bits = 16 };
+    Counter { name = "supp_addr"; bits = 16 };
+    Register { name = "req_type"; bits = 16 };
+    Register { name = "attr_id"; bits = 16 };
+    Register { name = "attr_value_req"; bits = 16 };
+    Register { name = "attr_value_cb"; bits = 16 };
+    Register { name = "weight"; bits = 16 };
+    Register { name = "recip_dmax"; bits = 16 };
+    Register { name = "impl_id"; bits = 16 };
+    Register { name = "attr_list_ptr"; bits = 16 };
+    Abs_unit { name = "abs_diff"; bits = 16 };
+    Multiplier { name = "mul_recip"; a_bits = 16; b_bits = 16 };
+    Multiplier { name = "mul_weight"; a_bits = 16; b_bits = 16 };
+    Subtractor { name = "complement_one"; bits = 16 };
+    Adder { name = "accumulate"; bits = 18 };
+    Register { name = "sum_s"; bits = 18 };
+    Register { name = "s_max"; bits = 16 };
+    Register { name = "impl_id_max"; bits = 16 };
+    Comparator { name = "best_compare"; bits = 16 };
+    Comparator { name = "id_match"; bits = 16 };
+    Comparator { name = "end_detect"; bits = 16 };
+    Mux { name = "cb_addr_mux"; inputs = 4; bits = 16 };
+    Mux { name = "req_addr_mux"; inputs = 2; bits = 16 };
+    Mux { name = "local_sim_mux"; inputs = 2; bits = 16 };
+    Fsm { name = "retrieval_ctrl"; states = 11 };
+  ]
+
+(* Compacted variant (Sec. 5): the BRAM ports are configured 32 bits
+   wide so ID and value arrive in one access; one extra holding register
+   and two extra FSM states for the pair alignment. *)
+let compacted_retrieval_unit =
+  List.map
+    (function
+      | Fsm { name; states } -> Fsm { name; states = states + 2 }
+      | c -> c)
+    retrieval_unit
+  @ [ Register { name = "pair_hold"; bits = 16 } ]
+
+let component_name = function
+  | Register { name; _ }
+  | Adder { name; _ }
+  | Subtractor { name; _ }
+  | Abs_unit { name; _ }
+  | Comparator { name; _ }
+  | Multiplier { name; _ }
+  | Mux { name; _ }
+  | Counter { name; _ }
+  | Fsm { name; _ }
+  | Bram { name; _ } ->
+      name
+
+(* N-best variant: the s_max / impl_id_max pair becomes a k-deep
+   insertion register file with one comparator per kept entry. *)
+let nbest_retrieval_unit ~k =
+  if k < 1 then invalid_arg "Datapath.nbest_retrieval_unit: k must be >= 1"
+  else
+    let keep_regs =
+      List.concat
+        (List.init k (fun i ->
+             [
+               Register { name = Printf.sprintf "s_kept_%d" i; bits = 16 };
+               Register { name = Printf.sprintf "id_kept_%d" i; bits = 16 };
+               Comparator { name = Printf.sprintf "insert_cmp_%d" i; bits = 16 };
+             ]))
+    in
+    List.filter
+      (fun c ->
+        match component_name c with
+        | "s_max" | "impl_id_max" | "best_compare" -> false
+        | _ -> true)
+      retrieval_unit
+    @ keep_regs
+
+let bram_count components =
+  List.length
+    (List.filter (function Bram _ -> true | _ -> false) components)
+
+let multiplier_count components =
+  List.length
+    (List.filter (function Multiplier _ -> true | _ -> false) components)
+
+let pp_component ppf c =
+  match c with
+  | Register { name; bits } -> Format.fprintf ppf "reg %s[%d]" name bits
+  | Adder { name; bits } -> Format.fprintf ppf "add %s[%d]" name bits
+  | Subtractor { name; bits } -> Format.fprintf ppf "sub %s[%d]" name bits
+  | Abs_unit { name; bits } -> Format.fprintf ppf "abs %s[%d]" name bits
+  | Comparator { name; bits } -> Format.fprintf ppf "cmp %s[%d]" name bits
+  | Multiplier { name; a_bits; b_bits } ->
+      Format.fprintf ppf "mul %s[%dx%d]" name a_bits b_bits
+  | Mux { name; inputs; bits } ->
+      Format.fprintf ppf "mux %s[%d:%d]" name inputs bits
+  | Counter { name; bits } -> Format.fprintf ppf "cnt %s[%d]" name bits
+  | Fsm { name; states } -> Format.fprintf ppf "fsm %s{%d}" name states
+  | Bram { name; kbits } -> Format.fprintf ppf "bram %s[%dk]" name kbits

@@ -1,0 +1,45 @@
+(** Structural inventory of the retrieval unit's datapath (Fig. 7).
+
+    This is the netlist-level description the resource estimator
+    ([Resource]) prices to reproduce the Table 2 synthesis results.  It
+    lists every register, arithmetic unit, comparator and multiplexer of
+    the most-similar-retrieval datapath, the two BRAMs (CB-MEM and
+    Req-MEM) and the two 18x18 hardware multipliers. *)
+
+type component =
+  | Register of { name : string; bits : int }
+  | Adder of { name : string; bits : int }
+  | Subtractor of { name : string; bits : int }
+  | Abs_unit of { name : string; bits : int }
+      (** Subtract + conditional negate — the ABS(X) block. *)
+  | Comparator of { name : string; bits : int }
+  | Multiplier of { name : string; a_bits : int; b_bits : int }
+      (** Mapped onto a MULT18X18 primitive. *)
+  | Mux of { name : string; inputs : int; bits : int }
+  | Counter of { name : string; bits : int }
+      (** Address counters / pointers into the memories. *)
+  | Fsm of { name : string; states : int }
+      (** One-hot control automaton. *)
+  | Bram of { name : string; kbits : int }
+
+val retrieval_unit : component list
+(** The Fig. 7 datapath: request/CB address counters, attribute ID /
+    value / weight / reciprocal registers, ABS difference unit, the two
+    multipliers (similarity x reciprocal, similarity x weight),
+    accumulator, best-score/best-ID registers, the result comparator,
+    the memory muxes, and the Fig. 6 control FSM. *)
+
+val compacted_retrieval_unit : component list
+(** The Sec. 5 "compacted attribute block" variant: 32-bit wide memory
+    port (double BRAM data width), an extra holding register, a slightly
+    larger FSM. *)
+
+val nbest_retrieval_unit : k:int -> component list
+(** The Sec. 5 "n most similar" extension: the single best-score/ID
+    register pair is replaced by [k] pairs plus an insertion comparator
+    chain.  @raise Invalid_argument when [k < 1]. *)
+
+val bram_count : component list -> int
+val multiplier_count : component list -> int
+val component_name : component -> string
+val pp_component : Format.formatter -> component -> unit

@@ -1,0 +1,78 @@
+type signal = { signal_name : string; width : int }
+
+type change = { at_cycle : int; signal : string; value : int }
+
+(* VCD identifier codes: printable ASCII starting at '!'. *)
+let code_of_index i = String.make 1 (Char.chr (33 + i))
+
+let to_binary ~width v =
+  String.init width (fun i ->
+      if (v lsr (width - 1 - i)) land 1 = 1 then '1' else '0')
+
+let render ?(timescale = "1ns") ?(module_name = "qos_retrieval_unit") ~signals
+    changes =
+  let ( let* ) = Result.bind in
+  let* () =
+    if List.length signals > 90 then Error "too many signals (max 90)"
+    else Ok ()
+  in
+  let* () =
+    let names = List.map (fun s -> s.signal_name) signals in
+    if List.length (List.sort_uniq String.compare names) <> List.length names
+    then Error "duplicate signal names"
+    else Ok ()
+  in
+  let* () =
+    match List.find_opt (fun s -> s.width < 1 || s.width > 64) signals with
+    | Some s -> Error (Printf.sprintf "signal %s has invalid width" s.signal_name)
+    | None -> Ok ()
+  in
+  let codes = Hashtbl.create 16 in
+  List.iteri
+    (fun i s -> Hashtbl.replace codes s.signal_name (code_of_index i, s.width))
+    signals;
+  let* () =
+    let bad =
+      List.find_opt
+        (fun c ->
+          c.at_cycle < 0 || c.value < 0
+          ||
+          match Hashtbl.find_opt codes c.signal with
+          | None -> true
+          | Some (_, width) -> width < 64 && c.value lsr width > 0)
+        changes
+    in
+    match bad with
+    | Some c -> Error (Printf.sprintf "invalid change for signal %S" c.signal)
+    | None -> Ok ()
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$date qosalloc rtlsim $end\n";
+  Buffer.add_string buf (Printf.sprintf "$timescale %s $end\n" timescale);
+  Buffer.add_string buf (Printf.sprintf "$scope module %s $end\n" module_name);
+  List.iter
+    (fun s ->
+      let code, _ = Hashtbl.find codes s.signal_name in
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire %d %s %s $end\n" s.width code s.signal_name))
+    signals;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  (* Group by cycle, stable within a cycle. *)
+  let sorted =
+    List.stable_sort (fun a b -> Int.compare a.at_cycle b.at_cycle) changes
+  in
+  let last_cycle = ref (-1) in
+  List.iter
+    (fun c ->
+      if c.at_cycle <> !last_cycle then begin
+        Buffer.add_string buf (Printf.sprintf "#%d\n" c.at_cycle);
+        last_cycle := c.at_cycle
+      end;
+      let code, width = Hashtbl.find codes c.signal in
+      if width = 1 then
+        Buffer.add_string buf (Printf.sprintf "%d%s\n" (c.value land 1) code)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "b%s %s\n" (to_binary ~width c.value) code))
+    sorted;
+  Ok (Buffer.contents buf)

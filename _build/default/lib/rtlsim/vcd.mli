@@ -1,0 +1,28 @@
+(** Minimal Value-Change-Dump (IEEE 1364) writer.
+
+    Renders a signal-change log — for example the waveform samples an
+    instrumented {!Machine} run produces — into a VCD file that GTKWave
+    and friends can open next to the generated VHDL. *)
+
+type signal = {
+  signal_name : string;  (** Identifier-safe, e.g. "cb_addr". *)
+  width : int;  (** Bits; 1..64. *)
+}
+
+type change = {
+  at_cycle : int;
+  signal : string;  (** Must name a declared signal. *)
+  value : int;
+}
+
+val render :
+  ?timescale:string ->
+  ?module_name:string ->
+  signals:signal list ->
+  change list ->
+  (string, string) result
+(** Changes may arrive unsorted; they are grouped by cycle.  Fails on an
+    unknown signal name, a negative cycle/value, duplicate signal
+    names, or a value wider than the declared signal.
+    Default timescale "1ns" (one cycle rendered as one step) and module
+    name "qos_retrieval_unit". *)

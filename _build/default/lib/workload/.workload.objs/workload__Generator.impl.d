@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Attr Casebase Ftype Impl List Printf Prng Qos_core Request Target

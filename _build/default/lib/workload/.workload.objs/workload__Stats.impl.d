@@ -1,0 +1,1 @@
+lib/workload/stats.ml: Float Format List Option

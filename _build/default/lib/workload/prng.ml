@@ -1,0 +1,74 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = int64 t }
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive"
+  else
+    (* Keep 62 bits so the value always fits OCaml's 63-bit native int. *)
+    let raw = Int64.to_int (Int64.logand (int64 t) 0x3FFFFFFFFFFFFFFFL) in
+    raw mod bound
+
+let int_in t ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.int_in: lo > hi"
+  else lo + int t ~bound:(hi - lo + 1)
+
+let float t =
+  let raw = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  raw /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Prng.exponential: mean must be positive"
+  else
+    let u = float t in
+    (* u is in [0, 1); 1 - u is in (0, 1], so log is finite. *)
+    -.mean *. log (1.0 -. u)
+
+let shuffle t list =
+  let arr = Array.of_list list in
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let choose t = function
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | list -> List.nth list (int t ~bound:(List.length list))
+
+let sample_without_replacement t ~k list =
+  let n = List.length list in
+  if k >= n then list
+  else
+    (* Floyd-style: pick k indices, then keep original order. *)
+    let chosen = Hashtbl.create k in
+    let rec pick remaining =
+      if remaining = 0 then ()
+      else
+        let i = int t ~bound:n in
+        if Hashtbl.mem chosen i then pick remaining
+        else begin
+          Hashtbl.add chosen i ();
+          pick (remaining - 1)
+        end
+    in
+    if k > 0 then pick k;
+    List.filteri (fun i _ -> Hashtbl.mem chosen i) list

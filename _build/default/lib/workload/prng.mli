@@ -1,0 +1,40 @@
+(** Deterministic splitmix64 pseudo-random generator.
+
+    Every randomized workload, test and benchmark in this repository is
+    seeded through this module, so runs are reproducible without
+    touching the global [Random] state. *)
+
+type t
+
+val create : seed:int -> t
+
+val copy : t -> t
+(** Independent clone with identical future output. *)
+
+val split : t -> t
+(** Derive an independent stream (advances the parent). *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> bound:int -> int
+(** Uniform in [0, bound); [bound] must be positive. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in [lo, hi] inclusive; requires [lo <= hi]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed inter-arrival time; [mean > 0]. *)
+
+val shuffle : t -> 'a list -> 'a list
+
+val choose : t -> 'a list -> 'a
+(** @raise Invalid_argument on the empty list. *)
+
+val sample_without_replacement : t -> k:int -> 'a list -> 'a list
+(** Up to [k] distinct elements, in stable order of the original list. *)

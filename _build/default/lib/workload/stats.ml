@@ -1,0 +1,59 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  minimum : float;
+  maximum : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean = function
+  | [] -> None
+  | values ->
+      Some (List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values))
+
+let percentile values ~p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0, 100]"
+  else
+    match values with
+    | [] -> None
+    | _ ->
+        let sorted = List.sort Float.compare values in
+        let n = List.length sorted in
+        (* Nearest rank: ceil(p/100 * n), 1-based. *)
+        let rank =
+          max 1 (int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)))
+        in
+        Some (List.nth sorted (min (n - 1) (rank - 1)))
+
+let summarize values =
+  match values with
+  | [] -> None
+  | _ when List.exists (fun v -> not (Float.is_finite v)) values -> None
+  | _ ->
+      let n = List.length values in
+      let fn = float_of_int n in
+      let total = List.fold_left ( +. ) 0.0 values in
+      let mu = total /. fn in
+      let variance =
+        List.fold_left (fun acc v -> acc +. ((v -. mu) ** 2.0)) 0.0 values /. fn
+      in
+      let pct p = Option.get (percentile values ~p) in
+      Some
+        {
+          n;
+          mean = mu;
+          stddev = sqrt variance;
+          minimum = List.fold_left Float.min infinity values;
+          maximum = List.fold_left Float.max neg_infinity values;
+          p50 = pct 50.0;
+          p90 = pct 90.0;
+          p99 = pct 99.0;
+        }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f" s.n
+    s.mean s.stddev s.minimum s.p50 s.p90 s.p99 s.maximum

@@ -1,0 +1,23 @@
+(** Small descriptive-statistics helpers for experiment reporting. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** Population standard deviation. *)
+  minimum : float;
+  maximum : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary option
+(** [None] on the empty list; non-finite inputs are rejected by
+    returning [None] as well (garbage in, nothing out). *)
+
+val percentile : float list -> p:float -> float option
+(** Nearest-rank percentile; [p] within [0, 100].  [None] on the empty
+    list. @raise Invalid_argument when [p] is out of range. *)
+
+val mean : float list -> float option
+val pp_summary : Format.formatter -> summary -> unit

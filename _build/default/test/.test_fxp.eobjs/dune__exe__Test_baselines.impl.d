@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Casebase Engine_float Impl List Option QCheck2 QCheck_alcotest Qos_core Request Result Retrieval Scenario_audio Target Workload

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Filename In_channel List Out_channel Printf String Sys

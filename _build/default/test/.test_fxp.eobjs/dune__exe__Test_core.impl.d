@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Attr Casebase Float Format Ftype Fxp Impl List Option Printf QCheck2 QCheck_alcotest Qos_core Request Result Retrieval Scenario_audio Similarity String Target

@@ -1,0 +1,1 @@
+test/test_desim.ml: Alcotest Allocator Desim Float List Option QCheck2 QCheck_alcotest Qos_core Result String Workload

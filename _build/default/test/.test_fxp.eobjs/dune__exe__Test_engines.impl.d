@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Casebase Engine_fixed Engine_float Float Ftype Fxp Impl List Option Printf QCheck2 QCheck_alcotest Qos_core Request Retrieval Scenario_audio Similarity Target Workload

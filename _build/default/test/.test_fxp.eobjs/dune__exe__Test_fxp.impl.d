@@ -1,0 +1,1 @@
+test/test_fxp.ml: Alcotest Float Fxp QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_learning.ml: Alcotest Attr Casebase Engine_float Ftype Impl Learning List Memlayout Option QCheck2 QCheck_alcotest Qos_core Request Result Retrieval Rtlsim Scenario_audio Target Workload

@@ -1,0 +1,1 @@
+test/test_mblaze.ml: Alcotest Array Casebase Engine_fixed Ftype Fxp Impl Mblaze QCheck2 QCheck_alcotest Qos_core Request Result Retrieval Rtlsim Scenario_audio Workload

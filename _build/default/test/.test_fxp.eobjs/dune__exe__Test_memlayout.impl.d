@@ -1,0 +1,1 @@
+test/test_memlayout.ml: Alcotest Array Attr Casebase Ftype Fxp Impl List Memlayout QCheck2 QCheck_alcotest Qos_core Request Result Rtlsim Scenario_audio Target Workload

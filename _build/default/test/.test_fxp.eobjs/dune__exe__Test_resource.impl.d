@@ -1,0 +1,1 @@
+test/test_resource.ml: Alcotest List QCheck2 QCheck_alcotest Resource Rtlsim String

@@ -1,0 +1,1 @@
+test/test_rtlgen.ml: Alcotest Array List Memlayout Printf QCheck2 QCheck_alcotest Qos_core Request Result Rtlgen Scenario_audio String Workload

@@ -1,0 +1,1 @@
+test/test_rtlsim.ml: Alcotest Array Casebase Engine_fixed Ftype Fxp Impl List Memlayout Option QCheck2 QCheck_alcotest Qos_core Request Result Retrieval Rtlsim Scenario_audio String Workload

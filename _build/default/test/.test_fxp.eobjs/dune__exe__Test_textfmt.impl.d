@@ -1,0 +1,1 @@
+test/test_textfmt.ml: Alcotest Attr Casebase Format Ftype In_channel List Option QCheck2 QCheck_alcotest Qos_core Request Scenario_audio String Textfmt Workload

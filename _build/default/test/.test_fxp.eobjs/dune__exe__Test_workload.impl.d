@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Attr Casebase Float Int64 List Memlayout Option QCheck2 QCheck_alcotest Qos_core Request Result Workload

@@ -1,0 +1,284 @@
+(* Tests for matrix algebra, Mahalanobis retrieval and the naive
+   selector baselines. *)
+
+open Qos_core
+module Mx = Baselines.Matrix
+module Mh = Baselines.Mahalanobis
+module S = Baselines.Selectors
+
+let get = function Ok x -> x | Error e -> Alcotest.fail e
+
+let getr = function
+  | Ok x -> x
+  | Error e -> Alcotest.fail (Retrieval.error_to_string e)
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- Matrix ---------------------------------------------------------------- *)
+
+let test_matrix_basics () =
+  let m = get (Mx.of_rows [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ]) in
+  check_int "rows" 2 (Mx.rows m);
+  check_int "cols" 2 (Mx.cols m);
+  check_float "get" 3.0 (Mx.get m 1 0);
+  let t = Mx.transpose m in
+  check_float "transpose" 3.0 (Mx.get t 0 1);
+  check_bool "ragged rejected" true
+    (Result.is_error (Mx.of_rows [ [ 1.0 ]; [ 1.0; 2.0 ] ]));
+  check_bool "empty rejected" true (Result.is_error (Mx.of_rows []))
+
+let test_matrix_mul () =
+  let a = get (Mx.of_rows [ [ 1.0; 2.0 ]; [ 3.0; 4.0 ] ]) in
+  let i = Mx.identity 2 in
+  let ai = get (Mx.mul a i) in
+  check_float "a * I = a" 0.0 (Mx.max_abs_diff a ai);
+  let b = get (Mx.of_rows [ [ 5.0 ]; [ 6.0 ] ]) in
+  let ab = get (Mx.mul a b) in
+  check_float "product" 17.0 (Mx.get ab 0 0);
+  check_float "product 2" 39.0 (Mx.get ab 1 0);
+  check_bool "dimension mismatch" true (Result.is_error (Mx.mul b a))
+
+let test_matrix_inverse_known () =
+  let m = get (Mx.of_rows [ [ 4.0; 7.0 ]; [ 2.0; 6.0 ] ]) in
+  let inv = get (Mx.inverse m) in
+  check_float "inv[0][0]" 0.6 (Mx.get inv 0 0);
+  check_float "inv[0][1]" (-0.7) (Mx.get inv 0 1);
+  check_float "inv[1][0]" (-0.2) (Mx.get inv 1 0);
+  check_float "inv[1][1]" 0.4 (Mx.get inv 1 1);
+  let product = get (Mx.mul m inv) in
+  check_bool "m * inv = I" true
+    (Mx.max_abs_diff product (Mx.identity 2) < 1e-9)
+
+let test_matrix_singular () =
+  let m = get (Mx.of_rows [ [ 1.0; 2.0 ]; [ 2.0; 4.0 ] ]) in
+  check_bool "singular detected" true (Result.is_error (Mx.inverse m));
+  let zero = Mx.make ~rows:3 ~cols:3 0.0 in
+  check_bool "zero singular" true (Result.is_error (Mx.inverse zero));
+  let ridged = Mx.add_scaled_identity m 0.5 in
+  check_bool "ridge restores invertibility" true
+    (Result.is_ok (Mx.inverse ridged))
+
+let test_covariance_known () =
+  (* Two perfectly anti-correlated 2D samples around mean (1, 1). *)
+  let samples = [ [| 0.0; 2.0 |]; [| 2.0; 0.0 |] ] in
+  let cov = get (Mx.covariance samples) in
+  check_float "var x" 1.0 (Mx.get cov 0 0);
+  check_float "var y" 1.0 (Mx.get cov 1 1);
+  check_float "cov xy" (-1.0) (Mx.get cov 0 1);
+  check_bool "no samples" true (Result.is_error (Mx.covariance []));
+  check_bool "inconsistent dims" true
+    (Result.is_error (Mx.covariance [ [| 1.0 |]; [| 1.0; 2.0 |] ]))
+
+let test_quadratic_form () =
+  let i = Mx.identity 3 in
+  check_float "identity gives squared norm" 14.0
+    (get (Mx.quadratic_form i [| 1.0; 2.0; 3.0 |]));
+  check_bool "dimension mismatch" true
+    (Result.is_error (Mx.quadratic_form i [| 1.0 |]))
+
+(* --- Mahalanobis -------------------------------------------------------------- *)
+
+let cb = Scenario_audio.casebase
+let request = Scenario_audio.request
+
+let test_mahalanobis_prepare () =
+  let model = get (Mh.prepare cb ~type_id:1) in
+  let f = Mh.flops model in
+  check_bool "prepare flops dominated by inversion" true
+    (f.Mh.prepare_flops > f.Mh.per_query_flops);
+  check_bool "per-query is quadratic in attrs" true (f.Mh.per_query_flops >= 2 * 16);
+  check_bool "unknown type" true (Result.is_error (Mh.prepare cb ~type_id:42))
+
+let test_mahalanobis_exact_duplicate_wins () =
+  (* A request that exactly matches the DSP variant must rank it first. *)
+  let exact =
+    get
+      (Request.make ~type_id:1
+         [ (1, 16, 1.0); (2, 0, 1.0); (3, 1, 1.0); (4, 44, 1.0) ])
+  in
+  let model = get (Mh.prepare cb ~type_id:1) in
+  let ranked = Mh.rank model exact in
+  (match ranked with
+  | top :: _ ->
+      check_int "dsp first" 2 top.Mh.impl.Impl.id;
+      check_float "zero distance" 0.0 top.Mh.distance;
+      check_float "score 1" 1.0 top.Mh.score
+  | [] -> Alcotest.fail "empty ranking");
+  check_bool "distances ascend" true
+    (let rec ascending = function
+       | [] | [ _ ] -> true
+       | a :: (b :: _ as rest) -> a.Mh.distance <= b.Mh.distance && ascending rest
+     in
+     ascending ranked)
+
+let test_mahalanobis_best_on_paper_request () =
+  let model = get (Mh.prepare cb ~type_id:1) in
+  let best = Option.get (Mh.best model request) in
+  (* The paper's request is closest to the DSP variant for any sane
+     metric; Mahalanobis should agree with CBR here. *)
+  check_int "agrees with CBR on the paper example" 2 best.Mh.impl.Impl.id
+
+(* --- Selectors ------------------------------------------------------------------ *)
+
+let test_exact_match () =
+  let exact =
+    get (Request.make ~type_id:1 [ (1, 16, 1.0); (3, 1, 1.0); (4, 44, 1.0) ])
+  in
+  (match S.exact_match cb exact with
+  | Some impl -> check_int "finds the DSP variant" 2 impl.Impl.id
+  | None -> Alcotest.fail "expected a match");
+  (* The paper's request (rate 40) has no exact counterpart: brittle. *)
+  check_bool "paper request finds nothing" true (S.exact_match cb request = None)
+
+let test_rule_based () =
+  (match S.rule_based cb request with
+  | Some impl ->
+      check_bool "prefers FPGA regardless of fit" true
+        (Target.equal impl.Impl.target Target.Fpga)
+  | None -> Alcotest.fail "expected a pick");
+  (match S.rule_based ~priority:[ Target.Gpp ] cb request with
+  | Some impl -> check_int "gpp priority" 3 impl.Impl.id
+  | None -> Alcotest.fail "expected a pick");
+  (* Unknown type yields nothing. *)
+  let missing = get (Request.make ~type_id:42 []) in
+  check_bool "unknown type" true (S.rule_based cb missing = None)
+
+let test_random_choice_and_first () =
+  let rng = Workload.Prng.create ~seed:1 in
+  (match S.random_choice rng cb request with
+  | Some impl -> check_bool "valid pick" true (impl.Impl.id >= 1 && impl.Impl.id <= 3)
+  | None -> Alcotest.fail "expected a pick");
+  (match S.first_listed cb request with
+  | Some impl -> check_int "first" 1 impl.Impl.id
+  | None -> Alcotest.fail "expected a pick")
+
+let test_regret () =
+  let best = getr (Engine_float.best cb request) in
+  check_float "optimal pick has zero regret" 0.0
+    (S.regret cb request (Some best.Retrieval.impl));
+  let gpp = Option.get (Casebase.find_impl cb ~type_id:1 ~impl_id:3) in
+  let r = S.regret cb request (Some gpp) in
+  check_bool "bad pick has positive regret" true (r > 0.4);
+  check_bool "no pick costs the full best score" true
+    (S.regret cb request None > 0.9)
+
+(* --- Properties -------------------------------------------------------------------- *)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen f)
+
+let spd_gen =
+  (* Random SPD matrix: A^T A + I over small random entries. *)
+  QCheck2.Gen.(
+    let entry = float_range (-2.0) 2.0 in
+    let* n = int_range 2 5 in
+    list_size (return (n * n)) entry)
+
+let props =
+  [
+    prop "inverse of SPD matrix is a true inverse" spd_gen (fun entries ->
+        let n = int_of_float (sqrt (float_of_int (List.length entries))) in
+        let a = Mx.make ~rows:n ~cols:n 0.0 in
+        List.iteri (fun i v -> Mx.set a (i / n) (i mod n) v) entries;
+        let spd =
+          match Mx.mul (Mx.transpose a) a with
+          | Ok m -> Mx.add_scaled_identity m 1.0
+          | Error _ -> Mx.identity n
+        in
+        match Mx.inverse spd with
+        | Error _ -> false
+        | Ok inv -> (
+            match Mx.mul spd inv with
+            | Error _ -> false
+            | Ok product -> Mx.max_abs_diff product (Mx.identity n) < 1e-6));
+    prop "mahalanobis scores lie in (0, 1]" (QCheck2.Gen.int_range 0 50_000)
+      (fun seed ->
+        let rng = Workload.Prng.create ~seed in
+        let schema =
+          Workload.Generator.schema rng
+            { Workload.Generator.attr_count = 4; max_bound = 100 }
+        in
+        let cb =
+          Workload.Generator.casebase rng ~schema
+            {
+              Workload.Generator.type_count = 1;
+              impls_per_type = (2, 5);
+              attrs_per_impl = (2, 4);
+            }
+        in
+        let req =
+          Workload.Generator.request rng ~schema ~type_id:1
+            {
+              Workload.Generator.constraints = (1, 4);
+              weight_profile = `Equal;
+              value_slack = 0.0;
+            }
+        in
+        match Mh.prepare cb ~type_id:1 with
+        | Error _ -> true (* degenerate covariance is allowed to fail *)
+        | Ok model ->
+            List.for_all
+              (fun r -> r.Mh.score > 0.0 && r.Mh.score <= 1.0)
+              (Mh.rank model req));
+    prop "regret is never negative" (QCheck2.Gen.int_range 0 50_000)
+      (fun seed ->
+        let rng = Workload.Prng.create ~seed in
+        let schema =
+          Workload.Generator.schema rng
+            { Workload.Generator.attr_count = 4; max_bound = 100 }
+        in
+        let cb =
+          Workload.Generator.casebase rng ~schema
+            {
+              Workload.Generator.type_count = 2;
+              impls_per_type = (1, 4);
+              attrs_per_impl = (1, 4);
+            }
+        in
+        let req =
+          Workload.Generator.request rng ~schema ~type_id:1
+            {
+              Workload.Generator.constraints = (1, 4);
+              weight_profile = `Random;
+              value_slack = 0.2;
+            }
+        in
+        List.for_all
+          (fun pick -> S.regret cb req pick >= -1e-9)
+          [
+            S.exact_match cb req;
+            S.rule_based cb req;
+            S.first_listed cb req;
+            S.random_choice rng cb req;
+          ]);
+  ]
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "basics" `Quick test_matrix_basics;
+          Alcotest.test_case "mul" `Quick test_matrix_mul;
+          Alcotest.test_case "inverse known" `Quick test_matrix_inverse_known;
+          Alcotest.test_case "singular" `Quick test_matrix_singular;
+          Alcotest.test_case "covariance" `Quick test_covariance_known;
+          Alcotest.test_case "quadratic form" `Quick test_quadratic_form;
+        ] );
+      ( "mahalanobis",
+        [
+          Alcotest.test_case "prepare" `Quick test_mahalanobis_prepare;
+          Alcotest.test_case "exact duplicate wins" `Quick
+            test_mahalanobis_exact_duplicate_wins;
+          Alcotest.test_case "paper request" `Quick
+            test_mahalanobis_best_on_paper_request;
+        ] );
+      ( "selectors",
+        [
+          Alcotest.test_case "exact match" `Quick test_exact_match;
+          Alcotest.test_case "rule based" `Quick test_rule_based;
+          Alcotest.test_case "random/first" `Quick test_random_choice_and_first;
+          Alcotest.test_case "regret" `Quick test_regret;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,168 @@
+(* Integration tests driving the real qosalloc binary: every subcommand
+   is exercised end to end, including the export -> verify golden flow
+   and the engine differential test. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let binary = "../bin/qosalloc.exe"
+
+let tmp_dir = Filename.concat (Filename.get_temp_dir_name ()) "qosalloc-cli-test"
+
+let run_cli args =
+  (* Capture combined output; return (exit code, output). *)
+  let out_file = Filename.temp_file "qosalloc" ".out" in
+  let command =
+    Printf.sprintf "%s %s > %s 2>&1" (Filename.quote binary) args
+      (Filename.quote out_file)
+  in
+  let code = Sys.command command in
+  let output = In_channel.with_open_text out_file In_channel.input_all in
+  Sys.remove out_file;
+  (code, output)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec at i = i + m <= n && (String.sub haystack i m = needle || at (i + 1)) in
+  at 0
+
+let test_retrieve () =
+  let code, out = run_cli "retrieve -n 3" in
+  check_int "exit code" 0 code;
+  check_bool "dsp first" true (contains out "impl 2 on dsp: S = 0.9640");
+  check_bool "three rows" true (contains out "3. impl 3 on gpp");
+  let code, out = run_cli "retrieve -e rtl" in
+  check_int "rtl exit code" 0 code;
+  check_bool "rtl cycle stats" true (contains out "cycles=")
+
+let test_retrieve_all_engines_agree () =
+  List.iter
+    (fun engine ->
+      let code, out = run_cli ("retrieve -e " ^ engine) in
+      check_int (engine ^ " exit") 0 code;
+      (* float/fixed/rtl print "impl 2 ...", the soft core "impl=2". *)
+      check_bool
+        (engine ^ " picks impl 2")
+        true
+        (contains out "impl 2" || contains out "impl=2"))
+    [ "float"; "fixed"; "rtl"; "sw" ]
+
+let test_layout_and_resources () =
+  let code, out = run_cli "layout" in
+  check_int "layout exit" 0 code;
+  check_bool "accounting printed" true (contains out "request=11w");
+  let code, out = run_cli "resources" in
+  check_int "resources exit" 0 code;
+  check_bool "table 2 numbers" true (contains out "slices=441")
+
+let test_trace () =
+  let code, out = run_cli "trace" in
+  check_int "trace exit" 0 code;
+  check_bool "winner traced" true (contains out "new best: impl 2")
+
+let test_export_verify_roundtrip () =
+  let dir = Filename.concat tmp_dir "export" in
+  let code, _ = run_cli (Printf.sprintf "export -o %s -f hex -f coe" dir) in
+  check_int "export exit" 0 code;
+  check_bool "vhdl written" true
+    (Sys.file_exists (Filename.concat dir "qos_retrieval_unit.vhd"));
+  check_bool "manifest written" true
+    (Sys.file_exists (Filename.concat dir "qos_manifest.txt"));
+  let code, out = run_cli (Printf.sprintf "verify -i %s" dir) in
+  check_int "verify exit" 0 code;
+  check_bool "verify passes" true (contains out "VERIFY: PASS")
+
+let test_verify_detects_corruption () =
+  let dir = Filename.concat tmp_dir "corrupt" in
+  let code, _ = run_cli (Printf.sprintf "export -o %s" dir) in
+  check_int "export exit" 0 code;
+  (* Flip one data word in the request image (the bitwidth value). *)
+  let path = Filename.concat dir "qos_req_mem.hex" in
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let corrupted =
+    match String.split_on_char '\n' text with
+    | type_word :: aid :: _value :: rest ->
+        String.concat "\n" (type_word :: aid :: "0008" :: rest)
+    | _ -> Alcotest.fail "unexpected hex layout"
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc corrupted);
+  let code, out = run_cli (Printf.sprintf "verify -i %s" dir) in
+  check_bool "verify fails on corruption" true
+    (code <> 0 && contains out "VERIFY: FAIL")
+
+let test_difftest () =
+  let code, out = run_cli "difftest -n 50 --seed 7" in
+  check_int "difftest exit" 0 code;
+  check_bool "all agree" true (contains out "50/50 scenarios agree")
+
+let test_simulate_and_analyze () =
+  let csv = Filename.concat tmp_dir "trace.csv" in
+  let code, out =
+    run_cli (Printf.sprintf "simulate --duration-us 50000 --trace-csv %s" csv)
+  in
+  check_int "simulate exit" 0 code;
+  check_bool "report printed" true (contains out "TOTAL");
+  check_bool "utilization printed" true (contains out "utilization:");
+  let code, out = run_cli (Printf.sprintf "analyze -i %s" csv) in
+  check_int "analyze exit" 0 code;
+  check_bool "per-app breakdown" true (contains out "ecu")
+
+let test_demo_feeds_retrieve () =
+  let cb = Filename.concat tmp_dir "demo.cb" in
+  let code, out = run_cli "demo" in
+  check_int "demo exit" 0 code;
+  (* Split the demo output into case base and request files. *)
+  let idx =
+    let rec find i =
+      if i + 8 > String.length out then Alcotest.fail "no request in demo"
+      else if String.sub out i 8 = "request " then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  Out_channel.with_open_text cb (fun oc ->
+      Out_channel.output_string oc (String.sub out 0 idx));
+  let req = Filename.concat tmp_dir "demo.req" in
+  Out_channel.with_open_text req (fun oc ->
+      Out_channel.output_string oc
+        (String.sub out idx (String.length out - idx)));
+  let code, out = run_cli (Printf.sprintf "retrieve -c %s -r %s" cb req) in
+  check_int "retrieve on demo files" 0 code;
+  check_bool "same winner" true (contains out "impl 2 on dsp")
+
+let test_bad_input_fails_cleanly () =
+  let bad = Filename.concat tmp_dir "bad.cb" in
+  Out_channel.with_open_text bad (fun oc ->
+      Out_channel.output_string oc "bogus nonsense\n");
+  let code, out = run_cli (Printf.sprintf "retrieve -c %s" bad) in
+  check_bool "nonzero exit" true (code <> 0);
+  check_bool "names the file and line" true (contains out "bad.cb")
+
+let () =
+  (try Sys.mkdir tmp_dir 0o755 with Sys_error _ -> ());
+  Alcotest.run "cli"
+    [
+      ( "subcommands",
+        [
+          Alcotest.test_case "retrieve" `Quick test_retrieve;
+          Alcotest.test_case "all engines agree" `Quick
+            test_retrieve_all_engines_agree;
+          Alcotest.test_case "layout and resources" `Quick
+            test_layout_and_resources;
+          Alcotest.test_case "trace" `Quick test_trace;
+          Alcotest.test_case "simulate and analyze" `Quick
+            test_simulate_and_analyze;
+          Alcotest.test_case "demo feeds retrieve" `Quick
+            test_demo_feeds_retrieve;
+          Alcotest.test_case "bad input" `Quick test_bad_input_fails_cleanly;
+        ] );
+      ( "golden flow",
+        [
+          Alcotest.test_case "export/verify round-trip" `Quick
+            test_export_verify_roundtrip;
+          Alcotest.test_case "verify detects corruption" `Quick
+            test_verify_detects_corruption;
+          Alcotest.test_case "difftest" `Quick test_difftest;
+        ] );
+    ]

@@ -1,0 +1,321 @@
+(* Tests for the discrete-event engine, the application models and the
+   full-system simulation. *)
+
+module H = Desim.Heap
+module E = Desim.Engine
+module A = Desim.Apps
+module S = Desim.Simulate
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Heap ------------------------------------------------------------------- *)
+
+let test_heap_ordering () =
+  let h = H.create () in
+  check_bool "empty" true (H.is_empty h);
+  List.iter
+    (fun (t, v) -> H.push h ~time:t v)
+    [ (5.0, "e"); (1.0, "a"); (3.0, "c"); (2.0, "b"); (4.0, "d") ];
+  check_int "size" 5 (H.size h);
+  check_bool "peek" true (H.peek_time h = Some 1.0);
+  let order = List.init 5 (fun _ -> snd (Option.get (H.pop h))) in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c"; "d"; "e" ] order;
+  check_bool "drained" true (H.pop h = None)
+
+let test_heap_stable_ties () =
+  let h = H.create () in
+  List.iter (fun v -> H.push h ~time:1.0 v) [ 1; 2; 3; 4 ];
+  let order = List.init 4 (fun _ -> snd (Option.get (H.pop h))) in
+  Alcotest.(check (list int)) "ties fire in insertion order" [ 1; 2; 3; 4 ] order
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen f)
+
+let heap_props =
+  [
+    prop "heap pops in non-decreasing time order"
+      QCheck2.Gen.(list_size (int_range 0 200) (float_range 0.0 1000.0))
+      (fun times ->
+        let h = H.create () in
+        List.iter (fun t -> H.push h ~time:t ()) times;
+        let rec drain last =
+          match H.pop h with
+          | None -> true
+          | Some (t, ()) -> t >= last && drain t
+        in
+        drain neg_infinity);
+    prop "heap size tracks pushes and pops"
+      QCheck2.Gen.(list_size (int_range 0 50) (float_range 0.0 10.0))
+      (fun times ->
+        let h = H.create () in
+        List.iter (fun t -> H.push h ~time:t ()) times;
+        H.size h = List.length times);
+  ]
+
+(* --- Engine ------------------------------------------------------------------- *)
+
+let test_engine_ordering () =
+  let engine = E.create () in
+  let log = ref [] in
+  E.schedule engine ~delay:10.0 (fun _ -> log := "late" :: !log);
+  E.schedule engine ~delay:1.0 (fun e ->
+      log := "early" :: !log;
+      E.schedule e ~delay:2.0 (fun _ -> log := "nested" :: !log));
+  let fired = E.run engine in
+  check_int "three events" 3 fired;
+  Alcotest.(check (list string))
+    "order" [ "early"; "nested"; "late" ] (List.rev !log);
+  check_bool "clock at last event" true (E.now engine = 10.0)
+
+let test_engine_until () =
+  let engine = E.create () in
+  let count = ref 0 in
+  List.iter
+    (fun d -> E.schedule engine ~delay:d (fun _ -> incr count))
+    [ 1.0; 2.0; 50.0 ];
+  let fired = E.run ~until:10.0 engine in
+  check_int "two within the horizon" 2 fired;
+  check_int "one pending" 1 (E.pending engine)
+
+let test_engine_validation () =
+  let engine = E.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative or non-finite delay")
+    (fun () -> E.schedule engine ~delay:(-1.0) (fun _ -> ()));
+  E.schedule engine ~delay:5.0 (fun _ -> ());
+  let _ = E.run engine in
+  check_bool "schedule in the past rejected" true
+    (try
+       E.schedule_at engine ~time:1.0 (fun _ -> ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Apps --------------------------------------------------------------------- *)
+
+let test_reference_casebase () =
+  let stats = Qos_core.Casebase.stats A.reference_casebase in
+  check_int "six function types" 6 stats.Qos_core.Casebase.type_count;
+  check_int "three variants each" 18 stats.Qos_core.Casebase.impl_count;
+  check_int "four applications" 4 (List.length A.standard_apps)
+
+let test_instantiate_jitter () =
+  let rng = Workload.Prng.create ~seed:3 in
+  let template =
+    {
+      A.t_type_id = 1;
+      t_constraints = [ (1, 16, 4, 1.0); (4, 40, 0, 2.0) ];
+    }
+  in
+  for _ = 1 to 50 do
+    let r = A.instantiate rng template in
+    let c1 = Option.get (Qos_core.Request.find r 1) in
+    let c4 = Option.get (Qos_core.Request.find r 4) in
+    check_bool "jitter within bounds" true
+      (c1.Qos_core.Request.value >= 12 && c1.Qos_core.Request.value <= 20);
+    check_int "no jitter is exact" 40 c4.Qos_core.Request.value
+  done
+
+let test_instantiate_clamps () =
+  let rng = Workload.Prng.create ~seed:3 in
+  let template =
+    { A.t_type_id = 1; t_constraints = [ (1, 1, 5, 1.0) ] }
+  in
+  for _ = 1 to 30 do
+    let r = A.instantiate rng template in
+    let c = Option.get (Qos_core.Request.find r 1) in
+    check_bool "clamped at zero" true (c.Qos_core.Request.value >= 0)
+  done
+
+(* --- Simulation ------------------------------------------------------------------ *)
+
+let test_simulation_deterministic () =
+  let spec = S.default_spec () in
+  let a = S.run spec in
+  let b = S.run spec in
+  check_bool "identical reports for identical seeds" true (a = b);
+  let c = S.run { spec with S.seed = 43 } in
+  check_bool "different seed, different trace" true (a <> c)
+
+let test_simulation_consistency () =
+  let report = S.run (S.default_spec ()) in
+  let t = report.S.totals in
+  check_int "grants + refusals = requests" t.S.requests
+    (t.S.grants + t.S.refusals);
+  check_bool "work happened" true (t.S.requests > 50);
+  check_bool "similarity averages into [0,1]" true
+    (S.mean_similarity t >= 0.0 && S.mean_similarity t <= 1.0);
+  check_bool "grant rate into [0,1]" true
+    (S.grant_rate t >= 0.0 && S.grant_rate t <= 1.0);
+  check_bool "bypass tokens get hits in steady state" true
+    (t.S.bypass_grants > 0);
+  check_bool "per-app sums equal totals" true
+    (t.S.requests
+    = List.fold_left (fun acc (_, m) -> acc + m.S.requests) 0 report.S.per_app);
+  check_bool "resident tasks non-negative" true
+    (report.S.tasks_resident_at_end >= 0)
+
+let test_simulation_short_horizon () =
+  let spec = { (S.default_spec ()) with S.duration_us = 1_000.0 } in
+  let report = S.run spec in
+  check_bool "short run, little work" true (report.S.totals.S.requests < 10)
+
+let test_simulation_tight_system () =
+  (* A platform with almost no resources refuses or degrades. *)
+  let dev id target capacity =
+    match Allocator.Device.make ~device_id:id ~target ~capacity () with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  let spec =
+    {
+      (S.default_spec ()) with
+      S.devices = [ dev "gpp0" Qos_core.Target.Gpp 2 ];
+    }
+  in
+  let report = S.run spec in
+  let generous = S.run (S.default_spec ()) in
+  check_bool "tight system satisfies less or worse" true
+    (S.grant_rate report.S.totals < S.grant_rate generous.S.totals
+    || S.mean_similarity report.S.totals
+       < S.mean_similarity generous.S.totals);
+  check_bool "still simulates" true (report.S.totals.S.requests > 0)
+
+let test_energy_accounting () =
+  let report = S.run (S.default_spec ()) in
+  check_bool "energy accumulated" true (report.S.totals.S.energy_uj_sum > 0.0);
+  let per_app_total =
+    List.fold_left
+      (fun acc (_, m) -> acc +. m.S.energy_uj_sum)
+      0.0 report.S.per_app
+  in
+  check_bool "per-app energies sum to total" true
+    (Float.abs (per_app_total -. report.S.totals.S.energy_uj_sum) < 1e-6);
+  (* A lower-power platform (ASIC/DSP rich) should cost less energy per
+     grant than running everything on the GPP at 40 mW/slot... the FPGA
+     variants dominate here, so simply check the software-only run
+     differs. *)
+  let dev id target capacity =
+    match Allocator.Device.make ~device_id:id ~target ~capacity () with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  let sw_only =
+    S.run
+      {
+        (S.default_spec ()) with
+        S.devices = [ dev "gpp0" Qos_core.Target.Gpp 8 ];
+      }
+  in
+  check_bool "platform changes the energy picture" true
+    (Float.abs
+       (sw_only.S.totals.S.energy_uj_sum -. report.S.totals.S.energy_uj_sum)
+    > 1.0)
+
+module T = Desim.Tracefile
+
+let test_trace_collection () =
+  let spec = { (S.default_spec ()) with S.collect_trace = true } in
+  let report = S.run spec in
+  check_int "one row per request" report.S.totals.S.requests
+    (List.length report.S.trace);
+  let analysis = T.analyze report.S.trace in
+  check_int "granted + bypass + refused = rows" analysis.T.total
+    (analysis.T.granted + analysis.T.bypassed + analysis.T.refused);
+  check_int "bypass rows match metrics" report.S.totals.S.bypass_grants
+    analysis.T.bypassed;
+  check_bool "rows are time-ordered" true
+    (let rec ordered = function
+       | [] | [ _ ] -> true
+       | a :: (b :: _ as rest) ->
+           a.T.time_us <= b.T.time_us && ordered rest
+     in
+     ordered report.S.trace);
+  check_bool "no trace when disabled" true
+    ((S.run (S.default_spec ())).S.trace = [])
+
+let test_trace_csv_roundtrip () =
+  let spec =
+    { (S.default_spec ()) with S.collect_trace = true; S.duration_us = 50_000.0 }
+  in
+  let report = S.run spec in
+  let csv = T.to_csv report.S.trace in
+  match T.of_csv csv with
+  | Error e -> Alcotest.fail e
+  | Ok rows ->
+      check_int "row count survives" (List.length report.S.trace)
+        (List.length rows);
+      check_bool "fields survive" true
+        (List.for_all2
+           (fun (a : T.row) (b : T.row) ->
+             String.equal a.T.app_id b.T.app_id
+             && a.T.type_id = b.T.type_id && a.T.outcome = b.T.outcome
+             && a.T.impl_id = b.T.impl_id
+             && String.equal a.T.device_id b.T.device_id
+             && a.T.rounds = b.T.rounds
+             && Float.abs (a.T.similarity -. b.T.similarity) < 1e-5
+             && Float.abs (a.T.setup_us -. b.T.setup_us) < 1e-2)
+           report.S.trace rows)
+
+let test_trace_csv_errors () =
+  check_bool "bad header" true (Result.is_error (T.of_csv "nope\n1,2,3\n"));
+  check_bool "bad row" true
+    (Result.is_error
+       (T.of_csv
+          "time_us,app,type,outcome,impl,device,similarity,setup_us,rounds\nbad-line\n"));
+  check_bool "unknown outcome" true (Result.is_error (T.outcome_of_string "maybe"));
+  List.iter
+    (fun o ->
+      check_bool "outcome round-trip" true
+        (T.outcome_of_string (T.outcome_to_string o) = Ok o))
+    [ T.Granted; T.Granted_bypass; T.Refused ]
+
+let test_utilization_metric () =
+  let report = S.run (S.default_spec ()) in
+  check_int "one entry per device" 5 (List.length report.S.mean_utilization);
+  List.iter
+    (fun (_, u) -> check_bool "fraction in [0,1]" true (u >= 0.0 && u <= 1.0))
+    report.S.mean_utilization;
+  check_bool "the DSP is the busiest device here" true
+    (let u id = List.assoc id report.S.mean_utilization in
+     u "dsp0" > u "gpp0")
+
+let test_metrics_helpers () =
+  check_bool "empty metrics" true (S.mean_similarity S.empty_metrics = 0.0);
+  check_bool "empty rate" true (S.grant_rate S.empty_metrics = 0.0)
+
+let () =
+  Alcotest.run "desim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "stable ties" `Quick test_heap_stable_ties;
+        ]
+        @ heap_props );
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "validation" `Quick test_engine_validation;
+        ] );
+      ( "apps",
+        [
+          Alcotest.test_case "reference casebase" `Quick test_reference_casebase;
+          Alcotest.test_case "jitter" `Quick test_instantiate_jitter;
+          Alcotest.test_case "clamping" `Quick test_instantiate_clamps;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "deterministic" `Quick test_simulation_deterministic;
+          Alcotest.test_case "consistency" `Quick test_simulation_consistency;
+          Alcotest.test_case "short horizon" `Quick test_simulation_short_horizon;
+          Alcotest.test_case "tight system" `Quick test_simulation_tight_system;
+          Alcotest.test_case "metric helpers" `Quick test_metrics_helpers;
+          Alcotest.test_case "energy accounting" `Quick test_energy_accounting;
+          Alcotest.test_case "trace collection" `Quick test_trace_collection;
+          Alcotest.test_case "trace csv round-trip" `Quick
+            test_trace_csv_roundtrip;
+          Alcotest.test_case "trace csv errors" `Quick test_trace_csv_errors;
+          Alcotest.test_case "utilization metric" `Quick test_utilization_metric;
+        ] );
+    ]

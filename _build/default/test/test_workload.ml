@@ -1,0 +1,261 @@
+(* Tests for the deterministic PRNG and the workload generators. *)
+
+open Qos_core
+module P = Workload.Prng
+module G = Workload.Generator
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- PRNG ------------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = P.create ~seed:123 and b = P.create ~seed:123 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Int64.equal (P.int64 a) (P.int64 b))
+  done;
+  let c = P.create ~seed:124 in
+  check_bool "different seed diverges" true
+    (not (Int64.equal (P.int64 (P.create ~seed:123)) (P.int64 c)))
+
+let test_prng_copy_and_split () =
+  let a = P.create ~seed:9 in
+  let _ = P.int64 a in
+  let b = P.copy a in
+  check_bool "copy continues identically" true
+    (Int64.equal (P.int64 a) (P.int64 b));
+  let parent = P.create ~seed:9 in
+  let child = P.split parent in
+  check_bool "split stream differs from parent" true
+    (not (Int64.equal (P.int64 parent) (P.int64 child)))
+
+let test_prng_bounds () =
+  let rng = P.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = P.int rng ~bound:7 in
+    check_bool "int in [0,7)" true (v >= 0 && v < 7);
+    let w = P.int_in rng ~lo:3 ~hi:9 in
+    check_bool "int_in [3,9]" true (w >= 3 && w <= 9);
+    let f = P.float rng in
+    check_bool "float in [0,1)" true (f >= 0.0 && f < 1.0);
+    let e = P.exponential rng ~mean:10.0 in
+    check_bool "exponential non-negative and finite" true
+      (e >= 0.0 && Float.is_finite e)
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (P.int rng ~bound:0));
+  Alcotest.check_raises "bad range" (Invalid_argument "Prng.int_in: lo > hi")
+    (fun () -> ignore (P.int_in rng ~lo:5 ~hi:4));
+  Alcotest.check_raises "bad mean"
+    (Invalid_argument "Prng.exponential: mean must be positive") (fun () ->
+      ignore (P.exponential rng ~mean:0.0))
+
+let test_prng_collections () =
+  let rng = P.create ~seed:11 in
+  let original = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let shuffled = P.shuffle rng original in
+  check_bool "shuffle is a permutation" true
+    (List.sort compare shuffled = original);
+  check_int "choose picks a member" 0
+    (if List.mem (P.choose rng original) original then 0 else 1);
+  Alcotest.check_raises "choose empty"
+    (Invalid_argument "Prng.choose: empty list") (fun () ->
+      ignore (P.choose rng ([] : int list)));
+  let sample = P.sample_without_replacement rng ~k:3 original in
+  check_int "sample size" 3 (List.length sample);
+  check_bool "sample distinct" true
+    (List.length (List.sort_uniq compare sample) = 3);
+  check_bool "sample keeps original order" true
+    (List.sort compare sample = sample);
+  check_bool "oversized sample returns all" true
+    (P.sample_without_replacement rng ~k:99 original = original);
+  check_bool "k=0 returns nothing" true
+    (P.sample_without_replacement rng ~k:0 original = [])
+
+(* --- Generators ----------------------------------------------------------------- *)
+
+let test_generated_schema () =
+  let rng = P.create ~seed:21 in
+  let schema = G.schema rng { G.attr_count = 12; max_bound = 500 } in
+  check_int "cardinal" 12 (Attr.Schema.cardinal schema);
+  List.iter
+    (fun (d : Attr.descriptor) ->
+      check_bool "bounds ordered" true (d.Attr.lower <= d.Attr.upper);
+      check_bool "within max_bound" true (d.Attr.upper <= 500))
+    (Attr.Schema.descriptors schema)
+
+let test_generated_casebase_valid () =
+  (* Casebase.make validates conformance, so construction succeeding is
+     itself the property; double-check the shape. *)
+  let rng = P.create ~seed:22 in
+  let schema = G.schema rng G.default_schema_spec in
+  let cb = G.casebase rng ~schema G.default_casebase_spec in
+  let stats = Casebase.stats cb in
+  check_int "types" 15 stats.Casebase.type_count;
+  check_int "impls" 150 stats.Casebase.impl_count;
+  check_int "attrs per impl" 10 stats.Casebase.max_attrs_per_impl
+
+let test_sized_casebase () =
+  let cb = G.sized_casebase ~seed:1 ~types:4 ~impls:3 ~attrs:5 in
+  let stats = Casebase.stats cb in
+  check_int "types" 4 stats.Casebase.type_count;
+  check_int "impls" 12 stats.Casebase.impl_count;
+  check_int "attr entries" (12 * 5) stats.Casebase.attr_entry_count;
+  let req = G.sized_request ~seed:1 cb in
+  check_int "request width" 5 (Request.constraint_count req);
+  check_int "request targets type 1" 1 req.Request.type_id
+
+let test_request_spec () =
+  let rng = P.create ~seed:30 in
+  let schema = G.schema rng { G.attr_count = 8; max_bound = 100 } in
+  for _ = 1 to 50 do
+    let req =
+      G.request rng ~schema ~type_id:3
+        { G.constraints = (2, 5); weight_profile = `Random; value_slack = 0.0 }
+    in
+    let n = Request.constraint_count req in
+    check_bool "constraint count in range" true (n >= 2 && n <= 5);
+    List.iter
+      (fun (c : Request.constr) ->
+        check_bool "weight positive" true (c.Request.weight > 0.0);
+        let d = Option.get (Attr.Schema.find schema c.Request.attr) in
+        check_bool "no-slack values within bounds" true
+          (c.Request.value >= d.Attr.lower && c.Request.value <= d.Attr.upper))
+      req.Request.constraints
+  done
+
+let test_request_slack_can_exceed_bounds () =
+  let rng = P.create ~seed:31 in
+  let schema = G.schema rng { G.attr_count = 4; max_bound = 50 } in
+  let out_of_bounds = ref false in
+  for _ = 1 to 200 do
+    let req =
+      G.request rng ~schema ~type_id:1
+        { G.constraints = (4, 4); weight_profile = `Equal; value_slack = 1.0 }
+    in
+    List.iter
+      (fun (c : Request.constr) ->
+        let d = Option.get (Attr.Schema.find schema c.Request.attr) in
+        if c.Request.value < d.Attr.lower || c.Request.value > d.Attr.upper then
+          out_of_bounds := true)
+      req.Request.constraints
+  done;
+  check_bool "slack produces out-of-bounds values" true !out_of_bounds
+
+(* --- Stats ------------------------------------------------------------------- *)
+
+module St = Workload.Stats
+
+let test_stats_known_values () =
+  let s = Option.get (St.summarize [ 1.0; 2.0; 3.0; 4.0 ]) in
+  check_int "n" 4 s.St.n;
+  check_bool "mean" true (Float.abs (s.St.mean -. 2.5) < 1e-9);
+  check_bool "stddev (population)" true
+    (Float.abs (s.St.stddev -. sqrt 1.25) < 1e-9);
+  check_bool "min/max" true (s.St.minimum = 1.0 && s.St.maximum = 4.0);
+  check_bool "p50 nearest rank" true (s.St.p50 = 2.0);
+  check_bool "p99 is max here" true (s.St.p99 = 4.0);
+  check_bool "empty" true (St.summarize [] = None);
+  check_bool "nan rejected" true (St.summarize [ 1.0; Float.nan ] = None);
+  check_bool "mean empty" true (St.mean [] = None)
+
+let test_percentile () =
+  let values = [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  check_bool "p0 is min" true (St.percentile values ~p:0.0 = Some 1.0);
+  check_bool "p100 is max" true (St.percentile values ~p:100.0 = Some 5.0);
+  check_bool "p50 median" true (St.percentile values ~p:50.0 = Some 3.0);
+  check_bool "empty" true (St.percentile [] ~p:50.0 = None);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
+      ignore (St.percentile values ~p:101.0))
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen f)
+
+let props =
+  [
+    prop "generated case bases always encode to RAM images"
+      (QCheck2.Gen.int_range 0 100_000)
+      (fun seed ->
+        let rng = P.create ~seed in
+        let schema = G.schema rng { G.attr_count = 5; max_bound = 900 } in
+        let cb =
+          G.casebase rng ~schema
+            {
+              G.type_count = 2;
+              impls_per_type = (0, 4);
+              attrs_per_impl = (0, 5);
+            }
+        in
+        Result.is_ok (Memlayout.encode_tree cb));
+    prop "same seed, same casebase" (QCheck2.Gen.int_range 0 100_000)
+      (fun seed ->
+        let build () =
+          G.sized_casebase ~seed ~types:2 ~impls:2 ~attrs:3
+        in
+        Casebase.equal (build ()) (build ()));
+    prop "exponential has roughly the requested mean"
+      (QCheck2.Gen.int_range 0 1000)
+      (fun seed ->
+        let rng = P.create ~seed in
+        let n = 2000 in
+        let total = ref 0.0 in
+        for _ = 1 to n do
+          total := !total +. P.exponential rng ~mean:100.0
+        done;
+        let mean = !total /. float_of_int n in
+        mean > 80.0 && mean < 120.0);
+  ]
+
+let stats_props =
+  [
+    prop "summary bounds ordering"
+      QCheck2.Gen.(list_size (int_range 1 100) (float_range (-1000.0) 1000.0))
+      (fun values ->
+        match St.summarize values with
+        | None -> false
+        | Some s ->
+            s.St.minimum <= s.St.p50
+            && s.St.p50 <= s.St.p90
+            && s.St.p90 <= s.St.p99
+            && s.St.p99 <= s.St.maximum
+            && s.St.minimum <= s.St.mean
+            && s.St.mean <= s.St.maximum
+            && s.St.stddev >= 0.0);
+    prop "percentile is a member of the sample"
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 1 50) (float_range 0.0 100.0))
+          (float_range 0.0 100.0))
+      (fun (values, p) ->
+        match St.percentile values ~p with
+        | None -> false
+        | Some v -> List.mem v values);
+  ]
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "copy and split" `Quick test_prng_copy_and_split;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "collections" `Quick test_prng_collections;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "schema" `Quick test_generated_schema;
+          Alcotest.test_case "casebase" `Quick test_generated_casebase_valid;
+          Alcotest.test_case "sized casebase" `Quick test_sized_casebase;
+          Alcotest.test_case "request spec" `Quick test_request_spec;
+          Alcotest.test_case "request slack" `Quick
+            test_request_slack_can_exceed_bounds;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "known values" `Quick test_stats_known_values;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+        ] );
+      ("properties", props @ stats_props);
+    ]
