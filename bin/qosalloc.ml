@@ -338,13 +338,12 @@ let export_cmd =
       (fun (f : Rtlgen.Vhdl.file) -> write f.Rtlgen.Vhdl.filename f.Rtlgen.Vhdl.contents)
       files;
     let image = or_die (Memlayout.build_system cb req) in
+    (* emit_system runs the image verifier and refuses rejected images. *)
     List.iter
       (fun format ->
-        let ext = Rtlgen.Memfiles.extension format in
-        write ("qos_cb_mem." ^ ext)
-          (or_die (Rtlgen.Memfiles.emit format image.Memlayout.cb_mem));
-        write ("qos_req_mem." ^ ext)
-          (or_die (Rtlgen.Memfiles.emit format image.Memlayout.req_mem)))
+        List.iter
+          (fun (filename, contents) -> write filename contents)
+          (or_die (Rtlgen.Memfiles.emit_system format image)))
       formats;
     (* The manifest carries what the raw words cannot: the supplemental
        base and the expected retrieval result, for `qosalloc verify`. *)
@@ -383,6 +382,111 @@ let export_cmd =
   let doc = "export the retrieval unit as VHDL plus memory images" in
   Cmd.v (Cmd.info "export" ~doc)
     Term.(const run $ casebase_arg $ request_arg $ out_dir $ formats)
+
+(* --- lint ------------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let run casebase request format cb_hex req_hex supp_base =
+    let diags =
+      match (cb_hex, req_hex) with
+      | Some cb_file, Some req_file ->
+          (* Raw mode: lint bare hex images, however corrupted. *)
+          let load_hex path =
+            or_die (Rtlgen.Memfiles.parse_hex (or_die (read_file path)))
+          in
+          let cb_mem = load_hex cb_file in
+          let req_mem = load_hex req_file in
+          let supplemental_base =
+            match supp_base with
+            | Some b -> b
+            | None ->
+                or_die
+                  (Error "--supp-base is required with --cb-hex/--req-hex")
+          in
+          Analysis.Driver.lint_raw ~cb_mem ~req_mem ~supplemental_base
+      | None, None ->
+          (* Scenario mode: encode the case base + request and run all
+             four passes, including the generated VHDL. *)
+          let cb = or_die (load_casebase casebase) in
+          let req = or_die (load_request request) in
+          let vhdl =
+            List.map
+              (fun (f : Rtlgen.Vhdl.file) ->
+                (f.Rtlgen.Vhdl.filename, f.Rtlgen.Vhdl.contents))
+              (or_die (Rtlgen.Vhdl.project cb req))
+          in
+          or_die (Analysis.Driver.lint ~vhdl cb req)
+      | _ -> or_die (Error "--cb-hex and --req-hex must be given together")
+    in
+    (match format with
+    | `Json -> print_string (Analysis.Diagnostic.to_json diags)
+    | `Text ->
+        List.iter
+          (fun d -> Format.printf "%a@." Analysis.Diagnostic.pp d)
+          diags;
+        Printf.printf "lint: %d error(s), %d warning(s)\n"
+          (Analysis.Diagnostic.errors diags)
+          (Analysis.Diagnostic.warnings diags));
+    exit (Analysis.Diagnostic.exit_code diags)
+  in
+  let format_arg =
+    let fmt_conv =
+      Arg.conv
+        ( (function
+          | "text" -> Ok `Text
+          | "json" -> Ok `Json
+          | s -> Error (`Msg (Printf.sprintf "unknown format %S" s))),
+          fun ppf f ->
+            Format.pp_print_string ppf
+              (match f with `Text -> "text" | `Json -> "json") )
+    in
+    Arg.(
+      value & opt fmt_conv `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let cb_hex =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "cb-hex" ] ~docv:"FILE"
+          ~doc:"Lint a raw CB-MEM hex image instead of a scenario.")
+  in
+  let req_hex =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "req-hex" ] ~docv:"FILE" ~doc:"Raw Req-MEM hex image.")
+  in
+  let supp_base =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "supp-base" ] ~docv:"ADDR"
+          ~doc:"Supplemental-list base address of the raw CB image.")
+  in
+  let doc =
+    "statically analyse the RAM image, fixed-point datapath, soft-core \
+     routines and generated VHDL"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the $(b,qosalloc.analysis) passes: the image verifier (list \
+         termination, sorted attribute IDs, pointer bounds, reserved words, \
+         reciprocal and weight-sum consistency), interval range analysis of \
+         the Q15 datapath, CFG/dataflow checks of both MicroBlaze routine \
+         styles, and a lint of the generated VHDL.";
+      `P
+        "Exit status: 0 when clean (Info findings allowed), 1 when any \
+         warning was reported, 2 when any error was reported.";
+    ]
+  in
+  Cmd.v (Cmd.info "lint" ~doc ~man)
+    Term.(
+      const run $ casebase_arg $ request_arg $ format_arg $ cb_hex $ req_hex
+      $ supp_base)
 
 (* --- verify ---------------------------------------------------------------------- *)
 
@@ -573,6 +677,7 @@ let () =
             resources_cmd;
             simulate_cmd;
             export_cmd;
+            lint_cmd;
             verify_cmd;
             difftest_cmd;
             analyze_cmd;

@@ -1,0 +1,88 @@
+type severity = Error | Warning | Info
+
+type t = {
+  pass : string;
+  severity : severity;
+  location : string;
+  message : string;
+}
+
+let make ~pass ~severity ~loc message = { pass; severity; location = loc; message }
+
+let errorf ~pass ~loc fmt =
+  Printf.ksprintf (fun message -> make ~pass ~severity:Error ~loc message) fmt
+
+let warningf ~pass ~loc fmt =
+  Printf.ksprintf (fun message -> make ~pass ~severity:Warning ~loc message) fmt
+
+let infof ~pass ~loc fmt =
+  Printf.ksprintf (fun message -> make ~pass ~severity:Info ~loc message) fmt
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.pass b.pass in
+    if c <> 0 then c
+    else
+      let c = String.compare a.location b.location in
+      if c <> 0 then c else String.compare a.message b.message
+
+let sort ds = List.stable_sort compare ds
+
+let count severity ds = List.length (List.filter (fun d -> d.severity = severity) ds)
+
+let errors ds = count Error ds
+let warnings ds = count Warning ds
+
+let exit_code ds =
+  if errors ds > 0 then 2 else if warnings ds > 0 then 1 else 0
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %s: %s"
+    (severity_to_string d.severity)
+    d.pass d.location d.message
+
+(* Minimal JSON string escaping: quotes, backslashes, control chars. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json ds =
+  let ds = sort ds in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"diagnostics\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"pass\":\"%s\",\"severity\":\"%s\",\"location\":\"%s\",\"message\":\"%s\"}"
+           (json_escape d.pass)
+           (severity_to_string d.severity)
+           (json_escape d.location)
+           (json_escape d.message)))
+    ds;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"errors\":%d,\"warnings\":%d}\n" (errors ds)
+       (warnings ds));
+  Buffer.contents buf

@@ -1,0 +1,58 @@
+(** The unified diagnostic currency of every [qosalloc.analysis] pass.
+
+    A diagnostic names the pass that produced it, a severity, a
+    human-readable location (a memory word address, an instruction
+    index, a VHDL signal, ...) and a message.  Severities map onto the
+    CI exit-code contract of [qosalloc lint]:
+
+    - {!Error} — a paper invariant is violated; the artefact would
+      compute wrong similarities or crash the hardware model.  Exit 2.
+    - {!Warning} — legal but almost certainly unintended (dead code,
+      an attribute the supplemental list does not know, ...).  Exit 1.
+    - {!Info} — a proven, benign fact worth surfacing (e.g. the Q15
+      score can exceed 1.0 by a documented rounding slack).  Exit 0. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  pass : string;  (** "image", "range", "prog" or "vhdl". *)
+  severity : severity;
+  location : string;
+  message : string;
+}
+
+val make : pass:string -> severity:severity -> loc:string -> string -> t
+
+val errorf :
+  pass:string -> loc:string -> ('a, unit, string, t) format4 -> 'a
+
+val warningf :
+  pass:string -> loc:string -> ('a, unit, string, t) format4 -> 'a
+
+val infof : pass:string -> loc:string -> ('a, unit, string, t) format4 -> 'a
+
+val severity_to_string : severity -> string
+(** "error", "warning", "info". *)
+
+val compare : t -> t -> int
+(** Deterministic order: severity (errors first), then pass, location,
+    message — the order [sort] and {!to_json} present. *)
+
+val sort : t list -> t list
+
+val count : severity -> t list -> int
+
+val errors : t list -> int
+val warnings : t list -> int
+
+val exit_code : t list -> int
+(** 2 when any {!Error} is present, else 1 when any {!Warning}, else 0
+    (a clean run or Info-only findings). *)
+
+val pp : Format.formatter -> t -> unit
+(** [error[image] cb_mem[0x0012]: message]. *)
+
+val to_json : t list -> string
+(** Stable machine-readable rendering: the diagnostics in {!sort}
+    order plus error/warning totals, one JSON document, trailing
+    newline. *)

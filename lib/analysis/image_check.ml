@@ -1,0 +1,355 @@
+let pass_name = "image"
+
+let marker = Memlayout.end_marker
+
+let err ~loc fmt = Diagnostic.errorf ~pass:pass_name ~loc fmt
+let warn ~loc fmt = Diagnostic.warningf ~pass:pass_name ~loc fmt
+
+let cb_loc addr = Printf.sprintf "cb_mem[0x%04x]" addr
+let req_loc addr = Printf.sprintf "req_mem[0x%04x]" addr
+
+(* Accumulates diagnostics in reverse; [sort] at the end restores a
+   deterministic presentation order. *)
+type ctx = { mutable diags : Diagnostic.t list }
+
+let add ctx d = ctx.diags <- d :: ctx.diags
+
+let check_word_range ctx name words =
+  Array.iteri
+    (fun i w ->
+      if w < 0 || w > 0xFFFF then
+        add ctx
+          (err
+             ~loc:(Printf.sprintf "%s[0x%04x]" name i)
+             "word %d is outside the 16-bit range" w))
+    words
+
+(* --- Request list -------------------------------------------------------- *)
+
+(* Returns the request's (attr id, value, raw weight) triples for the
+   cross-checks against the supplemental list. *)
+let check_request ctx words =
+  let n = Array.length words in
+  if n < 2 then begin
+    add ctx (err ~loc:(req_loc 0) "request image too short (%d words)" n);
+    (None, [])
+  end
+  else begin
+    let type_id = words.(0) in
+    if type_id = marker then
+      add ctx
+        (err ~loc:(req_loc 0) "request type ID is the reserved end marker");
+    let constraints = ref [] in
+    let prev_id = ref (-1) in
+    let rec loop i =
+      if i >= n then
+        add ctx (err ~loc:(req_loc (n - 1)) "request list lacks an end marker")
+      else if words.(i) = marker then begin
+        if i <> n - 1 then
+          add ctx
+            (warn ~loc:(req_loc (i + 1)) "%d stray word(s) after the request end marker"
+               (n - 1 - i))
+      end
+      else if i + 2 >= n then
+        add ctx
+          (err ~loc:(req_loc i)
+             "truncated request attribute block (no end marker)")
+      else begin
+        let aid = words.(i) and v = words.(i + 1) and w = words.(i + 2) in
+        if aid <= !prev_id then
+          add ctx
+            (err ~loc:(req_loc i)
+               "request attribute IDs not strictly ascending (%d after %d); \
+                the resume-scan invariant of Sec. 4.1 is broken"
+               aid !prev_id);
+        prev_id := aid;
+        if v = marker then
+          add ctx
+            (err ~loc:(req_loc (i + 1))
+               "request value slot holds the reserved end marker");
+        constraints := (aid, v, w) :: !constraints;
+        loop (i + 3)
+      end
+    in
+    loop 1;
+    let constraints = List.rev !constraints in
+    (* Weight-sum invariant: each normalised weight is independently
+       rounded to Q15, so the raw sum may drift from Q15 one by at most
+       half an ulp per weight. *)
+    let k = List.length constraints in
+    if k > 0 then begin
+      let sum = List.fold_left (fun acc (_, _, w) -> acc + w) 0 constraints in
+      let tolerance = max 1 ((k + 1) / 2) in
+      let one = 32768 in
+      if abs (sum - one) > tolerance then
+        add ctx
+          (err ~loc:"req_mem[weights]"
+             "raw Q15 weights sum to %d, but equation (2) requires %d within \
+              %d ulp(s) for %d weight(s)"
+             sum one tolerance k)
+    end;
+    ((if type_id = marker then None else Some type_id), constraints)
+  end
+
+(* --- Supplemental list ---------------------------------------------------- *)
+
+(* Returns (attr id, lower, upper, recip) blocks for cross-checks. *)
+let check_supplemental ctx cb_mem base =
+  let n = Array.length cb_mem in
+  let blocks = ref [] in
+  let prev_id = ref (-1) in
+  let rec loop i =
+    if i >= n then
+      add ctx (err ~loc:(cb_loc (n - 1)) "supplemental list lacks an end marker")
+    else if cb_mem.(i) = marker then begin
+      if i <> n - 1 then
+        add ctx
+          (warn ~loc:(cb_loc (i + 1))
+             "%d stray word(s) after the supplemental end marker"
+             (n - 1 - i))
+    end
+    else if i + 3 >= n then
+      add ctx
+        (err ~loc:(cb_loc i) "truncated supplemental block (no end marker)")
+    else begin
+      let aid = cb_mem.(i) in
+      let lower = cb_mem.(i + 1) in
+      let upper = cb_mem.(i + 2) in
+      let recip = cb_mem.(i + 3) in
+      if aid <= !prev_id then
+        add ctx
+          (err ~loc:(cb_loc i)
+             "supplemental attribute IDs not strictly ascending (%d after %d)"
+             aid !prev_id);
+      prev_id := aid;
+      if lower = marker || upper = marker then
+        add ctx
+          (err ~loc:(cb_loc (i + 1))
+             "supplemental bound holds the reserved end marker")
+      else if lower > upper then
+        add ctx
+          (err ~loc:(cb_loc (i + 1))
+             "supplemental bounds inverted (lower %d > upper %d)" lower upper)
+      else begin
+        let expected = Fxp.Q15.to_raw (Fxp.Q15.recip_succ (upper - lower)) in
+        if recip <> expected then
+          add ctx
+            (err ~loc:(cb_loc (i + 3))
+               "reciprocal word %d does not match bounds [%d, %d]: \
+                (1 + dmax)^-1 in Q15 is %d"
+               recip lower upper expected)
+      end;
+      blocks := (aid, lower, upper, recip) :: !blocks;
+      loop (i + 4)
+    end
+  in
+  loop base;
+  List.rev !blocks
+
+(* --- Implementation tree -------------------------------------------------- *)
+
+type coverage = Free | Covered
+
+(* Walks one END-terminated pair list starting at [start] inside the
+   tree region, marking coverage and reporting overlaps.  Returns the
+   pairs when the walk stays in bounds. *)
+let walk_pairs ctx cb_mem cover limit ~what ?from start =
+  if start < 0 || start >= limit then begin
+    (* Report at the word that holds the bad pointer, when known. *)
+    let loc =
+      match from with Some a -> cb_loc a | None -> cb_loc (max 0 start)
+    in
+    add ctx
+      (err ~loc "%s list pointer %d outside the tree region [0, %d)" what
+         start limit);
+    None
+  end
+  else begin
+    let pairs = ref [] in
+    let claim i =
+      match cover.(i) with
+      | Free -> cover.(i) <- Covered
+      | Covered ->
+          add ctx
+            (err ~loc:(cb_loc i) "%s list overlaps another tree list" what)
+    in
+    let rec loop i =
+      if i >= limit then begin
+        add ctx
+          (err ~loc:(cb_loc (limit - 1)) "%s list lacks an end marker" what);
+        None
+      end
+      else if cb_mem.(i) = marker then begin
+        claim i;
+        Some (List.rev !pairs)
+      end
+      else if i + 1 >= limit then begin
+        add ctx (err ~loc:(cb_loc i) "truncated %s pair" what);
+        None
+      end
+      else begin
+        claim i;
+        claim (i + 1);
+        pairs := (cb_mem.(i), cb_mem.(i + 1), i) :: !pairs;
+        loop (i + 2)
+      end
+    in
+    loop start
+  end
+
+let check_tree ctx cb_mem limit =
+  let cover = Array.make limit Free in
+  let level2 = ref [] in
+  (* Level 0: (type id, level-1 pointer). *)
+  let type_ids = ref [] in
+  (match walk_pairs ctx cb_mem cover limit ~what:"level-0 type" 0 with
+  | None -> ()
+  | Some types ->
+      let prev = ref (-1) in
+      List.iter
+        (fun (type_id, l1_ptr, addr) ->
+          if type_id <= !prev then
+            add ctx
+              (warn ~loc:(cb_loc addr)
+                 "function-type IDs not strictly ascending (%d after %d)"
+                 type_id !prev);
+          prev := type_id;
+          type_ids := type_id :: !type_ids;
+          (* Level 1: (impl id, level-2 pointer). *)
+          match
+            walk_pairs ctx cb_mem cover limit ~what:"level-1 implementation"
+              ~from:(addr + 1) l1_ptr
+          with
+          | None -> ()
+          | Some impls ->
+              let prev_impl = ref (-1) in
+              List.iter
+                (fun (impl_id, l2_ptr, iaddr) ->
+                  if impl_id <= !prev_impl then
+                    add ctx
+                      (warn ~loc:(cb_loc iaddr)
+                         "implementation IDs not strictly ascending \
+                          (%d after %d)"
+                         impl_id !prev_impl);
+                  prev_impl := impl_id;
+                  (* Level 2: (attr id, value), the block the resume scan
+                     of Sec. 4.1 depends on. *)
+                  match
+                    walk_pairs ctx cb_mem cover limit ~what:"level-2 attribute"
+                      ~from:(iaddr + 1) l2_ptr
+                  with
+                  | None -> ()
+                  | Some attrs ->
+                      let prev_attr = ref (-1) in
+                      List.iter
+                        (fun (aid, v, aaddr) ->
+                          if aid <= !prev_attr then
+                            add ctx
+                              (err ~loc:(cb_loc aaddr)
+                                 "level-2 attribute IDs not strictly \
+                                  ascending (%d after %d); the resume-scan \
+                                  invariant of Sec. 4.1 is broken"
+                                 aid !prev_attr);
+                          prev_attr := aid;
+                          if v = marker then
+                            add ctx
+                              (err ~loc:(cb_loc (aaddr + 1))
+                                 "attribute value slot holds the reserved \
+                                  end marker");
+                          level2 := (type_id, impl_id, aid, v, aaddr) :: !level2)
+                        attrs)
+                impls)
+        types);
+  (* The walked lists must tile the tree region exactly. *)
+  let uncovered = ref 0 in
+  let first = ref (-1) in
+  Array.iteri
+    (fun i c ->
+      if c = Free then begin
+        incr uncovered;
+        if !first < 0 then first := i
+      end)
+    cover;
+  if !uncovered > 0 then
+    add ctx
+      (warn ~loc:(cb_loc !first)
+         "%d tree word(s) unreachable from the level-0 list (first at \
+          0x%04x)"
+         !uncovered !first);
+  (List.rev !type_ids, List.rev !level2)
+
+(* --- Cross-structure checks ------------------------------------------------ *)
+
+let check_cross ctx ~req_type ~constraints ~supplemental ~type_ids ~level2 =
+  let supp_find aid =
+    List.find_opt (fun (id, _, _, _) -> id = aid) supplemental
+  in
+  (match req_type with
+  | Some t when not (List.mem t type_ids) ->
+      add ctx
+        (warn ~loc:(req_loc 0)
+           "requested type %d is absent from the implementation tree \
+            (retrieval will report not-found)"
+           t)
+  | _ -> ());
+  List.iter
+    (fun (aid, _, _) ->
+      if supp_find aid = None then
+        add ctx
+          (warn ~loc:"req_mem"
+             "request constrains attribute %d, which the supplemental list \
+              does not describe (its local similarity is forced to 0)"
+             aid))
+    constraints;
+  List.iter
+    (fun (type_id, impl_id, aid, v, addr) ->
+      match supp_find aid with
+      | None ->
+          add ctx
+            (warn ~loc:(cb_loc addr)
+               "type %d impl %d stores attribute %d, which the supplemental \
+                list does not describe"
+               type_id impl_id aid)
+      | Some (_, lower, upper, _) ->
+          if v <> marker && (v < lower || v > upper) then
+            add ctx
+              (warn ~loc:(cb_loc (addr + 1))
+                 "type %d impl %d attribute %d value %d outside the \
+                  supplemental design bounds [%d, %d] (dmax normalisation \
+                  no longer covers it)"
+                 type_id impl_id aid v lower upper))
+    level2
+
+(* --- Entry points ----------------------------------------------------------- *)
+
+let check_raw ~cb_mem ~req_mem ~supplemental_base =
+  let ctx = { diags = [] } in
+  check_word_range ctx "cb_mem" cb_mem;
+  check_word_range ctx "req_mem" req_mem;
+  if ctx.diags <> [] then Diagnostic.sort ctx.diags
+  else if Array.length cb_mem > Memlayout.address_space then begin
+    add ctx
+      (err ~loc:"cb_mem"
+         "image of %d words exceeds the 16-bit address space"
+         (Array.length cb_mem));
+    Diagnostic.sort ctx.diags
+  end
+  else if supplemental_base <= 0 || supplemental_base >= Array.length cb_mem
+  then begin
+    add ctx
+      (err ~loc:"cb_mem"
+         "supplemental base %d outside the CB-MEM image of %d words"
+         supplemental_base (Array.length cb_mem));
+    Diagnostic.sort ctx.diags
+  end
+  else begin
+    let req_type, constraints = check_request ctx req_mem in
+    let supplemental = check_supplemental ctx cb_mem supplemental_base in
+    let type_ids, level2 = check_tree ctx cb_mem supplemental_base in
+    check_cross ctx ~req_type ~constraints ~supplemental ~type_ids ~level2;
+    Diagnostic.sort ctx.diags
+  end
+
+let check_system (image : Memlayout.system_image) =
+  check_raw ~cb_mem:image.Memlayout.cb_mem ~req_mem:image.Memlayout.req_mem
+    ~supplemental_base:image.Memlayout.supplemental_base

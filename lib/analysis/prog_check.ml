@@ -1,0 +1,349 @@
+open Mblaze
+
+let pass_name = "prog"
+
+let err ~loc fmt = Diagnostic.errorf ~pass:pass_name ~loc fmt
+let warn ~loc fmt = Diagnostic.warningf ~pass:pass_name ~loc fmt
+let iloc i = Printf.sprintf "insn %d" i
+
+let render insn =
+  Format.asprintf "%a" (Isa.pp_insn Format.pp_print_int) insn
+
+let render_s insn =
+  Format.asprintf "%a" (Isa.pp_insn Format.pp_print_string) insn
+
+(* ----- instruction shape helpers ------------------------------------ *)
+
+let written_reg : int Isa.insn -> int option = function
+  | Isa.Li (rd, _)
+  | Isa.Lw (rd, _, _)
+  | Isa.Add (rd, _, _)
+  | Isa.Addi (rd, _, _)
+  | Isa.Sub (rd, _, _)
+  | Isa.Mul (rd, _, _)
+  | Isa.Sll (rd, _, _)
+  | Isa.Srl (rd, _, _)
+  | Isa.Sra (rd, _, _)
+  | Isa.And (rd, _, _)
+  | Isa.Or (rd, _, _)
+  | Isa.Xor (rd, _, _) ->
+      Some rd
+  | Isa.Sw _ | Isa.Beq _ | Isa.Bne _ | Isa.Blt _ | Isa.Bge _ | Isa.Jmp _
+  | Isa.Halt ->
+      None
+
+let read_regs : int Isa.insn -> int list = function
+  | Isa.Li _ | Isa.Jmp _ | Isa.Halt -> []
+  | Isa.Lw (_, ra, _) -> [ ra ]
+  | Isa.Sw (rs, ra, _) -> [ rs; ra ]
+  | Isa.Addi (_, ra, _) | Isa.Sll (_, ra, _) | Isa.Srl (_, ra, _)
+  | Isa.Sra (_, ra, _) ->
+      [ ra ]
+  | Isa.Add (_, ra, rb) | Isa.Sub (_, ra, rb) | Isa.Mul (_, ra, rb)
+  | Isa.And (_, ra, rb) | Isa.Or (_, ra, rb) | Isa.Xor (_, ra, rb)
+  | Isa.Beq (ra, rb, _) | Isa.Bne (ra, rb, _) | Isa.Blt (ra, rb, _)
+  | Isa.Bge (ra, rb, _) ->
+      [ ra; rb ]
+
+(* Successors as (fallthrough, explicit target).  A fallthrough equal
+   to the program length means control runs off the end. *)
+let successors i = function
+  | Isa.Halt -> (None, None)
+  | Isa.Jmp t -> (None, Some t)
+  | Isa.Beq (_, _, t) | Isa.Bne (_, _, t) | Isa.Blt (_, _, t)
+  | Isa.Bge (_, _, t) ->
+      (Some (i + 1), Some t)
+  | _ -> (Some (i + 1), None)
+
+(* ----- constant propagation lattice --------------------------------- *)
+
+type cval = Bot | Const of int | Top
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Const x, Const y when x = y -> a
+  | Const _, Const _ -> Top
+  | Top, _ | _, Top -> Top
+
+let cval_equal a b =
+  match (a, b) with
+  | Bot, Bot | Top, Top -> true
+  | Const x, Const y -> x = y
+  | _ -> false
+
+(* Mirrors the integer semantics of [Mblaze.Cpu.run] (plain OCaml
+   ints, no wraparound; writes to r0 discarded). *)
+let transfer_const (regs : cval array) (insn : int Isa.insn) =
+  let regs = Array.copy regs in
+  let get r = regs.(r) in
+  let set r v = if r <> 0 then regs.(r) <- v in
+  let bin rd ra rb f =
+    set rd
+      (match (get ra, get rb) with
+      | Const a, Const b -> Const (f a b)
+      | Bot, _ | _, Bot -> Bot
+      | _ -> Top)
+  in
+  let una rd ra f =
+    set rd
+      (match get ra with Const a -> Const (f a) | Bot -> Bot | Top -> Top)
+  in
+  (match insn with
+  | Isa.Li (rd, imm) -> set rd (Const imm)
+  | Isa.Lw (rd, _, _) -> set rd Top
+  | Isa.Add (rd, ra, rb) -> bin rd ra rb ( + )
+  | Isa.Addi (rd, ra, imm) -> una rd ra (fun a -> a + imm)
+  | Isa.Sub (rd, ra, rb) -> bin rd ra rb ( - )
+  | Isa.Mul (rd, ra, rb) -> bin rd ra rb ( * )
+  | Isa.Sll (rd, ra, sh) -> una rd ra (fun a -> a lsl sh)
+  | Isa.Srl (rd, ra, sh) -> una rd ra (fun a -> a lsr sh)
+  | Isa.Sra (rd, ra, sh) -> una rd ra (fun a -> a asr sh)
+  | Isa.And (rd, ra, rb) -> bin rd ra rb ( land )
+  | Isa.Or (rd, ra, rb) -> bin rd ra rb ( lor )
+  | Isa.Xor (rd, ra, rb) -> bin rd ra rb ( lxor )
+  | Isa.Sw _ | Isa.Beq _ | Isa.Bne _ | Isa.Blt _ | Isa.Bge _ | Isa.Jmp _
+  | Isa.Halt ->
+      ());
+  regs
+
+(* ----- the assembled-program analysis ------------------------------- *)
+
+let check_core ?memory_words (insns : int Isa.insn array) =
+  let n = Array.length insns in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* Operand validity and target range. *)
+  Array.iteri
+    (fun i insn ->
+      (match Isa.validate insn with
+      | Ok () -> ()
+      | Error msg -> add (err ~loc:(iloc i) "%s: %s" (render insn) msg));
+      match successors i insn with
+      | _, Some t when t < 0 || t >= n ->
+          add
+            (err ~loc:(iloc i)
+               "%s: branch target %d is outside the program (0..%d)"
+               (render insn) t (n - 1))
+      | _ -> ())
+    insns;
+  let target_ok t = t >= 0 && t < n in
+  let succ_list i insn =
+    let ft, tgt = successors i insn in
+    let s = match ft with Some f when f < n -> [ f ] | _ -> [] in
+    match tgt with Some t when target_ok t -> t :: s | _ -> s
+  in
+  (* Reachability from instruction 0. *)
+  let reachable = Array.make n false in
+  let rec visit i =
+    if not reachable.(i) then begin
+      reachable.(i) <- true;
+      List.iter visit (succ_list i insns.(i))
+    end
+  in
+  if n > 0 then visit 0;
+  (* Control falling off the end. *)
+  Array.iteri
+    (fun i insn ->
+      if reachable.(i) then
+        match successors i insn with
+        | Some f, _ when f = n ->
+            add
+              (err ~loc:(iloc i)
+                 "%s: control can fall off the end of the program — the \
+                  routine must end in Halt"
+                 (render insn))
+        | _ -> ())
+    insns;
+  (* Unreachable code, one warning per contiguous run. *)
+  let i = ref 0 in
+  while !i < n do
+    if reachable.(!i) then incr i
+    else begin
+      let start = !i in
+      while !i < n && not reachable.(!i) do incr i done;
+      let stop = !i - 1 in
+      let what =
+        if start = stop then Printf.sprintf "instruction %d is" start
+        else Printf.sprintf "instructions %d..%d are" start stop
+      in
+      add
+        (warn ~loc:(iloc start) "%s: %s unreachable"
+           (render insns.(start)) what)
+    end
+  done;
+  (* Writes to r0. *)
+  Array.iteri
+    (fun i insn ->
+      if reachable.(i) then
+        match written_reg insn with
+        | Some 0 ->
+            add
+              (warn ~loc:(iloc i) "%s: write to r0 is silently discarded"
+                 (render insn))
+        | _ -> ())
+    insns;
+  (* Predecessor lists for the dataflow passes. *)
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun i insn ->
+      if reachable.(i) then
+        List.iter (fun s -> preds.(s) <- i :: preds.(s)) (succ_list i insn))
+    insns;
+  let all_defined = (1 lsl Isa.reg_count) - 1 in
+  (* Must-defined registers: intersection over predecessors, bitmask
+     over the register file.  Entry defines only r0; the extra [lor 1]
+     keeps r0 permanently defined. *)
+  if n > 0 then begin
+    let def_mask insn =
+      match written_reg insn with Some r -> 1 lsl r | None -> 0
+    in
+    let def_in = Array.make n all_defined in
+    let def_out = Array.make n all_defined in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for i = 0 to n - 1 do
+        if reachable.(i) then begin
+          let entry = if i = 0 then 1 else all_defined in
+          let inp =
+            List.fold_left (fun acc p -> acc land def_out.(p)) entry preds.(i)
+          in
+          let outp = inp lor def_mask insns.(i) lor 1 in
+          if inp <> def_in.(i) || outp <> def_out.(i) then begin
+            def_in.(i) <- inp;
+            def_out.(i) <- outp;
+            changed := true
+          end
+        end
+      done
+    done;
+    Array.iteri
+      (fun i insn ->
+        if reachable.(i) then
+          List.iter
+            (fun r ->
+              if def_in.(i) land (1 lsl r) = 0 then
+                add
+                  (warn ~loc:(iloc i)
+                     "%s: r%d may be read before any instruction has written \
+                      it"
+                     (render insn) r))
+            (List.sort_uniq compare (read_regs insn)))
+      insns
+  end;
+  (* Constant propagation for the load/store address proof.  The CPU
+     zero-initialises the register file, so entry is all-zero. *)
+  if n > 0 then begin
+    let states = Array.init n (fun _ -> Array.make Isa.reg_count Bot) in
+    let join_into dst src =
+      let changed = ref false in
+      Array.iteri
+        (fun r v ->
+          let j = join dst.(r) v in
+          if not (cval_equal j dst.(r)) then begin
+            dst.(r) <- j;
+            changed := true
+          end)
+        src;
+      !changed
+    in
+    ignore (join_into states.(0) (Array.make Isa.reg_count (Const 0)));
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for i = 0 to n - 1 do
+        if reachable.(i) then begin
+          let out = transfer_const states.(i) insns.(i) in
+          List.iter
+            (fun s -> if join_into states.(s) out then changed := true)
+            (succ_list i insns.(i))
+        end
+      done
+    done;
+    Array.iteri
+      (fun i insn ->
+        if reachable.(i) then
+          let check_addr kind ra off =
+            match states.(i).(ra) with
+            | Const base ->
+                let addr = base + off in
+                let bad =
+                  addr < 0
+                  ||
+                  match memory_words with Some m -> addr >= m | None -> false
+                in
+                if bad then
+                  let where =
+                    match memory_words with
+                    | Some m -> Printf.sprintf "the %d-word image" m
+                    | None -> "memory"
+                  in
+                  add
+                    (err ~loc:(iloc i)
+                       "%s: %s provably accesses word %d, outside %s"
+                       (render insn) kind addr where)
+            | Bot | Top -> ()
+          in
+          match insn with
+          | Isa.Lw (_, ra, off) -> check_addr "load" ra off
+          | Isa.Sw (_, ra, off) -> check_addr "store" ra off
+          | _ -> ())
+      insns
+  end;
+  Diagnostic.sort !diags
+
+let check_program ?memory_words (p : Asm.program) =
+  check_core ?memory_words p.Asm.insns
+
+let check_items ?memory_words (items : Asm.item list) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* Label table over instruction indices (labels do not occupy a
+     slot), mirroring the assembler's first pass. *)
+  let defined = Hashtbl.create 16 in
+  let idx = ref 0 in
+  List.iter
+    (function
+      | Asm.Label l ->
+          if Hashtbl.mem defined l then
+            add
+              (err
+                 ~loc:(Printf.sprintf "label %s" l)
+                 "duplicate label definition (first at instruction %d)"
+                 (Hashtbl.find defined l))
+          else Hashtbl.add defined l !idx
+      | Asm.Insn _ -> incr idx)
+    items;
+  if !idx = 0 then
+    add (err ~loc:"program" "empty program: no instructions to run");
+  idx := 0;
+  List.iter
+    (function
+      | Asm.Label _ -> ()
+      | Asm.Insn insn ->
+          let i = !idx in
+          incr idx;
+          (match Isa.validate insn with
+          | Ok () -> ()
+          | Error msg ->
+              add (err ~loc:(iloc i) "%s: %s" (render_s insn) msg));
+          (match insn with
+          | Isa.Beq (_, _, l) | Isa.Bne (_, _, l) | Isa.Blt (_, _, l)
+          | Isa.Bge (_, _, l)
+          | Isa.Jmp l ->
+              if not (Hashtbl.mem defined l) then
+                add
+                  (err ~loc:(iloc i) "%s: undefined label %S" (render_s insn)
+                     l)
+          | _ -> ()))
+    items;
+  match !diags with
+  | [] -> (
+      match Asm.assemble items with
+      | Ok p -> check_program ?memory_words p
+      | Error msg ->
+          (* The manual scan mirrors the assembler; anything it still
+             rejects is reported verbatim. *)
+          Diagnostic.sort [ err ~loc:"program" "does not assemble: %s" msg ])
+  | ds -> Diagnostic.sort ds

@@ -1,0 +1,39 @@
+(** Pass 3 — static checks over MicroBlaze retrieval routines.
+
+    Builds the control-flow graph of an [Mblaze] program (branch
+    targets are instruction indices after assembly) and reports:
+
+    - invalid instructions (register/shift operands out of range),
+      duplicate or undefined labels, and an empty program — all
+      {!Diagnostic.Error}s, mirroring what {!Mblaze.Asm.assemble}
+      rejects but as diagnostics instead of a single failure;
+    - branch/jump targets outside the program — Error;
+    - control that can fall off the end of the program (a reachable
+      instruction whose fall-through successor is past the last
+      index; the routine must end in [Halt]) — Error;
+    - unreachable instructions — Warning, one per contiguous range;
+    - writes to the hard-wired zero register [r0] — Warning (the
+      write is silently discarded by {!Mblaze.Cpu});
+    - registers that may be read before any instruction on some path
+      has written them (must-defined dataflow, intersection over
+      predecessors; the CPU zero-initialises registers so this is a
+      Warning, not an Error);
+    - [Lw]/[Sw] whose effective address is {e provably} outside
+      [[0, memory_words)] — constant propagation over the register
+      file with the same integer semantics as {!Mblaze.Cpu.run};
+      a proven fault is an Error with the concrete address. *)
+
+val pass_name : string
+(** "prog". *)
+
+val check_items : ?memory_words:int -> Mblaze.Asm.item list -> Diagnostic.t list
+(** Check an unassembled routine.  Label problems (duplicate
+    definitions, undefined branch targets) are reported here; when the
+    items do assemble, the full {!check_program} analysis runs on the
+    result. *)
+
+val check_program :
+  ?memory_words:int -> Mblaze.Asm.program -> Diagnostic.t list
+(** Check an assembled program.  [memory_words] bounds the data image
+    for the load/store address proof; omit it to check only for
+    provably negative addresses. *)

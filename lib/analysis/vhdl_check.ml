@@ -1,0 +1,469 @@
+let pass_name = "vhdl"
+
+let err ~loc fmt = Diagnostic.errorf ~pass:pass_name ~loc fmt
+let warn ~loc fmt = Diagnostic.warningf ~pass:pass_name ~loc fmt
+
+(* ----- tokenizer ---------------------------------------------------- *)
+
+type tok = { text : string; line : int }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* VHDL is case-insensitive: identifiers are lowercased.  Comments,
+   string literals and character literals are collapsed — their
+   contents never matter to this lint. *)
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let add t = toks := { text = t; line = !line } :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then
+      while !i < n && src.[!i] <> '\n' do incr i done
+    else if c = '"' then begin
+      incr i;
+      while !i < n && src.[!i] <> '"' do
+        if src.[!i] = '\n' then incr line;
+        incr i
+      done;
+      incr i;
+      add "\"\""
+    end
+    else if c = '\'' && !i + 2 < n && src.[!i + 2] = '\'' then begin
+      add "''";
+      i := !i + 3
+    end
+    else if is_ident_start c then begin
+      let s = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      add (String.lowercase_ascii (String.sub src s (!i - s)))
+    end
+    else if is_digit c then begin
+      let s = !i in
+      while !i < n && (is_digit src.[!i] || src.[!i] = '_' || src.[!i] = '.')
+      do
+        incr i
+      done;
+      add (String.sub src s (!i - s))
+    end
+    else begin
+      let two =
+        if !i + 1 < n then String.sub src !i 2 else ""
+      in
+      match two with
+      | "<=" | "=>" | ":=" | ">=" | "/=" | "**" ->
+          add two;
+          i := !i + 2
+      | _ ->
+          add (String.make 1 c);
+          incr i
+    end
+  done;
+  Array.of_list (List.rev !toks)
+
+(* ----- constant / subtype environment ------------------------------- *)
+
+type env = {
+  consts : (string, int) Hashtbl.t;  (** integer constant values *)
+  widths : (string, int) Hashtbl.t;  (** type name -> bit width *)
+}
+
+(* Tiny evaluator for range bounds: [16], [WORD_BITS - 1], ... *)
+let eval_expr env toks =
+  let operand x =
+    match int_of_string_opt x with
+    | Some v -> Some v
+    | None -> Hashtbl.find_opt env.consts x
+  in
+  match toks with
+  | [] -> None
+  | x :: rest ->
+      let rec go acc = function
+        | [] -> Some acc
+        | op :: y :: rest -> (
+            match (operand y, op) with
+            | Some w, "+" -> go (acc + w) rest
+            | Some w, "-" -> go (acc - w) rest
+            | _ -> None)
+        | _ -> None
+      in
+      Option.bind (operand x) (fun v -> go v rest)
+
+let split_on_tok sep toks =
+  let rec go acc = function
+    | [] -> None
+    | t :: rest when t = sep -> Some (List.rev acc, rest)
+    | t :: rest -> go (t :: acc) rest
+  in
+  go [] toks
+
+(* Width of a type denotation given as token texts:
+   ["word_t"], ["std_logic"], ["unsigned"; "("; ...; "downto"; ...; ")"]. *)
+let width_of_type env toks =
+  match toks with
+  | [ name ] -> Hashtbl.find_opt env.widths name
+  | kind :: "(" :: rest
+    when kind = "unsigned" || kind = "signed" || kind = "std_logic_vector"
+         || kind = "bit_vector" -> (
+      let rest =
+        match List.rev rest with ")" :: r -> List.rev r | _ -> rest
+      in
+      match split_on_tok "downto" rest with
+      | Some (hi_toks, lo_toks) -> (
+          match (eval_expr env hi_toks, eval_expr env lo_toks) with
+          | Some hi, Some lo when hi >= lo -> Some (hi - lo + 1)
+          | _ -> None)
+      | None -> None)
+  | _ -> None
+
+let texts_until_semi t m j =
+  let rec go j acc =
+    if j >= m then List.rev acc
+    else
+      match t.(j).text with
+      | ";" | ":=" -> List.rev acc
+      | x -> go (j + 1) (x :: acc)
+  in
+  go j []
+
+let collect_env files =
+  let env =
+    { consts = Hashtbl.create 16; widths = Hashtbl.create 16 }
+  in
+  Hashtbl.replace env.widths "std_logic" 1;
+  Hashtbl.replace env.widths "std_ulogic" 1;
+  Hashtbl.replace env.widths "bit" 1;
+  List.iter
+    (fun (_, src) ->
+      let t = tokenize src in
+      let m = Array.length t in
+      for i = 0 to m - 1 do
+        match t.(i).text with
+        | "constant" when i + 2 < m && t.(i + 2).text = ":" ->
+            (* constant NAME : type := value ; *)
+            let name = t.(i + 1).text in
+            let rec find_assign j =
+              if j >= m || t.(j).text = ";" then None
+              else if t.(j).text = ":=" then Some j
+              else find_assign (j + 1)
+            in
+            (match find_assign (i + 3) with
+            | Some j when j + 1 < m && t.(j + 2).text = ";" -> (
+                match int_of_string_opt t.(j + 1).text with
+                | Some v -> Hashtbl.replace env.consts name v
+                | None -> ())
+            | _ -> ())
+        | "subtype" when i + 2 < m && t.(i + 2).text = "is" -> (
+            let name = t.(i + 1).text in
+            match width_of_type env (texts_until_semi t m (i + 3)) with
+            | Some w -> Hashtbl.replace env.widths name w
+            | None -> ())
+        | _ -> ()
+      done)
+    files;
+  env
+
+(* ----- per-file analysis -------------------------------------------- *)
+
+type kind = Signal | Port_in | Port_out | Port_inout
+
+type entry = {
+  kind : kind;
+  width : int option;
+  decl_line : int;
+  mutable driven : (int * int) list;  (** (region, line) per drive site *)
+  mutable read : bool;
+  mutable connected : bool;  (** appears as a port-map actual *)
+}
+
+let check_one env ~name:filename src =
+  let t = tokenize src in
+  let m = Array.length t in
+  let tx i = if i >= 0 && i < m then t.(i).text else "" in
+  let entries : (string, entry) Hashtbl.t = Hashtbl.create 32 in
+  let decl_name = Array.make (max m 1) false in
+  let in_map = Array.make (max m 1) false in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let floc line = Printf.sprintf "%s:%d" filename line in
+  let declare kind i0 name width =
+    if not (Hashtbl.mem entries name) then
+      Hashtbl.replace entries name
+        {
+          kind;
+          width;
+          decl_line = t.(i0).line;
+          driven = [];
+          read = false;
+          connected = false;
+        }
+  in
+  let matching_paren j0 =
+    (* j0 points at "("; returns index of matching ")". *)
+    let depth = ref 0 in
+    let j = ref j0 in
+    let res = ref (m - 1) in
+    (try
+       while !j < m do
+         (match tx !j with
+         | "(" -> incr depth
+         | ")" ->
+             decr depth;
+             if !depth = 0 then begin
+               res := !j;
+               raise Exit
+             end
+         | _ -> ());
+         incr j
+       done
+     with Exit -> ());
+    !res
+  in
+  (* Parse one name list "a, b : <dir?> <type>" starting at [j]; marks
+     names, declares entries with [mk], returns index after the
+     declaration's terminator (";" or the closing [stop]). *)
+  let parse_decl ~record ~kind_of j stop =
+    let names = ref [] in
+    let j = ref j in
+    let continue = ref true in
+    while !continue do
+      if is_ident_start (tx !j).[0] then begin
+        decl_name.(!j) <- true;
+        names := !j :: !names
+      end;
+      if tx (!j + 1) = "," then j := !j + 2
+      else begin
+        continue := false;
+        j := !j + 1
+      end
+    done;
+    (* now tx !j should be ":" *)
+    if tx !j = ":" then begin
+      incr j;
+      let dir =
+        match tx !j with
+        | ("in" | "out" | "inout" | "buffer") as d ->
+            incr j;
+            Some d
+        | _ -> None
+      in
+      let ty = ref [] in
+      let depth = ref 0 in
+      let stop_here = ref false in
+      while not !stop_here && !j < m do
+        (match tx !j with
+        | "(" ->
+            incr depth;
+            ty := "(" :: !ty
+        | ")" when !depth = 0 -> stop_here := true  (* end of port list *)
+        | ")" ->
+            decr depth;
+            ty := ")" :: !ty
+        | ";" when !depth = 0 -> stop_here := true
+        | ":=" when !depth = 0 ->
+            (* skip the default value *)
+            while
+              !j < m && tx !j <> ";" && not (tx !j = ")" && !depth = 0)
+            do
+              (match tx !j with
+              | "(" -> incr depth
+              | ")" -> decr depth
+              | _ -> ());
+              incr j
+            done;
+            stop_here := true
+        | x -> ty := x :: !ty);
+        if not !stop_here then incr j
+      done;
+      if record then begin
+        let width = width_of_type env (List.rev !ty) in
+        let kind = kind_of dir in
+        List.iter (fun i0 -> declare kind i0 (tx i0) width) !names
+      end;
+      ignore stop;
+      if tx !j = ";" then !j + 1 else !j
+    end
+    else !j + 1
+  in
+  (* --- declaration pass --- *)
+  let in_component = ref false in
+  let i = ref 0 in
+  while !i < m do
+    (match tx !i with
+    | "component" -> in_component := tx (!i - 1) <> "end"
+    | "signal" when not !in_component ->
+        ignore (parse_decl ~record:true ~kind_of:(fun _ -> Signal) (!i + 1) ")")
+    | "variable" | "constant" ->
+        ignore (parse_decl ~record:false ~kind_of:(fun _ -> Signal) (!i + 1) ")")
+    | "type" | "subtype" ->
+        if is_ident_start (tx (!i + 1)).[0] then decl_name.(!i + 1) <- true
+    | "port" when tx (!i + 1) = "(" ->
+        let close = matching_paren (!i + 1) in
+        let j = ref (!i + 2) in
+        while !j < close do
+          j :=
+            parse_decl
+              ~record:(not !in_component)
+              ~kind_of:(fun dir ->
+                match dir with
+                | Some "in" -> Port_in
+                | Some "out" | Some "buffer" -> Port_out
+                | _ -> Port_inout)
+              !j ")"
+        done;
+        i := close
+    | "generic" when tx (!i + 1) = "(" ->
+        let close = matching_paren (!i + 1) in
+        let j = ref (!i + 2) in
+        while !j < close do
+          j := parse_decl ~record:false ~kind_of:(fun _ -> Signal) !j ")"
+        done;
+        i := close
+    | "map" when tx (!i + 1) = "(" ->
+        let close = matching_paren (!i + 1) in
+        for k = !i + 2 to close - 1 do
+          in_map.(k) <- true
+        done;
+        i := close
+    | _ -> ());
+    incr i
+  done;
+  (* --- driver / read pass --- *)
+  let region = ref 0 in
+  let fresh_region = ref 0 in
+  let next_region () =
+    incr fresh_region;
+    !fresh_region
+  in
+  let in_process = ref false in
+  let seps = [ ";"; "begin"; "then"; "else"; "select"; "loop"; "is"; "=>" ] in
+  let lhs_position i =
+    (* [i] is an identifier directly followed by "<=", or by an indexed
+       part then "<=": is it an assignment target? *)
+    let after =
+      if tx (i + 1) = "(" then matching_paren (i + 1) + 1 else i + 1
+    in
+    if tx after <> "<=" then None
+    else if List.mem (tx (i - 1)) seps then Some after
+    else None
+  in
+  let drive name line =
+    match Hashtbl.find_opt entries name with
+    | None -> ()
+    | Some e -> (
+        e.driven <- (!region, line) :: e.driven;
+        match e.kind with
+        | Port_in ->
+            add
+              (err ~loc:(floc line)
+                 "in port '%s' is driven inside the architecture" name)
+        | _ -> ())
+  in
+  let read name =
+    match Hashtbl.find_opt entries name with
+    | None -> ()
+    | Some e -> e.read <- true
+  in
+  let width_check ~lhs ~rhs ~line =
+    match (Hashtbl.find_opt entries lhs, Hashtbl.find_opt entries rhs) with
+    | Some a, Some b -> (
+        match (a.width, b.width) with
+        | Some wa, Some wb when wa <> wb ->
+            add
+              (err ~loc:(floc line)
+                 "width mismatch: '%s' is %d bit(s) wide but '%s' is %d" lhs
+                 wa rhs wb)
+        | _ -> ())
+    | _ -> ()
+  in
+  let i = ref 0 in
+  while !i < m do
+    let text = tx !i in
+    (match text with
+    | "process" ->
+        if tx (!i - 1) = "end" then in_process := false
+        else begin
+          in_process := true;
+          region := next_region ()
+        end
+    | ";" -> if not !in_process then region := next_region ()
+    | _ when is_ident_start text.[0] && not decl_name.(!i) ->
+        if in_map.(!i) then begin
+          if tx (!i + 1) <> "=>" then begin
+            (match Hashtbl.find_opt entries text with
+            | Some e -> e.connected <- true
+            | None -> ());
+            read text
+          end
+        end
+        else begin
+          match lhs_position !i with
+          | Some arrow ->
+              drive text t.(!i).line;
+              (* direct signal-to-signal copy: check the widths *)
+              let r = arrow + 1 in
+              if
+                r < m
+                && is_ident_start (tx r).[0]
+                && tx (r + 1) = ";"
+              then
+                width_check ~lhs:text ~rhs:(tx r) ~line:t.(!i).line
+          | None ->
+              if tx (!i + 1) <> ":" && tx (!i + 1) <> ":=" then read text
+        end
+    | _ -> ());
+    incr i
+  done;
+  (* --- verdicts --- *)
+  let names =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) entries []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, e) ->
+      let regions = List.sort_uniq compare (List.map fst e.driven) in
+      let loc = floc e.decl_line in
+      (match e.kind with
+      | Signal ->
+          if List.length regions >= 2 then begin
+            let lines =
+              List.sort_uniq compare (List.map snd e.driven)
+              |> List.map string_of_int |> String.concat ", "
+            in
+            add
+              (err ~loc
+                 "signal '%s' is driven from %d concurrent regions (lines %s)"
+                 name (List.length regions) lines)
+          end;
+          if (not e.connected) && e.driven = [] && e.read then
+            add (err ~loc "signal '%s' is read but never driven" name);
+          if (not e.connected) && e.driven = [] && not e.read then
+            add (warn ~loc "signal '%s' is declared but never used" name);
+          if (not e.connected) && e.driven <> [] && not e.read then
+            add (warn ~loc "signal '%s' is driven but never read" name)
+      | Port_out ->
+          if e.driven = [] && not e.connected then
+            add (err ~loc "out port '%s' is never driven" name)
+      | Port_in ->
+          (* driven-in-port errors are reported at the drive site *)
+          if (not e.read) && not e.connected then
+            add (warn ~loc "in port '%s' is never read" name)
+      | Port_inout -> ()))
+    names;
+  !diags
+
+let check_files files =
+  let env = collect_env files in
+  Diagnostic.sort
+    (List.concat_map (fun (name, src) -> check_one env ~name src) files)
+
+let check_file ~name src = check_files [ (name, src) ]

@@ -1,0 +1,41 @@
+(** Pass 4 — lint over generated VHDL sources.
+
+    A token-level static check of the files {!Rtlgen.Vhdl} emits (and
+    of any structurally similar RTL).  No elaboration is performed;
+    the pass understands just enough VHDL to track, per architecture:
+
+    - [signal]/[variable]/[constant] declarations, entity port lists
+      with directions, and the widths of [std_logic], [word_t]/[addr_t]
+      style subtypes and [unsigned(N downto 0)] ranges ([subtype] and
+      [constant] definitions are resolved across the whole file set, so
+      the package's [WORD_BITS] reaches the unit's port widths);
+    - drivers: [sig <= ...] concurrent statements, selected
+      assignments and process assignments, attributed to a {e region}
+      (a whole process is one region, each concurrent statement its
+      own) — a signal driven from two regions is multiply driven;
+    - reads: any other use of a declared signal.
+
+    Reported diagnostics:
+
+    - {b Error} — a signal read but never driven; a signal driven from
+      two or more regions; an [in] port driven inside the
+      architecture; an [out] port never driven; a direct assignment
+      [a <= b;] between signals of provably different widths;
+    - {b Warning} — a declared signal that is never used; a driven
+      signal that is never read; an [in] port never read.
+
+    Signals connected through a [port map] are exempt from the
+    driven/read accounting (their direction is unknown without
+    elaborating the mapped entity). *)
+
+val pass_name : string
+(** "vhdl". *)
+
+val check_files : (string * string) list -> Diagnostic.t list
+(** [check_files [(filename, contents); ...]] lints every file;
+    [subtype]/[constant] definitions are shared across the set, so
+    pass the package alongside the units that use it.  Diagnostic
+    locations are [file:line]. *)
+
+val check_file : name:string -> string -> Diagnostic.t list
+(** Single-file convenience wrapper over {!check_files}. *)

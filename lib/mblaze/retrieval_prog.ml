@@ -348,14 +348,15 @@ let compiled_c_items ~supp_base ~req_base ~result_base ~frame_base =
     Asm.Insn Halt;
   ]
 
-let routine ?(style = Hand_optimized) ~supp_base ~req_base ~result_base
+let routine_items ?(style = Hand_optimized) ~supp_base ~req_base ~result_base
     ~frame_base () =
+  match style with
+  | Hand_optimized -> hand_optimized_items ~supp_base ~req_base ~result_base
+  | Compiled_c -> compiled_c_items ~supp_base ~req_base ~result_base ~frame_base
+
+let routine ?style ~supp_base ~req_base ~result_base ~frame_base () =
   let items =
-    match style with
-    | Hand_optimized ->
-        hand_optimized_items ~supp_base ~req_base ~result_base
-    | Compiled_c ->
-        compiled_c_items ~supp_base ~req_base ~result_base ~frame_base
+    routine_items ?style ~supp_base ~req_base ~result_base ~frame_base ()
   in
   match Asm.assemble items with
   | Ok program -> program

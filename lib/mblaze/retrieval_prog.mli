@@ -40,6 +40,13 @@ type memory_map = {
 
 val build_memory : Memlayout.system_image -> memory_map
 
+val routine_items :
+  ?style:style ->
+  supp_base:int -> req_base:int -> result_base:int -> frame_base:int ->
+  unit -> Asm.item list
+(** The unassembled routine text (default style [Hand_optimized]) —
+    what static analyses consume. *)
+
 val routine :
   ?style:style ->
   supp_base:int -> req_base:int -> result_base:int -> frame_base:int ->

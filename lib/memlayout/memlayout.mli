@@ -36,6 +36,10 @@ val max_value_word : int
 (** 0xFFFE — largest storable attribute value ({!end_marker} is
     reserved). *)
 
+val address_space : int
+(** 0x10000 — word capacity of the 16-bit address space; no image may
+    exceed it (pointers are 16-bit words themselves). *)
+
 (** Word-addressed read-only memory with an access counter — the BRAM
     behavioural model shared by [Rtlsim] and [Mblaze]. *)
 module Ram : sig

@@ -50,6 +50,28 @@ let emit format words =
       | Hex -> emit_hex words)
     (check words)
 
+let emit_system format (image : Memlayout.system_image) =
+  let diags = Analysis.Image_check.check_system image in
+  if Analysis.Diagnostic.errors diags > 0 then
+    let rendered =
+      diags
+      |> List.filter (fun d -> d.Analysis.Diagnostic.severity = Analysis.Diagnostic.Error)
+      |> List.map (Format.asprintf "  %a" Analysis.Diagnostic.pp)
+      |> String.concat "\n"
+    in
+    Error
+      (Printf.sprintf
+         "refusing to emit memory files: the image verifier rejected the \
+          image:\n%s"
+         rendered)
+  else
+    Result.bind (emit format image.Memlayout.cb_mem) (fun cb ->
+        Result.map
+          (fun req ->
+            let ext = extension format in
+            [ ("qos_cb_mem." ^ ext, cb); ("qos_req_mem." ^ ext, req) ])
+          (emit format image.Memlayout.req_mem))
+
 let parse_hex text =
   let lines = String.split_on_char '\n' text in
   let parse_line acc line =

@@ -20,6 +20,15 @@ val emit : format -> int array -> (string, string) result
 (** File contents for one memory image; fails on an empty image or
     out-of-range words. *)
 
+val emit_system :
+  format -> Memlayout.system_image -> ((string * string) list, string) result
+(** [(filename, contents)] pairs for the CB-MEM and Req-MEM images
+    ([qos_cb_mem.*]/[qos_req_mem.*]) — but only after the
+    [qosalloc.analysis] image verifier accepts the image.  Any
+    Error-severity diagnostic makes this return [Error] with the
+    rendered findings instead of producing files, so a corrupted image
+    can never reach a tool flow. *)
+
 val parse_hex : string -> (int array, string) result
 (** Inverse of [emit Hex]: ignores blank lines and [//] comments;
     fails on malformed words. *)

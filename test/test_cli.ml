@@ -91,6 +91,79 @@ let test_verify_detects_corruption () =
   check_bool "verify fails on corruption" true
     (code <> 0 && contains out "VERIFY: FAIL")
 
+let fixture name = Filename.concat "../examples/data" name
+
+let test_lint_clean_exit0 () =
+  let code, out =
+    run_cli
+      (Printf.sprintf "lint -c %s -r %s" (fixture "audio.cb")
+         (fixture "paper.req"))
+  in
+  check_int "clean fixtures exit 0" 0 code;
+  check_bool "totals line" true (contains out "lint: 0 error(s), 0 warning(s)");
+  (* The built-in scenario is the same data and is equally clean. *)
+  let code, _ = run_cli "lint" in
+  check_int "built-in scenario exit 0" 0 code
+
+let test_lint_warning_exit1 () =
+  (* Constrain an attribute the schema does not describe: a
+     cross-structure warning, not an error. *)
+  let req = Filename.concat tmp_dir "unknown_attr.req" in
+  Out_channel.with_open_text req (fun oc ->
+      Out_channel.output_string oc "request 1\n  want 1 16 1\n  want 9 5 1\n");
+  let code, out = run_cli (Printf.sprintf "lint -r %s" req) in
+  check_int "warning exit 1" 1 code;
+  check_bool "warning printed" true (contains out "warning[");
+  check_bool "no errors" true (contains out "0 error(s)")
+
+let test_lint_error_exit2 () =
+  let dir = Filename.concat tmp_dir "lint-raw" in
+  let code, _ = run_cli (Printf.sprintf "export -o %s -f hex" dir) in
+  check_int "export exit" 0 code;
+  let cb_hex = Filename.concat dir "qos_cb_mem.hex" in
+  let req_hex = Filename.concat dir "qos_req_mem.hex" in
+  (* Pristine raw images lint clean... *)
+  let code, _ =
+    run_cli
+      (Printf.sprintf "lint --cb-hex %s --req-hex %s --supp-base 58" cb_hex
+         req_hex)
+  in
+  check_int "raw clean exit 0" 0 code;
+  (* ...then corrupt the first tree pointer (word 1). *)
+  let text = In_channel.with_open_text cb_hex In_channel.input_all in
+  let corrupted =
+    match String.split_on_char '\n' text with
+    | w0 :: _w1 :: rest -> String.concat "\n" (w0 :: "ffff" :: rest)
+    | _ -> Alcotest.fail "unexpected hex layout"
+  in
+  Out_channel.with_open_text cb_hex (fun oc ->
+      Out_channel.output_string oc corrupted);
+  let code, out =
+    run_cli
+      (Printf.sprintf "lint --cb-hex %s --req-hex %s --supp-base 58" cb_hex
+         req_hex)
+  in
+  check_int "corrupted raw exit 2" 2 code;
+  check_bool "error names the word" true (contains out "cb_mem[0x0001]")
+
+let test_lint_json_stable () =
+  let args =
+    Printf.sprintf "lint --format=json -c %s -r %s" (fixture "audio.cb")
+      (fixture "paper.req")
+  in
+  let code1, out1 = run_cli args in
+  let code2, out2 = run_cli args in
+  check_int "json exit" 0 code1;
+  check_int "json exit again" 0 code2;
+  check_bool "deterministic output" true (out1 = out2);
+  check_bool "diagnostics array" true (contains out1 "\"diagnostics\"");
+  check_bool "totals" true
+    (contains out1 "\"errors\":0" && contains out1 "\"warnings\":0");
+  check_bool "one trailing newline" true
+    (String.length out1 > 1
+    && out1.[String.length out1 - 1] = '\n'
+    && out1.[String.length out1 - 2] <> '\n')
+
 let test_difftest () =
   let code, out = run_cli "difftest -n 50 --seed 7" in
   check_int "difftest exit" 0 code;
@@ -156,6 +229,14 @@ let () =
           Alcotest.test_case "demo feeds retrieve" `Quick
             test_demo_feeds_retrieve;
           Alcotest.test_case "bad input" `Quick test_bad_input_fails_cleanly;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "clean fixtures exit 0" `Quick
+            test_lint_clean_exit0;
+          Alcotest.test_case "warning exit 1" `Quick test_lint_warning_exit1;
+          Alcotest.test_case "error exit 2" `Quick test_lint_error_exit2;
+          Alcotest.test_case "stable json" `Quick test_lint_json_stable;
         ] );
       ( "golden flow",
         [

@@ -83,6 +83,40 @@ let test_complement () =
     (Q.to_raw (Q.complement_to_one Q.max_value));
   check_int "complement half" 16384 (Q.to_raw (Q.complement_to_one Q.half))
 
+let test_mul_ties () =
+  (* mul is (a*b + half) >> 15: an exact half-ulp product rounds up
+     (round-half-up, matching the datapath's adder-before-shift). *)
+  let q = Q.of_raw_exn in
+  check_int "0.5 ulp tie rounds up" 1 (Q.to_raw (Q.mul (q 1) Q.half));
+  check_int "1.5 ulp tie rounds up" 2 (Q.to_raw (Q.mul (q 3) Q.half));
+  check_int "2.5 ulp tie rounds up" 3 (Q.to_raw (Q.mul (q 5) Q.half));
+  (* Just below the tie truncates down: 3 * 16383 = 1.49994 ulp. *)
+  check_int "just below tie rounds down" 1 (Q.to_raw (Q.mul (q 3) (q 16383)))
+
+let test_saturation_edges () =
+  check_int "max + 1 ulp saturates" 65535
+    (Q.to_raw (Q.add Q.max_value (Q.of_raw_exn 1)));
+  check_int "max + max saturates" 65535
+    (Q.to_raw (Q.add Q.max_value Q.max_value));
+  check_int "max + zero stays" 65535 (Q.to_raw (Q.add Q.max_value Q.zero));
+  check_int "just reaching max is exact" 65535
+    (Q.to_raw (Q.add (Q.of_raw_exn 65534) (Q.of_raw_exn 1)));
+  check_int "monus at zero" 0 (Q.to_raw (Q.sub Q.zero (Q.of_raw_exn 1)));
+  check_int "monus of equals" 0
+    (Q.to_raw (Q.sub (Q.of_raw_exn 123) (Q.of_raw_exn 123)));
+  check_int "monus zero minus max" 0 (Q.to_raw (Q.sub Q.zero Q.max_value))
+
+let test_of_float_boundaries () =
+  check_int "2.0 clamps to max" 65535 (Q.to_raw (Q.of_float 2.0));
+  check_int "largest representable is exact" 65535
+    (Q.to_raw (Q.of_float (65535.0 /. 32768.0)));
+  check_int "half an ulp above max clamps" 65535
+    (Q.to_raw (Q.of_float (65535.5 /. 32768.0)));
+  check_int "tiny negative clamps to zero" 0 (Q.to_raw (Q.of_float (-1e-9)));
+  check_int "half-ulp input rounds away from zero" 1
+    (Q.to_raw (Q.of_float (0.5 /. 32768.0)));
+  check_int "Q8 clamps at its own max" 65535 (Q8.to_raw (Q8.of_float 300.0))
+
 let test_compare_minmax () =
   let a = Q.of_raw_exn 100 and b = Q.of_raw_exn 200 in
   check_bool "compare lt" true (Q.compare a b < 0);
@@ -130,6 +164,13 @@ let props =
         let qa = Q.of_raw_exn a and qb = Q.of_raw_exn b in
         let exact = Q.to_float qa *. Q.to_float qb in
         Float.abs (Q.to_float (Q.mul qa qb) -. exact) <= Q.ulp);
+    prop "mul rounds to nearest (within half an ulp, raw)"
+      (QCheck2.Gen.pair (QCheck2.Gen.int_range 0 32768)
+         (QCheck2.Gen.int_range 0 32768))
+      (fun (a, b) ->
+        let r = Q.to_raw (Q.mul (Q.of_raw_exn a) (Q.of_raw_exn b)) in
+        (* |r - a*b/2^15| <= 1/2, checked exactly in integers. *)
+        abs ((r lsl 16) - (2 * a * b)) <= 65536 / 2);
     prop "sub then add restores when no clip"
       (QCheck2.Gen.pair raw_gen raw_gen)
       (fun (a, b) ->
@@ -175,6 +216,10 @@ let () =
           Alcotest.test_case "div" `Quick test_div;
           Alcotest.test_case "recip_succ" `Quick test_recip_succ;
           Alcotest.test_case "complement" `Quick test_complement;
+          Alcotest.test_case "mul ties" `Quick test_mul_ties;
+          Alcotest.test_case "saturation edges" `Quick test_saturation_edges;
+          Alcotest.test_case "of_float boundaries" `Quick
+            test_of_float_boundaries;
           Alcotest.test_case "compare/min/max" `Quick test_compare_minmax;
           Alcotest.test_case "abs_diff" `Quick test_abs_diff;
           Alcotest.test_case "Make validates" `Quick test_make_validates;

@@ -321,6 +321,53 @@ let props =
                          b.Rtlsim.Machine.best_score
                 | Error _, Error _ -> true
                 | _ -> false)));
+    prop "encoded images lint clean (image + range passes)"
+      (QCheck2.Gen.int_range 0 50_000)
+      (fun seed ->
+        let cb = Workload.Generator.sized_casebase ~seed ~types:3 ~impls:3 ~attrs:5 in
+        let req = Workload.Generator.sized_request ~seed cb in
+        match Memlayout.build_system cb req with
+        | Error _ -> false
+        | Ok image ->
+            let diags =
+              Analysis.Driver.lint_raw ~cb_mem:image.Memlayout.cb_mem
+                ~req_mem:image.Memlayout.req_mem
+                ~supplemental_base:image.Memlayout.supplemental_base
+            in
+            Analysis.Diagnostic.errors diags = 0
+            && Analysis.Diagnostic.warnings diags = 0);
+    prop "any single corrupted word is caught by the verifier"
+      (QCheck2.Gen.int_range 0 50_000)
+      (fun seed ->
+        let cb = Workload.Generator.sized_casebase ~seed ~types:3 ~impls:3 ~attrs:5 in
+        let req = Workload.Generator.sized_request ~seed cb in
+        match Memlayout.build_system cb req with
+        | Error _ -> false
+        | Ok image ->
+            (* Overwrite one non-marker word (chosen by the seed, in
+               either memory) with the reserved end marker; the image
+               pass must flag it. *)
+            let cb_mem = Array.copy image.Memlayout.cb_mem in
+            let req_mem = Array.copy image.Memlayout.req_mem in
+            let target = if seed mod 2 = 0 then cb_mem else req_mem in
+            let n = Array.length target in
+            let rec pick i tries =
+              if tries >= n then None
+              else if target.(i mod n) <> Memlayout.end_marker then
+                Some (i mod n)
+              else pick (i + 1) (tries + 1)
+            in
+            (match pick (seed / 2) 0 with
+            | None -> true (* image is all markers; nothing to corrupt *)
+            | Some idx ->
+                target.(idx) <- Memlayout.end_marker;
+                let diags =
+                  Analysis.Driver.lint_raw ~cb_mem ~req_mem
+                    ~supplemental_base:image.Memlayout.supplemental_base
+                in
+                Analysis.Diagnostic.errors diags
+                + Analysis.Diagnostic.warnings diags
+                > 0));
     prop "all list structures are end-terminated"
       (QCheck2.Gen.int_range 0 50_000)
       (fun seed ->

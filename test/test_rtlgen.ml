@@ -160,6 +160,31 @@ let test_hex_roundtrip () =
        (List.map MF.extension [ MF.Coe; MF.Mif; MF.Hex ])
        [ "coe"; "mif"; "hex" ])
 
+let test_emit_system_gated () =
+  let image = get (Memlayout.build_system cb request) in
+  (* A healthy image produces both memory files, in every format. *)
+  List.iter
+    (fun fmt ->
+      match MF.emit_system fmt image with
+      | Error e -> Alcotest.fail e
+      | Ok files ->
+          Alcotest.(check (list string))
+            "filenames"
+            [ "qos_cb_mem." ^ MF.extension fmt; "qos_req_mem." ^ MF.extension fmt ]
+            (List.map fst files))
+    [ MF.Coe; MF.Mif; MF.Hex ];
+  (* A corrupted image is refused with a diagnostic, not an exception. *)
+  let cb_mem = Array.copy image.Memlayout.cb_mem in
+  cb_mem.(1) <- Memlayout.end_marker;
+  let corrupted = { image with Memlayout.cb_mem } in
+  match MF.emit_system MF.Hex corrupted with
+  | Ok _ -> Alcotest.fail "emit_system accepted a corrupted image"
+  | Error msg ->
+      check_bool "mentions the verifier" true
+        (count_substring msg "image verifier" > 0);
+      check_bool "names the offending word" true
+        (count_substring msg "cb_mem[0x0001]" > 0)
+
 (* --- properties --------------------------------------------------------------------- *)
 
 let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen f)
@@ -222,6 +247,8 @@ let () =
           Alcotest.test_case "coe" `Quick test_coe;
           Alcotest.test_case "mif" `Quick test_mif;
           Alcotest.test_case "hex round-trip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "emit_system gated by verifier" `Quick
+            test_emit_system_gated;
         ] );
       ("properties", props);
     ]
