@@ -15,7 +15,8 @@
      S5  Sec. 3   - threshold rejection and relaxation loop
      S6  Sec. 3   - bypass tokens on repeated calls
      B1  extra    - allocation quality vs naive baselines
-     B2  extra    - Mahalanobis cost comparison (Sec. 2.2 claim) *)
+     B2  extra    - Mahalanobis cost comparison (Sec. 2.2 claim)
+     R1  extra    - fault campaigns: scrubbing on vs off under SEUs *)
 
 open Qos_core
 
@@ -879,6 +880,48 @@ let run_b3 () =
     [ 0.0; 0.25; 0.5; 0.75; 0.9; 0.99 ]
 
 (* ------------------------------------------------------------------ *)
+(* R1: fault campaigns, scrubbing on vs off                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_r1 () =
+  section "R1" "extra: fault campaigns - scrubbing on vs off under SEUs";
+  let campaign ~scrub =
+    let base =
+      {
+        (Desim.Simulate.default_spec ()) with
+        Desim.Simulate.duration_us = 100_000.0;
+        seed = 97;
+      }
+    in
+    Faults.Campaign.run
+      {
+        (Faults.Campaign.default_spec ()) with
+        Faults.Campaign.base;
+        seu_mean_interval_us = Some 2_000.0;
+        scrub_period_us = (if scrub then Some 5_000.0 else None);
+      }
+  in
+  Printf.printf
+    "100 ms campaign, SEU mean interval 2 ms, scrub period 5 ms:\n\n";
+  Printf.printf "%-10s %6s %6s %9s %11s %9s  %s\n" "scrubbing" "seu"
+    "scrubs" "repaired" "undetected" "detected" "verdict";
+  List.iter
+    (fun scrub ->
+      let r = campaign ~scrub in
+      let c = r.Faults.Campaign.corruption in
+      Printf.printf "%-10s %6d %6d %9d %11d %9d  %s\n"
+        (if scrub then "on" else "off")
+        c.Faults.Campaign.seu_injected c.Faults.Campaign.scrub_runs
+        c.Faults.Campaign.scrub_repairs
+        c.Faults.Campaign.undetected_retrievals
+        c.Faults.Campaign.detected_retrievals
+        (Faults.Campaign.verdict_to_string (Faults.Campaign.classify r)))
+    [ false; true ];
+  Printf.printf
+    "\nscrubbing converts silent corruption into detected-and-repaired\n\
+     retrievals; without it corrupted images are consumed unnoticed.\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -917,6 +960,39 @@ let micro_tests () =
         ignore (Textfmt.parse_casebase printed)));
     Test.make ~name:"mahalanobis/prepare-10x10" (Staged.stage (fun () ->
         ignore (Baselines.Mahalanobis.prepare big_cb ~type_id:1)));
+    (* Allocation-path overhead of the integrity guard: an allocate +
+       release cycle alone, then the same cycle preceded by the
+       scrubber's checksum probe (the per-retrieval cost campaigns pay
+       when scrubbing is enabled). *)
+    (let mgr =
+       Allocator.Manager.create ~casebase:cb
+         ~devices:(Allocator.Device.default_system ())
+         ~catalog:(Allocator.Catalog.of_casebase_default cb) ()
+     in
+     Test.make ~name:"manager/alloc-release" (Staged.stage (fun () ->
+         (match Allocator.Manager.allocate mgr ~app_id:"bench" request with
+         | Ok g ->
+             ignore
+               (Allocator.Manager.release mgr
+                  ~task_id:g.Allocator.Manager.task.Allocator.Manager.task_id)
+         | Error _ -> ());
+         ignore (Allocator.Manager.drain_events mgr))));
+    (let mgr =
+       Allocator.Manager.create ~casebase:cb
+         ~devices:(Allocator.Device.default_system ())
+         ~catalog:(Allocator.Catalog.of_casebase_default cb) ()
+     in
+     let scrubber = get (Faults.Scrubber.create cb request) in
+     Test.make ~name:"manager/alloc-release+scrub" (Staged.stage (fun () ->
+         if not (Faults.Scrubber.checksum_matches scrubber) then
+           ignore (Faults.Scrubber.repair scrubber);
+         (match Allocator.Manager.allocate mgr ~app_id:"bench" request with
+         | Ok g ->
+             ignore
+               (Allocator.Manager.release mgr
+                  ~task_id:g.Allocator.Manager.task.Allocator.Manager.task_id)
+         | Error _ -> ());
+         ignore (Allocator.Manager.drain_events mgr))));
   ]
 
 let run_micro () =
@@ -1008,6 +1084,7 @@ let () =
   run_b1 ();
   run_b2 ();
   run_b3 ();
+  run_r1 ();
   run_micro ();
   run_scorecard ();
   Printf.printf "\nall sections completed.\n"

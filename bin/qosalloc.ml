@@ -7,6 +7,7 @@
      trace      run the hardware unit model with a cycle trace
      resources  print the Table 2 resource estimate
      simulate   run the full-system discrete-event simulation
+     faults     run a fault-injection campaign with recovery
      demo       emit the built-in paper example as text-format files *)
 
 open Cmdliner
@@ -317,6 +318,200 @@ let simulate_cmd =
   in
   let doc = "simulate the Fig. 1 multi-device system under load" in
   Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ duration $ seed $ trace_csv)
+
+(* --- faults ---------------------------------------------------------------- *)
+
+(* "DEVICE@TIME" (permanent) or "DEVICE@TIME+DURATION" (transient). *)
+let parse_device_fault s =
+  match String.index_opt s '@' with
+  | None -> Error (`Msg (Printf.sprintf "expected DEVICE@TIME[+DUR], got %S" s))
+  | Some at -> (
+      let device = String.sub s 0 at in
+      let rest = String.sub s (at + 1) (String.length s - at - 1) in
+      let time_s, dur_s =
+        match String.index_opt rest '+' with
+        | None -> (rest, None)
+        | Some plus ->
+            ( String.sub rest 0 plus,
+              Some (String.sub rest (plus + 1) (String.length rest - plus - 1))
+            )
+      in
+      match (float_of_string_opt time_s, Option.map float_of_string_opt dur_s) with
+      | None, _ | _, Some None ->
+          Error (`Msg (Printf.sprintf "bad time in device fault %S" s))
+      | Some time, None ->
+          Ok
+            {
+              Faults.Campaign.df_device_id = device;
+              df_at_us = time;
+              df_kind = `Permanent;
+            }
+      | Some time, Some (Some dur) ->
+          Ok
+            {
+              Faults.Campaign.df_device_id = device;
+              df_at_us = time;
+              df_kind = `Transient dur;
+            })
+
+let faults_cmd =
+  let run duration_us seed seu_mean scrub_period reconfig_prob flash_prob
+      deadline max_retries backoff_us backoff_factor device_faults format =
+    let base =
+      { (Desim.Simulate.default_spec ()) with Desim.Simulate.duration_us; seed }
+    in
+    List.iter
+      (fun df ->
+        let id = df.Faults.Campaign.df_device_id in
+        if
+          not
+            (List.exists
+               (fun (d : Allocator.Device.t) ->
+                 String.equal d.Allocator.Device.device_id id)
+               base.Desim.Simulate.devices)
+        then or_die (Error (Printf.sprintf "unknown device %S in --fail" id)))
+      device_faults;
+    let spec =
+      {
+        Faults.Campaign.base;
+        seu_mean_interval_us = seu_mean;
+        scrub_period_us = scrub_period;
+        reconfig_fail_prob = reconfig_prob;
+        flash_error_prob = flash_prob;
+        load_deadline_us = deadline;
+        retry =
+          {
+            Faults.Campaign.max_retries;
+            backoff_base_us = backoff_us;
+            backoff_factor;
+          };
+        device_faults;
+      }
+    in
+    let report = Faults.Campaign.run spec in
+    (match format with
+    | `Json -> print_string (Faults.Campaign.to_json report)
+    | `Text -> Format.printf "@[<v>%a@]@." Faults.Campaign.pp report);
+    exit (Faults.Campaign.exit_code report)
+  in
+  let duration =
+    Arg.(
+      value
+      & opt float 200_000.0
+      & info [ "duration-us" ] ~docv:"US" ~doc:"Simulated time in microseconds.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  let seu_mean =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "seu-mean-us" ] ~docv:"US"
+          ~doc:"Mean interval of the Poisson SEU process (off by default).")
+  in
+  let scrub_period =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "scrub-period-us" ] ~docv:"US"
+          ~doc:
+            "Scrubbing period; omitting it disables scrubbing and the \
+             retrieval readback check.")
+  in
+  let reconfig_prob =
+    Arg.(
+      value & opt float 0.0
+      & info [ "reconfig-fail-prob" ] ~docv:"P"
+          ~doc:"Per-attempt bitstream-load failure probability.")
+  in
+  let flash_prob =
+    Arg.(
+      value & opt float 0.0
+      & info [ "flash-error-prob" ] ~docv:"P"
+          ~doc:"Per-attempt flash-repository read-error probability.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "load-deadline-us" ] ~docv:"US"
+          ~doc:"First-attempt loads slower than this miss their deadline.")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 3
+      & info [ "retries" ] ~docv:"N" ~doc:"Retry budget per failed load.")
+  in
+  let backoff_us =
+    Arg.(
+      value & opt float 200.0
+      & info [ "backoff-us" ] ~docv:"US" ~doc:"Base retry backoff.")
+  in
+  let backoff_factor =
+    Arg.(
+      value & opt float 2.0
+      & info [ "backoff-factor" ] ~docv:"F"
+          ~doc:"Exponential backoff multiplier.")
+  in
+  let fault_conv =
+    Arg.conv
+      ( parse_device_fault,
+        fun ppf df ->
+          Format.fprintf ppf "%s@%.0f" df.Faults.Campaign.df_device_id
+            df.Faults.Campaign.df_at_us )
+  in
+  let device_faults =
+    Arg.(
+      value
+      & opt_all fault_conv []
+      & info [ "fail" ] ~docv:"DEV@US[+DUR]"
+          ~doc:
+            "Schedule a device failure: $(b,dsp0@20000) fails dsp0 \
+             permanently at t=20000us; $(b,dsp0@20000+15000) restores it \
+             15000us later.  Repeatable.")
+  in
+  let format_arg =
+    let fmt_conv =
+      Arg.conv
+        ( (function
+          | "text" -> Ok `Text
+          | "json" -> Ok `Json
+          | s -> Error (`Msg (Printf.sprintf "unknown format %S" s))),
+          fun ppf f ->
+            Format.pp_print_string ppf
+              (match f with `Text -> "text" | `Json -> "json") )
+    in
+    Arg.(
+      value & opt fmt_conv `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let doc = "run a deterministic fault-injection campaign with recovery" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Replays the $(b,simulate) workload while injecting faults from a \
+         seed-driven schedule: SEU bit flips into the live RAM image, \
+         bitstream-load and flash-read failures with bounded \
+         exponential-backoff retry, and transient or permanent device \
+         failures whose evicted tasks are relocated to the next-best \
+         variant on a healthy device (the similarity delta is the \
+         recorded QoS degradation).";
+      `P
+        "Exit status: 0 when the campaign stayed clean, 1 when faults \
+         occurred but every one was detected and recovered, 2 on \
+         unrecovered loss (a lost allocation, a task nothing could \
+         re-host, or a retrieval that silently consumed a corrupted \
+         image).";
+    ]
+  in
+  Cmd.v (Cmd.info "faults" ~doc ~man)
+    Term.(
+      const run $ duration $ seed $ seu_mean $ scrub_period $ reconfig_prob
+      $ flash_prob $ deadline $ max_retries $ backoff_us $ backoff_factor
+      $ device_faults $ format_arg)
 
 (* --- export --------------------------------------------------------------------- *)
 
@@ -676,6 +871,7 @@ let () =
             trace_cmd;
             resources_cmd;
             simulate_cmd;
+            faults_cmd;
             export_cmd;
             lint_cmd;
             verify_cmd;

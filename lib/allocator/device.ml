@@ -41,7 +41,7 @@ let make ~device_id ~target ~capacity ?reconfig_us_per_unit ?power_mw_per_unit
     else
       Ok { device_id; target; capacity; reconfig_us_per_unit; power_mw_per_unit }
 
-let get = function Ok d -> d | Error e -> failwith e
+let get r = Qos_core.Util.ok_exn ~ctx:"Device" r
 
 let default_system () =
   [

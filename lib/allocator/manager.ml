@@ -50,11 +50,27 @@ type refusal =
   | All_below_threshold of offer list
   | No_feasible of offer list
 
+type failure_cause =
+  | Flash_read_error
+  | Bitstream_load_error
+  | Load_deadline_exceeded
+
+let failure_cause_to_string = function
+  | Flash_read_error -> "flash-read-error"
+  | Bitstream_load_error -> "bitstream-load-error"
+  | Load_deadline_exceeded -> "load-deadline-exceeded"
+
 type event =
   | Granted of grant
   | Refused of { app_id : string; type_id : int; refusal : refusal }
   | Preempted_task of task
   | Released_task of task
+  | Reconfig_failed of { failed_task : task; cause : failure_cause; attempt : int }
+  | Retried of { retried_task : task; attempt : int; backoff_us : float }
+  | Relocated of { displaced : task; replacement : task; similarity_delta : float }
+  | Device_failed of { device_id : string; permanent : bool; evicted : task list }
+  | Device_restored of { device_id : string }
+  | Scrubbed of { corrupted_words : int; diagnostics : int }
 
 type t = {
   casebase : Casebase.t;
@@ -69,6 +85,9 @@ type t = {
   mutable running : task list;
   mutable next_task_id : int;
   mutable rev_events : event list;
+  mutable failed_devices : string list;
+      (** Devices currently marked failed: excluded from placement
+          until {!restore_device}. *)
 }
 
 let create ~casebase ~devices ~catalog ?(policy = default_policy)
@@ -96,6 +115,7 @@ let create ~casebase ~devices ~catalog ?(policy = default_policy)
     running = [];
     next_task_id = 1;
     rev_events = [];
+    failed_devices = [];
   }
 
 let push_event t e = t.rev_events <- e :: t.rev_events
@@ -121,10 +141,18 @@ let offer_of (r : Engine_float.ranked) =
     offer_target = r.Retrieval.impl.Impl.target;
   }
 
-(* Devices able to host the variant, most free space first. *)
+let device_available t ~device_id =
+  List.exists
+    (fun (d : Device.t) -> String.equal d.device_id device_id)
+    t.devices
+  && not (List.mem device_id t.failed_devices)
+
+(* Healthy devices able to host the variant, most free space first. *)
 let matching_devices t (target : Target.t) =
   t.devices
-  |> List.filter (fun (d : Device.t) -> Target.equal d.target target)
+  |> List.filter (fun (d : Device.t) ->
+         Target.equal d.target target
+         && device_available t ~device_id:d.device_id)
   |> List.map (fun (d : Device.t) ->
          (d, d.capacity - used_units t d.device_id))
   |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
@@ -413,6 +441,62 @@ let release_app t ~app_id =
   in
   List.iter (fun task -> ignore (release t ~task_id:task.task_id)) mine;
   List.length mine
+
+let fail_device t ~device_id ~permanent =
+  if
+    not
+      (List.exists
+         (fun (d : Device.t) -> String.equal d.device_id device_id)
+         t.devices)
+  then Error (Printf.sprintf "no device %s" device_id)
+  else if not (device_available t ~device_id) then
+    (* Already down: idempotent, nothing new to evict. *)
+    Ok []
+  else begin
+    let evicted, _ =
+      List.partition
+        (fun task -> String.equal task.device_id device_id)
+        t.running
+    in
+    remove_tasks t evicted;
+    List.iter
+      (fun v ->
+        ignore
+          (Bypass.invalidate_impl t.bypass ~type_id:v.type_id
+             ~impl_id:v.impl_id))
+      evicted;
+    t.failed_devices <- device_id :: t.failed_devices;
+    push_event t (Device_failed { device_id; permanent; evicted });
+    Ok evicted
+  end
+
+let restore_device t ~device_id =
+  if device_available t ~device_id then false
+  else begin
+    t.failed_devices <-
+      List.filter (fun d -> not (String.equal d device_id)) t.failed_devices;
+    push_event t (Device_restored { device_id });
+    true
+  end
+
+let relocate t ~task:displaced (request : Request.t) =
+  match
+    allocate t ~app_id:displaced.app_id ~priority:displaced.priority request
+  with
+  | Error refusal -> Error refusal
+  | Ok grant ->
+      let similarity_delta = displaced.score -. grant.task.score in
+      push_event t (Relocated { displaced; replacement = grant.task; similarity_delta });
+      Ok (grant, similarity_delta)
+
+let record_reconfig_failure t ~task ~cause ~attempt =
+  push_event t (Reconfig_failed { failed_task = task; cause; attempt })
+
+let record_retry t ~task ~attempt ~backoff_us =
+  push_event t (Retried { retried_task = task; attempt; backoff_us })
+
+let record_scrub t ~corrupted_words ~diagnostics =
+  push_event t (Scrubbed { corrupted_words; diagnostics })
 
 let fragmentation t ~device_id =
   Option.map Placement.fragmentation (column_map t device_id)

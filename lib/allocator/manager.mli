@@ -70,11 +70,37 @@ type refusal =
       (** Acceptable variants exist but none fits, even after allowed
           preemption; the offers support the negotiation loop. *)
 
+type failure_cause =
+  | Flash_read_error  (** The configuration repository read failed. *)
+  | Bitstream_load_error  (** The bitstream transfer itself failed. *)
+  | Load_deadline_exceeded
+      (** The load did not complete within the campaign deadline. *)
+
+val failure_cause_to_string : failure_cause -> string
+(** "flash-read-error", "bitstream-load-error",
+    "load-deadline-exceeded". *)
+
 type event =
   | Granted of grant
   | Refused of { app_id : string; type_id : int; refusal : refusal }
   | Preempted_task of task
   | Released_task of task
+  | Reconfig_failed of { failed_task : task; cause : failure_cause; attempt : int }
+      (** A granted placement's bitstream load failed on [attempt]
+          (1-based); the task is still resident pending retry or
+          release. *)
+  | Retried of { retried_task : task; attempt : int; backoff_us : float }
+      (** A retry of the load was scheduled [backoff_us] later. *)
+  | Relocated of { displaced : task; replacement : task; similarity_delta : float }
+      (** A task evicted by a device failure was re-hosted elsewhere;
+          [similarity_delta] = displaced score - replacement score
+          (positive means QoS degraded). *)
+  | Device_failed of { device_id : string; permanent : bool; evicted : task list }
+  | Device_restored of { device_id : string }
+  | Scrubbed of { corrupted_words : int; diagnostics : int }
+      (** A scrubbing pass repaired the live image: how many words
+          differed from the golden copy, and how many diagnostics the
+          image check raised. *)
 
 type t
 
@@ -115,6 +141,39 @@ val largest_gap : t -> device_id:string -> int option
 (** Largest contiguous free extent of a column-mapped device. *)
 
 val bypass_stats : t -> Bypass.stats
+
+val device_available : t -> device_id:string -> bool
+(** [false] while the device is marked failed (also [false] for an
+    unknown id). *)
+
+val fail_device :
+  t -> device_id:string -> permanent:bool -> (task list, string) result
+(** Marks the device failed and evicts its resident tasks (bypass
+    tokens for their variants are invalidated, exactly as preemption
+    does).  Returns the evicted tasks so the caller can relocate them;
+    [Error] for an unknown device, [Ok []] when already down.
+    [permanent] only annotates the {!Device_failed} event — transient
+    recovery is the caller's {!restore_device} call. *)
+
+val restore_device : t -> device_id:string -> bool
+(** Ends a transient failure; [false] when the device was not down. *)
+
+val relocate :
+  t -> task:task -> Qos_core.Request.t -> (grant * float, refusal) result
+(** Re-runs CBR retrieval for a task evicted by {!fail_device}: a
+    plain {!allocate} under the task's app and priority (failed
+    devices are never offered), accepting the next-best variant on a
+    healthy device.  On success returns the grant and the similarity
+    delta (old score - new score, the QoS-degradation metric) and
+    pushes a {!Relocated} event. *)
+
+val record_reconfig_failure :
+  t -> task:task -> cause:failure_cause -> attempt:int -> unit
+(** Push a {!Reconfig_failed} event — the fault engine owns the retry
+    policy; the manager owns the event stream. *)
+
+val record_retry : t -> task:task -> attempt:int -> backoff_us:float -> unit
+val record_scrub : t -> corrupted_words:int -> diagnostics:int -> unit
 
 val drain_events : t -> event list
 (** Events since the last drain, oldest first. *)

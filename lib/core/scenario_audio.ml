@@ -1,4 +1,4 @@
-let get = function Ok x -> x | Error e -> failwith ("Scenario_audio: " ^ e)
+let get r = Util.ok_exn ~ctx:"Scenario_audio" r
 
 let fir_equalizer_type_id = 1
 let fft_type_id = 2

@@ -1,0 +1,3 @@
+let ok_exn ~ctx = function
+  | Ok x -> x
+  | Error e -> failwith (ctx ^ ": " ^ e)

@@ -1,0 +1,11 @@
+(** Small shared helpers with no better home.
+
+    {!ok_exn} is the one blessed way to unwrap a [result] whose
+    failure would mean a {e built-in} fixture or constant is broken —
+    a programming error, not a user error.  Carrying the module
+    context in every raise means the four built-in scenario builders
+    die with one uniform error shape instead of four ad-hoc ones. *)
+
+val ok_exn : ctx:string -> ('a, string) result -> 'a
+(** [ok_exn ~ctx r] returns [x] for [Ok x] and raises [Failure
+    (ctx ^ ": " ^ e)] for [Error e]. *)

@@ -1,6 +1,6 @@
 open Qos_core
 
-let get = function Ok x -> x | Error e -> failwith ("Apps: " ^ e)
+let get r = Util.ok_exn ~ctx:"Apps" r
 
 let reference_schema =
   let d id name lower upper = get (Attr.descriptor ~id ~name ~lower ~upper) in

@@ -137,7 +137,10 @@ let run spec =
                       victim.metrics.preemptions_suffered + 1;
                   }
             | None -> ())
-        | Manager.Granted _ | Manager.Refused _ | Manager.Released_task _ -> ())
+        | Manager.Granted _ | Manager.Refused _ | Manager.Released_task _
+        | Manager.Reconfig_failed _ | Manager.Retried _ | Manager.Relocated _
+        | Manager.Device_failed _ | Manager.Device_restored _
+        | Manager.Scrubbed _ -> ())
       (Manager.drain_events manager)
   in
   let utilization_sums = Hashtbl.create 8 in

@@ -1,0 +1,19 @@
+type t = { rng : Workload.Prng.t }
+
+let create ~seed = { rng = Workload.Prng.create ~seed }
+
+type flip = { flip_addr : int; flip_bit : int }
+
+let flip_word t words =
+  if Array.length words = 0 then invalid_arg "Injector.flip_word: empty image";
+  let flip_addr = Workload.Prng.int t.rng ~bound:(Array.length words) in
+  let flip_bit = Workload.Prng.int t.rng ~bound:16 in
+  words.(flip_addr) <- words.(flip_addr) lxor (1 lsl flip_bit);
+  { flip_addr; flip_bit }
+
+let draw t ~prob =
+  if prob <= 0.0 then false
+  else if prob >= 1.0 then true
+  else Workload.Prng.float t.rng < prob
+
+let interval t ~mean_us = Workload.Prng.exponential t.rng ~mean:mean_us

@@ -1,0 +1,28 @@
+(** The seed-driven randomness source of a fault campaign.
+
+    Every fault decision — which word an SEU hits, whether a
+    bitstream load fails, how long until the next upset — flows
+    through one private {!Workload.Prng} stream, so a campaign is a
+    pure function of its seed: same seed, same faults, byte-identical
+    report. *)
+
+type t
+
+val create : seed:int -> t
+
+type flip = { flip_addr : int; flip_bit : int }
+
+val flip_word : t -> int array -> flip
+(** Single-event upset: XOR one random bit (0-15) of one random word,
+    in place, and report where it landed.
+    @raise Invalid_argument on an empty image. *)
+
+val draw : t -> prob:float -> bool
+(** Bernoulli trial, [prob] clamped to [0, 1].  The degenerate clamps
+    (0 never, 1 always) consume no randomness, so a campaign with
+    probability-0 fault models draws exactly the same stream as one
+    without them. *)
+
+val interval : t -> mean_us:float -> float
+(** Exponentially distributed time to the next fault (Poisson
+    process), as SEU arrivals are conventionally modelled. *)

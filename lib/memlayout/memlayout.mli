@@ -163,3 +163,9 @@ val worst_case_request_words :
   attrs_per_request:int -> include_end_marker:bool -> int
 
 val pp_accounting : Format.formatter -> accounting -> unit
+
+val checksum : int array -> int
+(** Fletcher-16 readback checksum over 16-bit memory words (each
+    masked to 16 bits), returned as [sum2 * 2{^16} + sum1].  A cheap
+    whole-image integrity probe for scrubbing: unlike a plain sum it
+    is position-sensitive, so swapped words are detected too. *)

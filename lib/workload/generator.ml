@@ -1,6 +1,6 @@
 open Qos_core
 
-let get = function Ok x -> x | Error e -> failwith ("Generator: " ^ e)
+let get r = Util.ok_exn ~ctx:"Generator" r
 
 type schema_spec = { attr_count : int; max_bound : int }
 

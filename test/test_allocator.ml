@@ -682,6 +682,134 @@ let test_printers_smoke () =
   check_bool "bypass stats pp" true
     (String.length (to_s Allocator.Bypass.pp_stats (M.bypass_stats m)) > 0)
 
+(* --- Robustness: event ordering, bypass lifetime, device failures ----------- *)
+
+let test_event_ordering_preemption_before_grant () =
+  (* One-slot DSP: the high-priority grant preempts the low one, and
+     the Preempted_task event must precede the corresponding Granted. *)
+  let m =
+    M.create ~casebase:cb
+      ~devices:[ device "dsp0" Target.Dsp 1 ]
+      ~catalog:(Cat.of_casebase_default cb)
+      ~policy:{ M.default_policy with M.max_candidates = 1 }
+      ()
+  in
+  let low = get_grant "low" (M.allocate m ~app_id:"bg" ~priority:1 request) in
+  let high = get_grant "high" (M.allocate m ~app_id:"fg" ~priority:9 request) in
+  (match M.drain_events m with
+  | [ M.Granted g1; M.Preempted_task victim; M.Granted g2 ] ->
+      check_int "first grant is the low task" low.M.task.M.task_id
+        g1.M.task.M.task_id;
+      check_int "victim is the low task" low.M.task.M.task_id
+        victim.M.task_id;
+      check_int "preemption precedes the winning grant"
+        high.M.task.M.task_id g2.M.task.M.task_id
+  | events ->
+      Alcotest.fail
+        (Printf.sprintf "expected Granted;Preempted;Granted, got %d events"
+           (List.length events)));
+  check_int "drained" 0 (List.length (M.drain_events m))
+
+let test_release_invalidates_bypass_only_on_last_instance () =
+  (* Two apps hold the same variant (dsp0 has 2 slots).  Releasing one
+     instance must keep the other app's bypass token alive; releasing
+     the last instance must kill it. *)
+  let m = standard_manager () in
+  let ga = get_grant "a" (M.allocate m ~app_id:"a" request) in
+  let gb = get_grant "b" (M.allocate m ~app_id:"b" request) in
+  check_bool "two distinct instances" true
+    (ga.M.task.M.task_id <> gb.M.task.M.task_id);
+  ignore (get (M.release m ~task_id:ga.M.task.M.task_id));
+  let gb2 = get_grant "b repeat" (M.allocate m ~app_id:"b" request) in
+  check_bool "token survives while an instance remains" true gb2.M.via_bypass;
+  ignore (get (M.release m ~task_id:gb.M.task.M.task_id));
+  let gb3 = get_grant "b afresh" (M.allocate m ~app_id:"b" request) in
+  check_bool "token dies with the last instance" true (not gb3.M.via_bypass)
+
+let test_fail_and_restore_device () =
+  let m = standard_manager () in
+  let g = get_grant "grant" (M.allocate m ~app_id:"a" request) in
+  check_bool "starts on the dsp" true
+    (String.equal g.M.task.M.device_id "dsp0");
+  check_bool "available before failure" true
+    (M.device_available m ~device_id:"dsp0");
+  let evicted = get (M.fail_device m ~device_id:"dsp0" ~permanent:false) in
+  check_int "resident task evicted" 1 (List.length evicted);
+  check_bool "unavailable after failure" true
+    (not (M.device_available m ~device_id:"dsp0"));
+  check_int "nothing left running" 0 (List.length (M.tasks m));
+  (* A failed device is never offered: the same request lands elsewhere. *)
+  let g2 = get_grant "rehost" (M.allocate m ~app_id:"a" request) in
+  check_bool "avoids the failed device" true
+    (not (String.equal g2.M.task.M.device_id "dsp0"));
+  check_bool "not via stale bypass" true (not g2.M.via_bypass);
+  (* Idempotence and error paths. *)
+  check_int "failing a down device evicts nothing" 0
+    (List.length (get (M.fail_device m ~device_id:"dsp0" ~permanent:true)));
+  check_bool "unknown device is an error" true
+    (Result.is_error (M.fail_device m ~device_id:"nope" ~permanent:true));
+  check_bool "unknown device is unavailable" true
+    (not (M.device_available m ~device_id:"nope"));
+  check_bool "restore succeeds" true (M.restore_device m ~device_id:"dsp0");
+  check_bool "second restore is a no-op" true
+    (not (M.restore_device m ~device_id:"dsp0"));
+  check_bool "available again" true (M.device_available m ~device_id:"dsp0")
+
+let test_relocate_with_degradation () =
+  let m = standard_manager () in
+  let g = get_grant "grant" (M.allocate m ~app_id:"a" ~priority:3 request) in
+  let evicted = get (M.fail_device m ~device_id:"dsp0" ~permanent:true) in
+  let victim = List.hd evicted in
+  check_int "the granted task was evicted" g.M.task.M.task_id
+    victim.M.task_id;
+  let regrant, delta =
+    match M.relocate m ~task:victim request with
+    | Ok r -> r
+    | Error r -> Alcotest.fail ("relocate refused: " ^ M.refusal_to_string r)
+  in
+  check_bool "re-hosted off the failed device" true
+    (not (String.equal regrant.M.task.M.device_id "dsp0"));
+  check_int "keeps the task's priority" victim.M.priority
+    regrant.M.task.M.priority;
+  check_bool "delta is old minus new score" true
+    (Float.abs (delta -. (victim.M.score -. regrant.M.task.M.score)) < 1e-9);
+  check_bool "next-best variant degrades QoS" true (delta > 0.0);
+  (* The event stream records the whole episode in order. *)
+  let kinds =
+    List.map
+      (function
+        | M.Granted _ -> "grant"
+        | M.Device_failed _ -> "fail"
+        | M.Relocated _ -> "relocate"
+        | _ -> "other")
+      (M.drain_events m)
+  in
+  check_bool "grant, failure, regrant, relocation" true
+    (kinds = [ "grant"; "fail"; "grant"; "relocate" ])
+
+let test_record_events () =
+  let m = standard_manager () in
+  let g = get_grant "grant" (M.allocate m ~app_id:"a" request) in
+  let task = g.M.task in
+  M.record_reconfig_failure m ~task ~cause:M.Flash_read_error ~attempt:1;
+  M.record_retry m ~task ~attempt:1 ~backoff_us:200.0;
+  M.record_scrub m ~corrupted_words:3 ~diagnostics:2;
+  (match M.drain_events m with
+  | [ M.Granted _; M.Reconfig_failed f; M.Retried r; M.Scrubbed s ] ->
+      check_bool "cause recorded" true (f.cause = M.Flash_read_error);
+      check_int "attempt" 1 f.attempt;
+      check_int "retry attempt" 1 r.attempt;
+      check_bool "backoff" true (r.backoff_us = 200.0);
+      check_int "corrupted words" 3 s.corrupted_words;
+      check_int "diagnostics" 2 s.diagnostics
+  | _ -> Alcotest.fail "unexpected event stream");
+  check_bool "cause strings" true
+    (M.failure_cause_to_string M.Flash_read_error = "flash-read-error"
+    && M.failure_cause_to_string M.Bitstream_load_error
+       = "bitstream-load-error"
+    && M.failure_cause_to_string M.Load_deadline_exceeded
+       = "load-deadline-exceeded")
+
 let () =
   Alcotest.run "allocator"
     [
@@ -705,6 +833,18 @@ let () =
           Alcotest.test_case "release" `Quick test_release;
           Alcotest.test_case "release app" `Quick test_release_app;
           Alcotest.test_case "events" `Quick test_events;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "preemption precedes grant" `Quick
+            test_event_ordering_preemption_before_grant;
+          Alcotest.test_case "bypass dies with last instance" `Quick
+            test_release_invalidates_bypass_only_on_last_instance;
+          Alcotest.test_case "fail and restore device" `Quick
+            test_fail_and_restore_device;
+          Alcotest.test_case "relocate with degradation" `Quick
+            test_relocate_with_degradation;
+          Alcotest.test_case "record events" `Quick test_record_events;
         ] );
       ( "offers",
         [

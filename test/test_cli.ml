@@ -181,6 +181,63 @@ let test_simulate_and_analyze () =
   check_int "analyze exit" 0 code;
   check_bool "per-app breakdown" true (contains out "ecu")
 
+let test_faults_clean_exit0 () =
+  let code, out = run_cli "faults --duration-us 30000" in
+  check_int "clean campaign exit 0" 0 code;
+  check_bool "verdict printed" true (contains out "verdict=clean");
+  check_bool "no fault activity" true (contains out "relocations=0")
+
+let test_faults_degraded_exit1 () =
+  (* A permanent dsp0 failure: tasks are relocated to the next-best
+     variant, QoS degrades, nothing is lost. *)
+  let code, out = run_cli "faults --duration-us 60000 --fail dsp0@20000" in
+  check_int "degraded campaign exit 1" 1 code;
+  check_bool "verdict" true (contains out "verdict=degraded-recovered");
+  check_bool "relocations with similarity deltas" true
+    (contains out "relocations=2" && contains out "delta mean=");
+  check_bool "availability reported" true
+    (contains out "availability: dsp0 failures=1")
+
+let test_faults_unrecovered_exit2 () =
+  (* SEUs without scrubbing: retrievals silently consume corruption. *)
+  let code, out = run_cli "faults --duration-us 60000 --seu-mean-us 2000" in
+  check_int "unrecovered campaign exit 2" 2 code;
+  check_bool "verdict" true (contains out "verdict=unrecovered-loss");
+  check_bool "silent corruption counted" true (contains out "undetected=29");
+  (* The same upsets with scrubbing on are all caught. *)
+  let code, out =
+    run_cli
+      "faults --duration-us 60000 --seu-mean-us 2000 --scrub-period-us 5000"
+  in
+  check_int "scrubbed campaign exit 1" 1 code;
+  check_bool "nothing undetected" true (contains out "undetected=0")
+
+let test_faults_json_deterministic () =
+  let args =
+    "faults --duration-us 60000 --seed 7 --seu-mean-us 2000 \
+     --scrub-period-us 5000 --reconfig-fail-prob 0.1 --fail dsp0@20000+15000 \
+     --format=json"
+  in
+  let code1, out1 = run_cli args in
+  let code2, out2 = run_cli args in
+  check_int "exit stable" code1 code2;
+  check_int "degraded-recovered" 1 code1;
+  check_bool "byte-identical json" true (String.equal out1 out2);
+  check_bool "report sections present" true
+    (contains out1 "\"corruption\""
+    && contains out1 "\"recovery\""
+    && contains out1 "\"degradation\""
+    && contains out1 "\"availability\"");
+  check_bool "one trailing newline" true
+    (String.length out1 > 1
+    && out1.[String.length out1 - 1] = '\n'
+    && out1.[String.length out1 - 2] <> '\n')
+
+let test_faults_rejects_unknown_device () =
+  let code, out = run_cli "faults --fail nope@1000" in
+  check_bool "nonzero exit" true (code <> 0);
+  check_bool "names the device" true (contains out "nope")
+
 let test_demo_feeds_retrieve () =
   let cb = Filename.concat tmp_dir "demo.cb" in
   let code, out = run_cli "demo" in
@@ -226,6 +283,16 @@ let () =
           Alcotest.test_case "trace" `Quick test_trace;
           Alcotest.test_case "simulate and analyze" `Quick
             test_simulate_and_analyze;
+          Alcotest.test_case "faults clean exit 0" `Quick
+            test_faults_clean_exit0;
+          Alcotest.test_case "faults degraded exit 1" `Quick
+            test_faults_degraded_exit1;
+          Alcotest.test_case "faults unrecovered exit 2" `Quick
+            test_faults_unrecovered_exit2;
+          Alcotest.test_case "faults stable json" `Quick
+            test_faults_json_deterministic;
+          Alcotest.test_case "faults unknown device" `Quick
+            test_faults_rejects_unknown_device;
           Alcotest.test_case "demo feeds retrieve" `Quick
             test_demo_feeds_retrieve;
           Alcotest.test_case "bad input" `Quick test_bad_input_fails_cleanly;

@@ -380,6 +380,28 @@ let props =
             && words.(Array.length words - 1) = Memlayout.end_marker);
   ]
 
+let test_checksum () =
+  Alcotest.(check int) "empty image" 0 (Memlayout.checksum [||]);
+  let words = [| 0x1234; 0x0001; 0xFFFF |] in
+  Alcotest.(check int)
+    "deterministic" (Memlayout.checksum words) (Memlayout.checksum words);
+  (* Position-sensitive: swapping two words must change the sum. *)
+  let swapped = [| 0x0001; 0x1234; 0xFFFF |] in
+  Alcotest.(check bool)
+    "detects swapped words" true
+    (Memlayout.checksum words <> Memlayout.checksum swapped);
+  (* A single-bit flip anywhere is detected. *)
+  let flipped = Array.copy words in
+  flipped.(2) <- flipped.(2) lxor 0x0100;
+  Alcotest.(check bool)
+    "detects a bit flip" true
+    (Memlayout.checksum words <> Memlayout.checksum flipped);
+  (* Words are masked to 16 bits before summing. *)
+  Alcotest.(check int)
+    "masks to 16 bits"
+    (Memlayout.checksum [| 0x1234 |])
+    (Memlayout.checksum [| 0x71234 |])
+
 let () =
   Alcotest.run "memlayout"
     [
@@ -404,6 +426,7 @@ let () =
           Alcotest.test_case "reconstruct" `Quick test_reconstruct_system;
           Alcotest.test_case "cb image reuse" `Quick test_cb_image_reuse;
         ] );
+      ("checksum", [ Alcotest.test_case "fletcher" `Quick test_checksum ]);
       ( "accounting",
         [
           Alcotest.test_case "paper example" `Quick test_account_paper_example;

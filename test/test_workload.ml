@@ -170,6 +170,40 @@ let test_percentile () =
     (Invalid_argument "Stats.percentile: p outside [0, 100]") (fun () ->
       ignore (St.percentile values ~p:101.0))
 
+let test_percentile_edges () =
+  (* Singleton: every percentile is the one value. *)
+  List.iter
+    (fun p ->
+      check_bool
+        (Printf.sprintf "singleton p%.0f" p)
+        true
+        (St.percentile [ 7.5 ] ~p = Some 7.5))
+    [ 0.0; 50.0; 100.0 ];
+  (* Percentiles must not depend on input order. *)
+  let sorted = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  let shuffled = [ 4.0; 1.0; 5.0; 3.0; 2.0 ] in
+  List.iter
+    (fun p ->
+      check_bool
+        (Printf.sprintf "order-independent p%.0f" p)
+        true
+        (St.percentile sorted ~p = St.percentile shuffled ~p))
+    [ 0.0; 10.0; 25.0; 50.0; 90.0; 99.0; 100.0 ];
+  (* p=0 of an unsorted list is still the minimum, not the first. *)
+  check_bool "p0 unsorted" true
+    (St.percentile [ 9.0; 2.0; 7.0 ] ~p:0.0 = Some 2.0);
+  check_bool "p100 unsorted" true
+    (St.percentile [ 9.0; 2.0; 7.0 ] ~p:100.0 = Some 9.0)
+
+let test_pp_summary_golden () =
+  match St.summarize [ 5.0; 1.0; 3.0; 2.0; 4.0 ] with
+  | None -> Alcotest.fail "summarize returned None"
+  | Some s ->
+      Alcotest.(check string)
+        "golden rendering"
+        "n=5 mean=3.000 sd=1.414 min=1.000 p50=3.000 p90=5.000 p99=5.000 max=5.000"
+        (Format.asprintf "%a" St.pp_summary s)
+
 let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen f)
 
 let props =
@@ -256,6 +290,8 @@ let () =
         [
           Alcotest.test_case "known values" `Quick test_stats_known_values;
           Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
+          Alcotest.test_case "pp_summary golden" `Quick test_pp_summary_golden;
         ] );
       ("properties", props @ stats_props);
     ]
