@@ -16,7 +16,8 @@
      S6  Sec. 3   - bypass tokens on repeated calls
      B1  extra    - allocation quality vs naive baselines
      B2  extra    - Mahalanobis cost comparison (Sec. 2.2 claim)
-     R1  extra    - fault campaigns: scrubbing on vs off under SEUs *)
+     R1  extra    - fault campaigns: scrubbing on vs off under SEUs
+     OBS extra    - observability instrumentation overhead (BENCH_obs.json) *)
 
 open Qos_core
 
@@ -1025,6 +1026,84 @@ let run_micro () =
         (List.sort (fun (a, _) (b, _) -> String.compare a b) rows))
 
 (* ------------------------------------------------------------------ *)
+(* OBS: instrumentation overhead                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_obs_bench () =
+  section "OBS" "observability overhead on the simulate hot path";
+  Printf.printf
+    "the same 20 ms simulation three ways: uninstrumented, with an obs\n\
+     context whose trace sink is the no-op (metrics only), and with the\n\
+     collecting tracer recording every span.\n\n";
+  let spec =
+    {
+      (Desim.Simulate.default_spec ()) with
+      Desim.Simulate.duration_us = 20_000.0;
+    }
+  in
+  let tests =
+    [
+      Test.make ~name:"off"
+        (Staged.stage (fun () -> ignore (Desim.Simulate.run spec)));
+      Test.make ~name:"noop-sink"
+        (Staged.stage (fun () ->
+             ignore (Desim.Simulate.run ~obs:(Obs.Ctx.create ()) spec)));
+      Test.make ~name:"full"
+        (Staged.stage (fun () ->
+             ignore
+               (Desim.Simulate.run
+                  ~obs:(Obs.Ctx.create ~tracer:(Obs.Tracer.collecting ()) ())
+                  spec)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"obs" ~fmt:"%s/%s" tests)
+  in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  let estimate name =
+    match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+    | None -> None
+    | Some per_test ->
+        Option.bind
+          (Hashtbl.find_opt per_test ("obs/" ^ name))
+          (fun ols ->
+            match Analyze.OLS.estimates ols with
+            | Some [ ns ] -> Some ns
+            | Some _ | None -> None)
+  in
+  match (estimate "off", estimate "noop-sink", estimate "full") with
+  | Some off, Some noop, Some full ->
+      let pct v = 100.0 *. (v -. off) /. off in
+      let noop_pct = pct noop and full_pct = pct full in
+      Printf.printf "%-12s %14s %10s\n" "variant" "ns/run" "overhead";
+      Printf.printf "%-12s %14.0f %10s\n" "off" off "-";
+      Printf.printf "%-12s %14.0f %+9.2f%%\n" "noop-sink" noop noop_pct;
+      Printf.printf "%-12s %14.0f %+9.2f%%\n" "full" full full_pct;
+      Printf.printf
+        "\nacceptance: no-op-sink overhead < 5%% (disabled tracing is one\n\
+         constructor match per call site; metrics are int-ref bumps).\n";
+      let oc = open_out "BENCH_obs.json" in
+      Printf.fprintf oc
+        "{\"bench\":\"obs\",\"workload\":\"simulate-20ms\",\
+         \"ns_per_run\":{\"off\":%.1f,\"noop_sink\":%.1f,\"full\":%.1f},\
+         \"noop_sink_overhead_pct\":%.2f,\"full_overhead_pct\":%.2f}\n"
+        off noop full noop_pct full_pct;
+      close_out oc;
+      Printf.printf "-> BENCH_obs.json\n"
+  | _ -> Printf.printf "no estimates (benchmark failed to stabilise)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Reproduction scorecard                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1085,6 +1164,7 @@ let () =
   run_b2 ();
   run_b3 ();
   run_r1 ();
+  run_obs_bench ();
   run_micro ();
   run_scorecard ();
   Printf.printf "\nall sections completed.\n"

@@ -55,6 +55,56 @@ let request_arg =
   in
   Arg.(value & opt (some file) None & info [ "r"; "request" ] ~docv:"FILE" ~doc)
 
+(* --- observability ------------------------------------------------------- *)
+
+let metrics_arg =
+  let doc =
+    "Write the metrics registry to $(docv) after the run: Prometheus text \
+     exposition, or canonical JSON when the file name ends in $(b,.json).  \
+     All timestamps are sim-time, so the file is byte-identical across \
+     runs with the same seed and flags."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_out_arg =
+  let doc =
+    "Write the span trace as Chrome trace-event JSON to $(docv) \
+     (loadable in Perfetto or chrome://tracing)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+(* Metrics alone run with the no-op tracer sink, so spans cost one
+   branch unless --trace-out asked for them. *)
+let make_obs ~metrics ~trace_out =
+  match (metrics, trace_out) with
+  | None, None -> None
+  | _ ->
+      let tracer =
+        match trace_out with
+        | None -> Obs.Tracer.noop ()
+        | Some _ -> Obs.Tracer.collecting ()
+      in
+      Some (Obs.Ctx.create ~tracer ())
+
+let write_file path contents =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc contents)
+
+let emit_obs obs ~metrics ~trace_out =
+  match obs with
+  | None -> ()
+  | Some ctx ->
+      (match metrics with
+      | None -> ()
+      | Some path ->
+          write_file path
+            (if Filename.check_suffix path ".json" then
+               Obs.Metrics.to_json ctx.Obs.Ctx.registry
+             else Obs.Metrics.to_prometheus ctx.Obs.Ctx.registry));
+      (match trace_out with
+      | None -> ()
+      | Some path -> write_file path (Obs.Tracer.to_json ctx.Obs.Ctx.tracer))
+
 (* --- retrieve ----------------------------------------------------------- *)
 
 type engine = Float_engine | Fixed_engine | Rtl_engine | Sw_engine
@@ -192,8 +242,39 @@ let layout_cmd =
 
 (* --- trace --------------------------------------------------------------- *)
 
+(* One retrieval's stats rendered into a registry + trace: the total
+   and per-phase cycle counters, and a single "retrieval" duration
+   event at the paper's 75 MHz clock. *)
+let observe_retrieval ctx (o : Rtlsim.Machine.outcome) =
+  let stats = o.Rtlsim.Machine.stats in
+  let reg = ctx.Obs.Ctx.registry in
+  let total =
+    Obs.Metrics.counter reg ~help:"Retrieval-unit cycles, total."
+      "qosalloc_retrieval_cycles_total"
+  in
+  Obs.Metrics.inc_by total stats.Rtlsim.Machine.cycles;
+  List.iter
+    (fun p ->
+      let c =
+        Obs.Metrics.counter reg ~help:"Retrieval-unit cycles by phase."
+          ~labels:[ ("phase", Rtlsim.Machine.phase_name p) ]
+          "qosalloc_retrieval_phase_cycles_total"
+      in
+      Obs.Metrics.inc_by c
+        (Rtlsim.Machine.phase_cycles_get p stats.Rtlsim.Machine.phases))
+    Rtlsim.Machine.all_phases;
+  let clock_mhz = 75.0 in
+  Obs.Tracer.complete ctx.Obs.Ctx.tracer ~ts:0.0
+    ~dur:(float_of_int stats.Rtlsim.Machine.cycles /. clock_mhz)
+    ~args:
+      [
+        ("cycles", string_of_int stats.Rtlsim.Machine.cycles);
+        ("best_impl", string_of_int o.Rtlsim.Machine.best_impl_id);
+      ]
+    "retrieval"
+
 let trace_cmd =
-  let run casebase request compacted restart divider vcd =
+  let run casebase request compacted restart divider vcd metrics trace_out =
     let cb = or_die (load_casebase casebase) in
     let req = or_die (load_request request) in
     let config =
@@ -215,6 +296,11 @@ let trace_cmd =
     Printf.printf "best: impl %d, S = %.4f\n" o.Rtlsim.Machine.best_impl_id
       (Fxp.Q15.to_float o.Rtlsim.Machine.best_score);
     Format.printf "%a@." Rtlsim.Machine.pp_stats o.Rtlsim.Machine.stats;
+    (match make_obs ~metrics ~trace_out with
+    | None -> ()
+    | Some ctx as obs ->
+        observe_retrieval ctx o;
+        emit_obs obs ~metrics ~trace_out);
     match vcd with
     | None -> ()
     | Some path ->
@@ -248,7 +334,7 @@ let trace_cmd =
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       const run $ casebase_arg $ request_arg $ compacted $ restart $ divider
-      $ vcd)
+      $ vcd $ metrics_arg $ trace_out_arg)
 
 (* --- resources ------------------------------------------------------------ *)
 
@@ -277,7 +363,7 @@ let resources_cmd =
 (* --- simulate --------------------------------------------------------------- *)
 
 let simulate_cmd =
-  let run duration_us seed trace_csv =
+  let run duration_us seed trace_csv metrics trace_out =
     let spec =
       {
         (Desim.Simulate.default_spec ()) with
@@ -286,7 +372,9 @@ let simulate_cmd =
         collect_trace = trace_csv <> None;
       }
     in
-    let report = Desim.Simulate.run spec in
+    let obs = make_obs ~metrics ~trace_out in
+    let report = Desim.Simulate.run ?obs spec in
+    emit_obs obs ~metrics ~trace_out;
     Format.printf "%a@." Desim.Simulate.pp_report report;
     match trace_csv with
     | None -> ()
@@ -317,7 +405,9 @@ let simulate_cmd =
           ~doc:"Write a per-request CSV trace and print its analysis.")
   in
   let doc = "simulate the Fig. 1 multi-device system under load" in
-  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ duration $ seed $ trace_csv)
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ duration $ seed $ trace_csv $ metrics_arg $ trace_out_arg)
 
 (* --- faults ---------------------------------------------------------------- *)
 
@@ -356,7 +446,8 @@ let parse_device_fault s =
 
 let faults_cmd =
   let run duration_us seed seu_mean scrub_period reconfig_prob flash_prob
-      deadline max_retries backoff_us backoff_factor device_faults format =
+      deadline max_retries backoff_us backoff_factor device_faults format
+      metrics trace_out =
     let base =
       { (Desim.Simulate.default_spec ()) with Desim.Simulate.duration_us; seed }
     in
@@ -388,7 +479,9 @@ let faults_cmd =
         device_faults;
       }
     in
-    let report = Faults.Campaign.run spec in
+    let obs = make_obs ~metrics ~trace_out in
+    let report = Faults.Campaign.run ?obs spec in
+    emit_obs obs ~metrics ~trace_out;
     (match format with
     | `Json -> print_string (Faults.Campaign.to_json report)
     | `Text -> Format.printf "@[<v>%a@]@." Faults.Campaign.pp report);
@@ -511,7 +604,89 @@ let faults_cmd =
     Term.(
       const run $ duration $ seed $ seu_mean $ scrub_period $ reconfig_prob
       $ flash_prob $ deadline $ max_retries $ backoff_us $ backoff_factor
-      $ device_faults $ format_arg)
+      $ device_faults $ format_arg $ metrics_arg $ trace_out_arg)
+
+(* --- profile --------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run casebase request compacted restart divider format max_cycles =
+    let cb = or_die (load_casebase casebase) in
+    let req = or_die (load_request request) in
+    let config =
+      {
+        Rtlsim.Machine.resume_scan = not restart;
+        compacted;
+        use_divider = divider;
+        overlap_compute = false;
+        registered_bram = false;
+      }
+    in
+    let report = or_die (Obs.Profile.run ~config cb req) in
+    (match format with
+    | `Json -> print_string (Obs.Profile.report_to_json report)
+    | `Text -> Format.printf "@[<v>%a@]@." Obs.Profile.pp_report report);
+    match max_cycles with
+    | Some budget
+      when report.Obs.Profile.breakdown.Obs.Profile.total_cycles > budget ->
+        Printf.eprintf "qosalloc: cycle budget exceeded: %d > %d\n"
+          report.Obs.Profile.breakdown.Obs.Profile.total_cycles budget;
+        exit 1
+    | Some _ | None -> ()
+  in
+  let compacted =
+    Arg.(value & flag & info [ "compacted" ] ~doc:"Compacted block fetches.")
+  in
+  let restart =
+    Arg.(value & flag & info [ "restart-scan" ] ~doc:"Disable resume scanning.")
+  in
+  let divider =
+    Arg.(value & flag & info [ "divider" ] ~doc:"Use an iterative divider.")
+  in
+  let format_arg =
+    let fmt_conv =
+      Arg.conv
+        ( (function
+          | "text" -> Ok `Text
+          | "json" -> Ok `Json
+          | s -> Error (`Msg (Printf.sprintf "unknown format %S" s))),
+          fun ppf f ->
+            Format.pp_print_string ppf
+              (match f with `Text -> "text" | `Json -> "json") )
+    in
+    Arg.(
+      value & opt fmt_conv `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  let max_cycles =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-cycles" ] ~docv:"N"
+          ~doc:
+            "Cycle budget: exit 1 when the full retrieval exceeds $(docv) \
+             cycles.")
+  in
+  let doc = "profile the retrieval unit: per-phase cycles and linearity" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the cycle-accurate retrieval unit over the request and \
+         attributes every cycle to one of four phases (tree walk, \
+         attribute scan, multiply-accumulate, memory stall), then \
+         re-runs it over every prefix of the request's constraints to \
+         check the paper's linear-effort claim: each added constraint \
+         should cost a near-constant cycle increment.";
+      `P
+        "Exit status: 0 normally, 1 when $(b,--max-cycles) is given and \
+         the full retrieval exceeds the budget.";
+    ]
+  in
+  Cmd.v (Cmd.info "profile" ~doc ~man)
+    Term.(
+      const run $ casebase_arg $ request_arg $ compacted $ restart $ divider
+      $ format_arg $ max_cycles)
 
 (* --- export --------------------------------------------------------------------- *)
 
@@ -872,6 +1047,7 @@ let () =
             resources_cmd;
             simulate_cmd;
             faults_cmd;
+            profile_cmd;
             export_cmd;
             lint_cmd;
             verify_cmd;

@@ -72,11 +72,69 @@ type event =
   | Device_restored of { device_id : string }
   | Scrubbed of { corrupted_words : int; diagnostics : int }
 
+(* Pre-resolved metric handles: the hot path pays one [option] match,
+   never a registry lookup.  Event counters are fed from {!push_event},
+   so the metrics view is exactly the event stream aggregated. *)
+type instr = {
+  ictx : Obs.Ctx.t;
+  c_granted : Obs.Metrics.counter;
+  c_bypass : Obs.Metrics.counter;
+  c_refused : Obs.Metrics.counter;
+  c_preempted : Obs.Metrics.counter;
+  c_released : Obs.Metrics.counter;
+  c_reconfig_failed : Obs.Metrics.counter;
+  c_retried : Obs.Metrics.counter;
+  c_relocated : Obs.Metrics.counter;
+  c_device_failed : Obs.Metrics.counter;
+  c_device_restored : Obs.Metrics.counter;
+  c_scrubbed : Obs.Metrics.counter;
+  c_scrub_words : Obs.Metrics.counter;
+  h_setup_us : Obs.Metrics.histogram;
+  h_retrieval_us : Obs.Metrics.histogram;
+}
+
+let make_instr ictx =
+  let reg = ictx.Obs.Ctx.registry in
+  let ev name =
+    Obs.Metrics.counter reg ~help:"Allocation events by kind."
+      ~labels:[ ("event", name) ]
+      "qosalloc_alloc_events_total"
+  in
+  {
+    ictx;
+    c_granted = ev "granted";
+    c_bypass =
+      Obs.Metrics.counter reg ~help:"Grants served from the bypass cache."
+        "qosalloc_alloc_bypass_grants_total";
+    c_refused = ev "refused";
+    c_preempted = ev "preempted";
+    c_released = ev "released";
+    c_reconfig_failed = ev "reconfig_failed";
+    c_retried = ev "retried";
+    c_relocated = ev "relocated";
+    c_device_failed = ev "device_failed";
+    c_device_restored = ev "device_restored";
+    c_scrubbed = ev "scrubbed";
+    c_scrub_words =
+      Obs.Metrics.counter reg
+        ~help:"Corrupted configuration words repaired by scrubbing."
+        "qosalloc_scrub_corrupted_words_total";
+    h_setup_us =
+      Obs.Metrics.histogram reg
+        ~help:"Grant setup time (reconfiguration + repository read), us."
+        ~buckets:Obs.Metrics.default_buckets "qosalloc_setup_time_us";
+    h_retrieval_us =
+      Obs.Metrics.histogram reg
+        ~help:"Modelled hardware retrieval latency per grant, us."
+        ~buckets:Obs.Metrics.default_buckets "qosalloc_retrieval_us";
+  }
+
 type t = {
   casebase : Casebase.t;
   devices : Device.t list;
   catalog : Catalog.t;
   policy : policy;
+  instr : instr option;
   bypass : Bypass.t;
   column_maps : (string, Placement.t) Hashtbl.t;
       (** Present only when fragmentation modelling is on: one column
@@ -91,7 +149,7 @@ type t = {
 }
 
 let create ~casebase ~devices ~catalog ?(policy = default_policy)
-    ?placement_policy () =
+    ?placement_policy ?obs () =
   let column_maps = Hashtbl.create 4 in
   (match placement_policy with
   | None -> ()
@@ -109,6 +167,7 @@ let create ~casebase ~devices ~catalog ?(policy = default_policy)
     devices;
     catalog;
     policy;
+    instr = Option.map make_instr obs;
     bypass = Bypass.create ();
     column_maps;
     placement_policy;
@@ -118,7 +177,29 @@ let create ~casebase ~devices ~catalog ?(policy = default_policy)
     failed_devices = [];
   }
 
-let push_event t e = t.rev_events <- e :: t.rev_events
+let count_event i = function
+  | Granted g ->
+      Obs.Metrics.inc i.c_granted;
+      if g.via_bypass then Obs.Metrics.inc i.c_bypass;
+      Obs.Metrics.observe i.h_setup_us g.setup_time_us;
+      Obs.Metrics.observe i.h_retrieval_us g.retrieval_us
+  | Refused _ -> Obs.Metrics.inc i.c_refused
+  | Preempted_task _ -> Obs.Metrics.inc i.c_preempted
+  | Released_task _ -> Obs.Metrics.inc i.c_released
+  | Reconfig_failed _ -> Obs.Metrics.inc i.c_reconfig_failed
+  | Retried _ -> Obs.Metrics.inc i.c_retried
+  | Relocated _ -> Obs.Metrics.inc i.c_relocated
+  | Device_failed _ -> Obs.Metrics.inc i.c_device_failed
+  | Device_restored _ -> Obs.Metrics.inc i.c_device_restored
+  | Scrubbed { corrupted_words; _ } ->
+      Obs.Metrics.inc i.c_scrubbed;
+      Obs.Metrics.inc_by i.c_scrub_words corrupted_words
+
+let push_event t e =
+  t.rev_events <- e :: t.rev_events;
+  match t.instr with None -> () | Some i -> count_event i e
+
+let obs t = Option.map (fun i -> i.ictx) t.instr
 
 let tasks t = t.running
 
@@ -331,7 +412,7 @@ let try_host t ~app_id ~priority ~type_id (r : Engine_float.ranked) =
       | Some grant -> Some grant
       | None -> with_preemption ())
 
-let allocate t ~app_id ?(priority = 0) (request : Request.t) =
+let allocate_impl t ~app_id ~priority (request : Request.t) =
   let key = Bypass.key_of ~app_id request in
   let bypass_grant =
     match Bypass.lookup t.bypass key with
@@ -367,6 +448,11 @@ let allocate t ~app_id ?(priority = 0) (request : Request.t) =
                 float_of_int o.Rtlsim.Machine.stats.Rtlsim.Machine.cycles /. mhz
             | Error _ -> 0.0)
       in
+      (match t.instr with
+      | Some i when retrieval_us > 0.0 ->
+          Obs.Tracer.complete i.ictx.Obs.Ctx.tracer ~ts:(Obs.Ctx.now i.ictx)
+            ~dur:retrieval_us ~args:[ ("app", app_id) ] "retrieval"
+      | _ -> ());
       match
         Engine_float.n_best ~n:t.policy.max_candidates t.casebase request
       with
@@ -415,7 +501,39 @@ let allocate t ~app_id ?(priority = 0) (request : Request.t) =
                         Ok grant
                     | None -> attempt rest)
               in
-              attempt acceptable)))
+              match t.instr with
+              | None -> attempt acceptable
+              | Some i ->
+                  let tr = i.ictx.Obs.Ctx.tracer in
+                  let sp =
+                    Obs.Tracer.begin_span tr ~ts:(Obs.Ctx.now i.ictx)
+                      ~args:[ ("app", app_id) ] "placement"
+                  in
+                  let result = attempt acceptable in
+                  Obs.Tracer.end_span tr ~ts:(Obs.Ctx.now i.ictx) sp;
+                  result)))
+
+let allocate t ~app_id ?(priority = 0) (request : Request.t) =
+  match t.instr with
+  | None -> allocate_impl t ~app_id ~priority request
+  | Some i ->
+      let tr = i.ictx.Obs.Ctx.tracer in
+      let sp =
+        Obs.Tracer.begin_span tr ~ts:(Obs.Ctx.now i.ictx)
+          ~args:[ ("app", app_id); ("type", string_of_int request.type_id) ]
+          "allocate"
+      in
+      let result = allocate_impl t ~app_id ~priority request in
+      (match result with
+      | Ok g when (not g.via_bypass) && g.setup_time_us -. g.retrieval_us > 0.0
+        ->
+          Obs.Tracer.complete tr ~ts:(Obs.Ctx.now i.ictx)
+            ~dur:(g.setup_time_us -. g.retrieval_us)
+            ~args:[ ("device", g.task.device_id) ]
+            "reconfigure"
+      | _ -> ());
+      Obs.Tracer.end_span tr ~ts:(Obs.Ctx.now i.ictx) sp;
+      result
 
 let release t ~task_id =
   match List.find_opt (fun task -> task.task_id = task_id) t.running with

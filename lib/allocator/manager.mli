@@ -110,13 +110,25 @@ val create :
   catalog:Catalog.t ->
   ?policy:policy ->
   ?placement_policy:Placement.policy ->
+  ?obs:Obs.Ctx.t ->
   unit ->
   t
 (** With [placement_policy] set, every FPGA-class device is modelled as
     a 1D column map ([Placement]): admission requires a {e contiguous}
     gap, preemption evicts until one appears, and tasks carry their
     column extent.  Without it (the default) devices are simple
-    capacity counters. *)
+    capacity counters.
+
+    With [obs] set, the manager resolves its metric handles once
+    (allocation-event counters fed from the event stream, setup-time
+    and retrieval-latency histograms) and emits spans per allocation —
+    "allocate" wrapping the whole decision, "placement" around the
+    candidate loop, "retrieval"/"reconfigure" as duration events.
+    Without it every instrumentation point costs one [option] match. *)
+
+val obs : t -> Obs.Ctx.t option
+(** The context passed at creation, for collaborators (negotiation)
+    that span their own stages of the same allocation. *)
 
 val allocate :
   t -> app_id:string -> ?priority:int -> Qos_core.Request.t

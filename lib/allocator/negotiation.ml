@@ -33,8 +33,23 @@ let halve_weakest_weight r =
 
 let negotiate ?(max_rounds = 4) ?(relax = drop_weakest_constraint) manager
     ~app_id ?priority request =
+  let obs = Manager.obs manager in
+  let run_round round_no request =
+    match obs with
+    | None -> Manager.allocate manager ~app_id ?priority request
+    | Some ctx ->
+        let tr = ctx.Obs.Ctx.tracer in
+        let sp =
+          Obs.Tracer.begin_span tr ~ts:(Obs.Ctx.now ctx)
+            ~args:[ ("app", app_id); ("round", string_of_int round_no) ]
+            "negotiation-round"
+        in
+        let result = Manager.allocate manager ~app_id ?priority request in
+        Obs.Tracer.end_span tr ~ts:(Obs.Ctx.now ctx) sp;
+        result
+  in
   let rec loop round_no request rev_rounds =
-    let result = Manager.allocate manager ~app_id ?priority request in
+    let result = run_round round_no request in
     let entry = { round_request = request; round_result = result } in
     let rev_rounds = entry :: rev_rounds in
     match result with

@@ -91,11 +91,11 @@ let hold_time state =
   let lo, hi = state.profile.Apps.hold_us in
   lo +. ((hi -. lo) *. Workload.Prng.float state.rng)
 
-let run spec =
+let run ?obs spec =
   let manager =
     Manager.create ~casebase:spec.casebase ~devices:spec.devices
       ~catalog:(Catalog.of_casebase_default spec.casebase)
-      ~policy:spec.policy ?placement_policy:spec.placement ()
+      ~policy:spec.policy ?placement_policy:spec.placement ?obs ()
   in
   let root_rng = Workload.Prng.create ~seed:spec.seed in
   let states =
@@ -110,6 +110,21 @@ let run spec =
       spec.apps
   in
   let engine = Engine.create () in
+  (* Point the shared clock at sim-time so the manager's spans and any
+     later samples carry engine timestamps, not zeros. *)
+  let sim_instr =
+    match obs with
+    | None -> None
+    | Some ctx ->
+        Obs.Ctx.set_clock ctx (fun () -> Engine.now engine);
+        Some
+          ( ctx,
+            Obs.Metrics.gauge ctx.Obs.Ctx.registry
+              ~help:
+                "Pending events in the discrete-event queue, sampled at \
+                 request arrivals."
+              "qosalloc_sim_queue_depth" )
+  in
   let power_of_device device_id =
     match
       List.find_opt
@@ -201,6 +216,17 @@ let run spec =
   let handle_request state engine =
     let template = next_template state in
     let request = Apps.instantiate state.rng template in
+    let span =
+      match sim_instr with
+      | None -> None
+      | Some (ctx, queue_gauge) ->
+          Obs.Metrics.set queue_gauge (float_of_int (Engine.pending engine));
+          Some
+            ( ctx,
+              Obs.Tracer.begin_span ctx.Obs.Ctx.tracer ~ts:(Obs.Ctx.now ctx)
+                ~args:[ ("app", state.profile.Apps.app_id) ]
+                "request" )
+    in
     let outcome =
       Negotiation.negotiate ~max_rounds:spec.max_negotiation_rounds manager
         ~app_id:state.profile.Apps.app_id
@@ -246,7 +272,11 @@ let run spec =
       | Error _ -> { m with refusals = m.refusals + 1 }
     in
     state.metrics <- m;
-    record_preemptions ()
+    record_preemptions ();
+    match span with
+    | None -> ()
+    | Some (ctx, sp) ->
+        Obs.Tracer.end_span ctx.Obs.Ctx.tracer ~ts:(Obs.Ctx.now ctx) sp
   in
   let rec arrival state engine =
     handle_request state engine;

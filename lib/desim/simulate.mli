@@ -51,7 +51,13 @@ type report = {
           arrivals; [spec.devices] order. *)
 }
 
-val run : spec -> report
+val run : ?obs:Obs.Ctx.t -> spec -> report
+(** With [obs], the context's clock is re-pointed at the engine's
+    sim-time, the manager is created instrumented (see
+    {!Allocator.Manager.create}), every request is wrapped in a
+    "request" span, and the [qosalloc_sim_queue_depth] gauge samples
+    the event-queue depth at each arrival.  Instrumentation never reads
+    the PRNGs, so the report is identical with or without it. *)
 
 val mean_similarity : app_metrics -> float
 (** 0 when there were no grants. *)

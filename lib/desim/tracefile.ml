@@ -25,7 +25,15 @@ let outcome_of_string = function
 
 let csv_header = "time_us,app,type,outcome,impl,device,similarity,setup_us,rounds"
 
-let field_ok s = not (String.exists (fun c -> c = ',' || c = '\n') s)
+(* The format has no quoting, so any structural character embedded in
+   an ID — separator, record terminator (either convention), or a
+   quote a downstream CSV reader might interpret — would corrupt the
+   file or round-trip differently. *)
+let field_ok s =
+  not
+    (String.exists
+       (fun c -> c = ',' || c = '\n' || c = '\r' || c = '"')
+       s)
 
 let to_csv rows =
   let buf = Buffer.create (64 + (List.length rows * 48)) in
@@ -34,7 +42,8 @@ let to_csv rows =
   List.iter
     (fun r ->
       if not (field_ok r.app_id && field_ok r.device_id) then
-        invalid_arg "Tracefile.to_csv: IDs must not contain commas or newlines";
+        invalid_arg
+          "Tracefile.to_csv: IDs must not contain commas, quotes or newlines";
       Buffer.add_string buf
         (Printf.sprintf "%.3f,%s,%d,%s,%d,%s,%.6f,%.3f,%d\n" r.time_us r.app_id
            r.type_id
@@ -108,25 +117,35 @@ type analysis = {
 }
 
 let analyze rows =
-  let count p = List.length (List.filter p rows) in
-  let grants =
-    List.filter (fun r -> r.outcome = Granted || r.outcome = Granted_bypass) rows
-  in
+  (* One pass, streaming accumulators — no intermediate float lists. *)
+  let similarity_acc = Workload.Stats.create () in
+  let setup_acc = Workload.Stats.create () in
+  let total = ref 0 and granted = ref 0 in
+  let bypassed = ref 0 and refused = ref 0 in
+  let rounds_sum = ref 0.0 in
+  List.iter
+    (fun r ->
+      incr total;
+      rounds_sum := !rounds_sum +. float_of_int r.rounds;
+      match r.outcome with
+      | Granted ->
+          incr granted;
+          Workload.Stats.add similarity_acc r.similarity;
+          Workload.Stats.add setup_acc r.setup_us
+      | Granted_bypass ->
+          incr bypassed;
+          Workload.Stats.add similarity_acc r.similarity
+      | Refused -> incr refused)
+    rows;
   {
-    total = List.length rows;
-    granted = count (fun r -> r.outcome = Granted);
-    bypassed = count (fun r -> r.outcome = Granted_bypass);
-    refused = count (fun r -> r.outcome = Refused);
-    similarity_stats =
-      Workload.Stats.summarize (List.map (fun r -> r.similarity) grants);
-    setup_stats =
-      Workload.Stats.summarize
-        (List.filter_map
-           (fun r -> if r.outcome = Granted then Some r.setup_us else None)
-           rows);
+    total = !total;
+    granted = !granted;
+    bypassed = !bypassed;
+    refused = !refused;
+    similarity_stats = Workload.Stats.finalize similarity_acc;
+    setup_stats = Workload.Stats.finalize setup_acc;
     rounds_mean =
-      Option.value ~default:0.0
-        (Workload.Stats.mean (List.map (fun r -> float_of_int r.rounds) rows));
+      (if !total = 0 then 0.0 else !rounds_sum /. float_of_int !total);
   }
 
 let pp_analysis ppf a =

@@ -20,8 +20,10 @@ val outcome_to_string : outcome -> string
 val outcome_of_string : string -> (outcome, string) result
 
 val to_csv : row list -> string
-(** Header line plus one line per row; fields never contain commas
-    (app/device IDs are rejected if they do). *)
+(** Header line plus one line per row.  The format has no quoting, so
+    app/device IDs containing a comma, double quote, CR or LF are
+    rejected with [Invalid_argument] — anything accepted round-trips
+    through {!of_csv} unchanged. *)
 
 val of_csv : string -> (row list, string) result
 (** Inverse of {!to_csv}; tolerates blank lines. *)

@@ -156,13 +156,14 @@ let hold_time state =
   let lo, hi = state.profile.Apps.hold_us in
   lo +. ((hi -. lo) *. Workload.Prng.float state.rng)
 
-let run spec =
+let run ?obs spec =
   let base = spec.base in
   let manager =
     Manager.create ~casebase:base.Simulate.casebase
       ~devices:base.Simulate.devices
       ~catalog:(Allocator.Catalog.of_casebase_default base.Simulate.casebase)
-      ~policy:base.Simulate.policy ?placement_policy:base.Simulate.placement ()
+      ~policy:base.Simulate.policy ?placement_policy:base.Simulate.placement
+      ?obs ()
   in
   let root_rng = Workload.Prng.create ~seed:base.Simulate.seed in
   (* App streams split first, in apps order — identical to
@@ -186,6 +187,19 @@ let run spec =
         | Error _ -> None)
   in
   let engine = Engine.create () in
+  (* Scrub/retry/relocation counters ride the manager's event stream
+     (see [Manager.create ?obs]); the campaign only adds the repair-
+     time view. *)
+  let mttr_hist =
+    match obs with
+    | None -> None
+    | Some ctx ->
+        Obs.Ctx.set_clock ctx (fun () -> Engine.now engine);
+        Some
+          (Obs.Metrics.histogram ctx.Obs.Ctx.registry
+             ~help:"Mean time to repair per failed device, us."
+             ~buckets:Obs.Metrics.default_buckets "qosalloc_device_mttr_us")
+  in
   let duration = base.Simulate.duration_us in
   let scrub_enabled = spec.scrub_period_us <> None in
   (* Counters. *)
@@ -461,6 +475,13 @@ let run spec =
         })
       base.Simulate.devices
   in
+  (match mttr_hist with
+  | None -> ()
+  | Some h ->
+      List.iter
+        (fun a ->
+          if a.av_failures > 0 then Obs.Metrics.observe h a.av_mttr_us)
+        availability);
   let events = Manager.drain_events manager in
   let count pred = List.length (List.filter pred events) in
   let event_counts =

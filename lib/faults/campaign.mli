@@ -123,7 +123,13 @@ val exit_code : report -> int
 (** 0 / 1 / 2 for clean / degraded-but-recovered / unrecovered loss —
     the [qosalloc faults] CI contract. *)
 
-val run : spec -> report
+val run : ?obs:Obs.Ctx.t -> spec -> report
+(** With [obs], the manager is created instrumented (scrub, retry and
+    relocation counters are fed from its event stream), the context's
+    clock follows the campaign engine, and per-device repair times land
+    in the [qosalloc_device_mttr_us] histogram.  Instrumentation never
+    touches the injector or workload PRNGs, so the report — including
+    its JSON rendering — is identical with or without it. *)
 
 val pp : Format.formatter -> report -> unit
 

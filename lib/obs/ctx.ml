@@ -1,0 +1,11 @@
+type t = {
+  registry : Metrics.t;
+  tracer : Tracer.t;
+  mutable clock : unit -> float;
+}
+
+let create ?(tracer = Tracer.noop ()) () =
+  { registry = Metrics.create (); tracer; clock = (fun () -> 0.0) }
+
+let set_clock t f = t.clock <- f
+let now t = t.clock ()

@@ -1,0 +1,23 @@
+(** Observability context threaded through the allocation stack.
+
+    Bundles one metrics registry, one span tracer and the simulation
+    clock they read timestamps from.  Components take [?obs:Ctx.t] —
+    [None] means fully uninstrumented; a context with a {!Tracer.noop}
+    sink means metrics only, spans one branch each.
+
+    The clock starts pinned at 0; a simulation owner re-points it at
+    its engine ({!set_clock}) once the engine exists, so spans recorded
+    by deeper layers (manager, negotiation) read discrete-event
+    sim-time without depending on the desim library. *)
+
+type t = {
+  registry : Metrics.t;
+  tracer : Tracer.t;
+  mutable clock : unit -> float;  (** Sim-time, microseconds. *)
+}
+
+val create : ?tracer:Tracer.t -> unit -> t
+(** Fresh registry; the tracer defaults to {!Tracer.noop}. *)
+
+val set_clock : t -> (unit -> float) -> unit
+val now : t -> float

@@ -1,0 +1,16 @@
+(** Minimal JSON emission helpers shared by the obs exporters.
+
+    Only what the deterministic exporters need: string escaping and a
+    canonical number form.  Not a JSON library — no parsing. *)
+
+val escape : string -> string
+(** Backslash-escape for a JSON string body (no surrounding quotes). *)
+
+val str : string -> string
+(** [str s] is [escape s] wrapped in double quotes. *)
+
+val float_str : float -> string
+(** Canonical decimal form: integers print without a fractional part,
+    everything else as [%.6f].  Total and deterministic for finite
+    inputs — the byte-determinism contract of every obs export leans on
+    this. *)

@@ -1,0 +1,133 @@
+module Machine = Rtlsim.Machine
+module Request = Qos_core.Request
+
+type breakdown = {
+  total_cycles : int;
+  phase_cycles : (string * int) list;
+  consistent : bool;
+}
+
+let breakdown_of_stats (s : Machine.stats) =
+  let phase_cycles =
+    List.map
+      (fun p -> (Machine.phase_name p, Machine.phase_cycles_get p s.phases))
+      Machine.all_phases
+  in
+  let sum = List.fold_left (fun acc (_, n) -> acc + n) 0 phase_cycles in
+  { total_cycles = s.cycles; phase_cycles; consistent = sum = s.cycles }
+
+type linearity = {
+  points : (int * int) list;
+  increments : int list;
+  linear : bool;
+}
+
+(* The increments are "near-constant" up to per-constraint variation in
+   list position and value width; the resume-scan architecture keeps
+   the spread small while a restart-scan baseline makes later
+   constraints strictly costlier.  The slack term absorbs the fixed
+   control cycles visible at tiny request sizes. *)
+let linear_slack = 32
+
+let judge_linear increments =
+  match increments with
+  | [] | [ _ ] -> true
+  | _ ->
+      let mn = List.fold_left min max_int increments in
+      let mx = List.fold_left max 0 increments in
+      mx <= (2 * mn) + linear_slack
+
+type report = {
+  breakdown : breakdown;
+  linearity : linearity;
+  best_impl_id : int;
+}
+
+let prefix_request (r : Request.t) k =
+  let constrs =
+    List.filteri (fun i _ -> i < k) r.constraints
+    |> List.map (fun (c : Request.constr) -> (c.attr, c.value, c.weight))
+  in
+  Request.make ~type_id:r.type_id constrs
+
+let run ?config casebase request =
+  let ( let* ) = Result.bind in
+  let retrieve req =
+    match Machine.retrieve ?config casebase req with
+    | Ok outcome -> Ok outcome
+    | Error e -> Error (Machine.error_to_string e)
+  in
+  let* full = retrieve request in
+  let n = Request.constraint_count request in
+  let rec ladder k acc =
+    if k > n then Ok (List.rev acc)
+    else
+      let* req = prefix_request request k in
+      let* outcome = retrieve req in
+      ladder (k + 1) ((k, outcome.Machine.stats.cycles) :: acc)
+  in
+  let* points = ladder 0 [] in
+  let rec deltas = function
+    | (_, a) :: ((_, b) :: _ as rest) -> (b - a) :: deltas rest
+    | _ -> []
+  in
+  let increments = deltas points in
+  Ok
+    {
+      breakdown = breakdown_of_stats full.Machine.stats;
+      linearity = { points; increments; linear = judge_linear increments };
+      best_impl_id = full.Machine.best_impl_id;
+    }
+
+let pp_report ppf r =
+  Format.fprintf ppf "profile: total-cycles=%d best-impl=%d@\n"
+    r.breakdown.total_cycles r.best_impl_id;
+  Format.fprintf ppf "phases:";
+  List.iter
+    (fun (name, cycles) ->
+      let pct =
+        if r.breakdown.total_cycles = 0 then 0.0
+        else
+          100.0 *. float_of_int cycles /. float_of_int r.breakdown.total_cycles
+      in
+      Format.fprintf ppf " %s=%d (%.1f%%)" name cycles pct)
+    r.breakdown.phase_cycles;
+  Format.fprintf ppf "@\n";
+  Format.fprintf ppf "phase-sum consistent=%b@\n" r.breakdown.consistent;
+  Format.fprintf ppf "linearity: points=[%s] increments=[%s] linear=%b"
+    (String.concat " "
+       (List.map
+          (fun (k, c) -> Printf.sprintf "%d:%d" k c)
+          r.linearity.points))
+    (String.concat " " (List.map string_of_int r.linearity.increments))
+    r.linearity.linear
+
+let report_to_json r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"profile\":{";
+  Buffer.add_string buf
+    (Printf.sprintf "\"total_cycles\":%d,\"best_impl\":%d,"
+       r.breakdown.total_cycles r.best_impl_id);
+  Buffer.add_string buf "\"phases\":{";
+  List.iteri
+    (fun i (name, cycles) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf (Printf.sprintf "%s:%d" (Jsonu.str name) cycles))
+    r.breakdown.phase_cycles;
+  Buffer.add_string buf
+    (Printf.sprintf "},\"consistent\":%b," r.breakdown.consistent);
+  Buffer.add_string buf "\"linearity\":{\"points\":[";
+  List.iteri
+    (fun i (k, c) ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf (Printf.sprintf "[%d,%d]" k c))
+    r.linearity.points;
+  Buffer.add_string buf "],\"increments\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf (string_of_int d))
+    r.linearity.increments;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"linear\":%b}}}\n" r.linearity.linear);
+  Buffer.contents buf

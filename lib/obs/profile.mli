@@ -1,0 +1,48 @@
+(** Cycle-attribution profiler for the rtlsim retrieval unit.
+
+    Splits a retrieval's total cycle count into the four machine phases
+    ({!Rtlsim.Machine.phase}) and checks the paper's central claim that
+    retrieval effort grows linearly with request size: the hardware
+    walks ID-sorted attribute lists with resumable scans, so each added
+    constraint costs a near-constant increment (Sec. 4.1).
+
+    Phase attribution is exact by construction — every cycle the
+    machine ticks is charged to exactly one phase — and {!breakdown}
+    re-checks the sum anyway so a future accounting bug turns into a
+    visible [consistent = false] rather than silent drift. *)
+
+type breakdown = {
+  total_cycles : int;
+  phase_cycles : (string * int) list;
+      (** In {!Rtlsim.Machine.all_phases} order. *)
+  consistent : bool;  (** Phase sum equals [total_cycles]. *)
+}
+
+val breakdown_of_stats : Rtlsim.Machine.stats -> breakdown
+
+type linearity = {
+  points : (int * int) list;
+      (** (constraint count, total cycles) for each request prefix,
+          sizes 0 through the full request. *)
+  increments : int list;  (** Cycle deltas between successive points. *)
+  linear : bool;
+      (** Increments are near-constant: max <= 2 * min + slack.  True
+          vacuously with fewer than two increments. *)
+}
+
+type report = {
+  breakdown : breakdown;
+  linearity : linearity;
+  best_impl_id : int;
+}
+
+val run :
+  ?config:Rtlsim.Machine.config ->
+  Qos_core.Casebase.t ->
+  Qos_core.Request.t ->
+  (report, string) result
+(** Profile one retrieval: full-request breakdown plus the
+    prefix-ladder linearity check (one extra retrieval per prefix). *)
+
+val pp_report : Format.formatter -> report -> unit
+val report_to_json : report -> string

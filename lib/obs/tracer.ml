@@ -1,0 +1,86 @@
+type ph = B | E | X
+
+type event = {
+  name : string;
+  ph : ph;
+  ts : float;
+  dur : float;
+  args : (string * string) list;
+}
+
+type state = {
+  mutable rev_events : event list;
+  mutable stack : string list;
+}
+
+type t = Noop | Collecting of state
+type span = No_span | Span of string
+
+let noop () = Noop
+let collecting () = Collecting { rev_events = []; stack = [] }
+let enabled = function Noop -> false | Collecting _ -> true
+
+let begin_span t ~ts ?(args = []) name =
+  match t with
+  | Noop -> No_span
+  | Collecting s ->
+      s.rev_events <- { name; ph = B; ts; dur = 0.0; args } :: s.rev_events;
+      s.stack <- name :: s.stack;
+      Span name
+
+let end_span t ~ts span =
+  match (t, span) with
+  | Noop, _ | _, No_span -> ()
+  | Collecting s, Span name -> (
+      match s.stack with
+      | top :: rest when String.equal top name ->
+          s.stack <- rest;
+          s.rev_events <- { name; ph = E; ts; dur = 0.0; args = [] } :: s.rev_events
+      | _ -> invalid_arg ("Obs.Tracer.end_span: unbalanced span " ^ name))
+
+let complete t ~ts ~dur ?(args = []) name =
+  match t with
+  | Noop -> ()
+  | Collecting s ->
+      s.rev_events <- { name; ph = X; ts; dur; args } :: s.rev_events
+
+let events = function
+  | Noop -> []
+  | Collecting s -> List.rev s.rev_events
+
+let open_spans = function Noop -> 0 | Collecting s -> List.length s.stack
+
+let ph_str = function B -> "B" | E -> "E" | X -> "X"
+
+let event_json e =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"name\":%s,\"cat\":\"qosalloc\",\"ph\":\"%s\",\"ts\":%s"
+       (Jsonu.str e.name) (ph_str e.ph) (Jsonu.float_str e.ts));
+  if e.ph = X then
+    Buffer.add_string buf (Printf.sprintf ",\"dur\":%s" (Jsonu.float_str e.dur));
+  Buffer.add_string buf ",\"pid\":1,\"tid\":1";
+  (match e.args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string buf ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",";
+          Buffer.add_string buf (Jsonu.str k ^ ":" ^ Jsonu.str v))
+        args;
+      Buffer.add_string buf "}");
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n";
+      Buffer.add_string buf (event_json e))
+    (events t);
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf

@@ -1,0 +1,57 @@
+(** Span tracer emitting Chrome trace-event JSON.
+
+    Spans are begin/end pairs ([ph:"B"]/[ph:"E"]) with strict LIFO
+    nesting per tracer, plus complete events ([ph:"X"]) carrying an
+    explicit duration — used for work whose cost is a modelled quantity
+    (retrieval cycles, reconfiguration time) rather than a bracketed
+    region of simulation.  Timestamps are sim-time microseconds, which
+    is also the native unit of the trace-event format, so exported
+    traces load directly into Perfetto or chrome://tracing and are
+    byte-deterministic for a given run.
+
+    The no-op sink records nothing and allocates nothing: when tracing
+    is disabled every instrumentation call is a single constructor
+    match. *)
+
+type t
+
+type ph = B | E | X
+
+type event = {
+  name : string;
+  ph : ph;
+  ts : float;  (** Sim-time, microseconds. *)
+  dur : float;  (** Only meaningful for [X] events. *)
+  args : (string * string) list;
+}
+
+type span
+(** Token returned by {!begin_span}; must be closed with {!end_span} in
+    LIFO order. *)
+
+val noop : unit -> t
+(** The disabled sink: every operation is a no-op. *)
+
+val collecting : unit -> t
+
+val enabled : t -> bool
+
+val begin_span : t -> ts:float -> ?args:(string * string) list -> string -> span
+
+val end_span : t -> ts:float -> span -> unit
+(** @raise Invalid_argument when the span is not the innermost open one
+    (an instrumentation bug, reported loudly). *)
+
+val complete :
+  t -> ts:float -> dur:float -> ?args:(string * string) list -> string -> unit
+(** Record an [X] event spanning [ts, ts + dur). *)
+
+val events : t -> event list
+(** Chronological record order; [[]] for the no-op sink. *)
+
+val open_spans : t -> int
+(** Number of currently open spans (0 when the trace is well closed). *)
+
+val to_json : t -> string
+(** [{"traceEvents":[...]}] — one event object per line, [pid]/[tid]
+    fixed at 1, category ["qosalloc"]. *)

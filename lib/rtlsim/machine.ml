@@ -26,6 +26,30 @@ let cycle_limit = 50_000_000
 
 let trace_limit = 20_000
 
+type phase = Tree_walk | Attr_scan | Mac | Mem_stall
+
+let all_phases = [ Tree_walk; Attr_scan; Mac; Mem_stall ]
+
+let phase_name = function
+  | Tree_walk -> "tree-walk"
+  | Attr_scan -> "attr-scan"
+  | Mac -> "mac"
+  | Mem_stall -> "mem-stall"
+
+type phase_cycles = {
+  tree_walk : int;
+  attr_scan : int;
+  mac : int;
+  mem_stall : int;
+}
+
+let phase_cycles_get p c =
+  match p with
+  | Tree_walk -> c.tree_walk
+  | Attr_scan -> c.attr_scan
+  | Mac -> c.mac
+  | Mem_stall -> c.mem_stall
+
 type stats = {
   cycles : int;
   cb_accesses : int;
@@ -35,6 +59,7 @@ type stats = {
   impls_visited : int;
   attrs_matched : int;
   attrs_missing : int;
+  phases : phase_cycles;
 }
 
 type outcome = {
@@ -72,6 +97,10 @@ let pp_stats ppf s =
     s.cycles s.cb_accesses s.req_accesses s.mult_ops s.alu_ops s.impls_visited
     s.attrs_matched s.attrs_missing
 
+let pp_phases ppf c =
+  Format.fprintf ppf "tree-walk=%d attr-scan=%d mac=%d mem-stall=%d"
+    c.tree_walk c.attr_scan c.mac c.mem_stall
+
 exception Halt of error
 
 type machine = {
@@ -92,6 +121,14 @@ type machine = {
   mutable trace_len : int;
   waveform_on : bool;
   mutable rev_samples : Vcd.change list;
+  (* Cycle attribution: which FSM region the next memory access belongs
+     to, and the per-phase cycle counters.  Every [tick] is charged to
+     exactly one phase, so the four counters sum to [cycles]. *)
+  mutable cur_phase : phase;
+  mutable ph_tree_walk : int;
+  mutable ph_attr_scan : int;
+  mutable ph_mac : int;
+  mutable ph_mem_stall : int;
 }
 
 let sample m signal value =
@@ -105,6 +142,24 @@ let tick m n =
   m.cycles <- m.cycles + n;
   if m.cycles > cycle_limit then
     raise (Halt (Malformed_image "cycle limit exceeded (pointer loop?)"))
+
+(* Charge [n] cycles to [phase].  All cycle accounting funnels through
+   here so the phase split always sums to the total. *)
+let charge m phase n =
+  tick m n;
+  match phase with
+  | Tree_walk -> m.ph_tree_walk <- m.ph_tree_walk + n
+  | Attr_scan -> m.ph_attr_scan <- m.ph_attr_scan + n
+  | Mac -> m.ph_mac <- m.ph_mac + n
+  | Mem_stall -> m.ph_mem_stall <- m.ph_mem_stall + n
+
+let snapshot_phases m =
+  {
+    tree_walk = m.ph_tree_walk;
+    attr_scan = m.ph_attr_scan;
+    mac = m.ph_mac;
+    mem_stall = m.ph_mem_stall;
+  }
 
 let emit_trace m fmt =
   Printf.ksprintf
@@ -122,7 +177,10 @@ let emit_trace m fmt =
    RAM) reads cost one cycle; a registered block-RAM output adds a wait
    state (the mapping note in the generated VHDL). *)
 let read m mem addr =
-  tick m (if m.config.registered_bram then 2 else 1);
+  charge m m.cur_phase 1;
+  (* The block-RAM output register's wait state is a memory stall, not
+     useful phase work. *)
+  if m.config.registered_bram then charge m Mem_stall 1;
   sample m (if mem == m.cb then "cb_addr" else "req_addr") addr;
   try Ram.read mem addr
   with Invalid_argument msg -> raise (Halt (Malformed_image msg))
@@ -149,11 +207,11 @@ let read_id_only m mem addr = read m mem addr
    ALU/multiplier work), so they are counted but cost no cycles. *)
 let alu m n =
   m.alu_ops <- m.alu_ops + n;
-  if not m.config.overlap_compute then tick m n
+  if not m.config.overlap_compute then charge m Mac n
 
 let mult m =
   m.mult_ops <- m.mult_ops + 1;
-  if not m.config.overlap_compute then tick m 1
+  if not m.config.overlap_compute then charge m Mac 1
 
 (* --- List scans --------------------------------------------------------- *)
 
@@ -239,7 +297,7 @@ let local_similarity m rvalue supp cbvalue =
       let d = Q.abs_diff_int rvalue cv in
       let dm1 = upper - lower + 1 in
       if dm1 <= 0 then raise (Halt (Malformed_image "supplemental bounds inverted"));
-      tick m divider_cycles;
+      charge m Mac divider_cycles;
       alu m 1;
       let raw = ((d lsl 15) + (dm1 / 2)) / dm1 in
       let raw = if raw > Q.to_raw Q.max_value then Q.to_raw Q.max_value else raw in
@@ -248,6 +306,7 @@ let local_similarity m rvalue supp cbvalue =
 (* --- One implementation ------------------------------------------------- *)
 
 let eval_impl m attr_base =
+  m.cur_phase <- Attr_scan;
   m.cb_attr_pos <- attr_base;
   m.supp_pos <- m.supplemental_base;
   let rec loop req_pos acc =
@@ -308,12 +367,18 @@ let run ?(config = paper_config) ?(trace = false) ?(waveform = false)
       trace_len = 0;
       waveform_on = waveform;
       rev_samples = [];
+      cur_phase = Tree_walk;
+      ph_tree_walk = 0;
+      ph_attr_scan = 0;
+      ph_mac = 0;
+      ph_mem_stall = 0;
     }
   in
   match
     let rtype = read m m.req 0 in
     let l1_base = scan_type_list m image.tree_base rtype in
     let rec impl_loop pos best =
+      m.cur_phase <- Tree_walk;
       let impl_id, attr_ptr = read_pair m m.cb pos in
       if impl_id = end_marker then best
       else begin
@@ -349,6 +414,7 @@ let run ?(config = paper_config) ?(trace = false) ?(waveform = false)
               impls_visited = m.impls_visited;
               attrs_matched = m.attrs_matched;
               attrs_missing = m.attrs_missing;
+              phases = snapshot_phases m;
             };
           trace = List.rev m.rev_trace;
           waveform = List.rev m.rev_samples;
@@ -425,12 +491,18 @@ let run_nbest ?(config = paper_config) ?(trace = false) ~k
         trace_len = 0;
         waveform_on = false;
         rev_samples = [];
+        cur_phase = Tree_walk;
+        ph_tree_walk = 0;
+        ph_attr_scan = 0;
+        ph_mac = 0;
+        ph_mem_stall = 0;
       }
     in
     match
       let rtype = read m m.req 0 in
       let l1_base = scan_type_list m image.tree_base rtype in
       let rec impl_loop pos kept =
+        m.cur_phase <- Tree_walk;
         let impl_id, attr_ptr = read_pair m m.cb pos in
         if impl_id = end_marker then kept
         else begin
@@ -455,6 +527,7 @@ let run_nbest ?(config = paper_config) ?(trace = false) ~k
                 impls_visited = m.impls_visited;
                 attrs_matched = m.attrs_matched;
                 attrs_missing = m.attrs_missing;
+                phases = snapshot_phases m;
               };
             nbest_trace = List.rev m.rev_trace;
           }

@@ -52,6 +52,34 @@ val divider_cycles : int
 (** Latency charged per division in [use_divider] mode (16-bit
     radix-2 iterative divider: 18 cycles). *)
 
+(** Cycle attribution: the FSM region a cycle was spent in.  Every
+    cycle of a run is charged to exactly one phase, so the per-phase
+    counters always sum to the total — the invariant the profiler in
+    [qosalloc.obs] golden-tests. *)
+type phase =
+  | Tree_walk  (** Level-0 type-list scan and level-1 impl-list headers. *)
+  | Attr_scan
+      (** Request-attribute fetches plus the ID-sorted supplemental and
+          implementation attribute-list scans (Sec. 4.1). *)
+  | Mac
+      (** Datapath work: ABS/accumulate ALU steps, the reciprocal
+          multiply (or iterative divider), and best-register compares. *)
+  | Mem_stall
+      (** Registered-BRAM output wait states; zero in the asynchronous
+          distributed-RAM mapping. *)
+
+val all_phases : phase list
+val phase_name : phase -> string
+
+type phase_cycles = {
+  tree_walk : int;
+  attr_scan : int;
+  mac : int;
+  mem_stall : int;
+}
+
+val phase_cycles_get : phase -> phase_cycles -> int
+
 type stats = {
   cycles : int;
   cb_accesses : int;  (** CB-MEM port accesses. *)
@@ -61,6 +89,7 @@ type stats = {
   impls_visited : int;
   attrs_matched : int;
   attrs_missing : int;  (** Request attributes absent from a variant. *)
+  phases : phase_cycles;  (** Sums exactly to [cycles]. *)
 }
 
 type outcome = {
@@ -144,3 +173,4 @@ val retrieve_nbest :
 
 val error_to_string : error -> string
 val pp_stats : Format.formatter -> stats -> unit
+val pp_phases : Format.formatter -> phase_cycles -> unit

@@ -6,6 +6,7 @@ type summary = {
   maximum : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
 }
 
@@ -28,32 +29,70 @@ let percentile values ~p =
         in
         Some (List.nth sorted (min (n - 1) (rank - 1)))
 
+(* --- Streaming accumulator ---------------------------------------------- *)
+
+(* Values land in a doubling float array rather than a list: one flat
+   buffer, sorted once at [finalize] for the percentiles. *)
+type acc = {
+  mutable values : float array;
+  mutable used : int;
+  mutable nonfinite : bool;
+}
+
+let create () = { values = Array.make 16 0.0; used = 0; nonfinite = false }
+
+let add acc v =
+  if not (Float.is_finite v) then acc.nonfinite <- true
+  else begin
+    if acc.used = Array.length acc.values then begin
+      let grown = Array.make (2 * acc.used) 0.0 in
+      Array.blit acc.values 0 grown 0 acc.used;
+      acc.values <- grown
+    end;
+    acc.values.(acc.used) <- v;
+    acc.used <- acc.used + 1
+  end
+
+let count acc = acc.used
+
+let finalize acc =
+  if acc.nonfinite || acc.used = 0 then None
+  else begin
+    let sorted = Array.sub acc.values 0 acc.used in
+    Array.sort Float.compare sorted;
+    let n = acc.used in
+    let fn = float_of_int n in
+    let total = Array.fold_left ( +. ) 0.0 sorted in
+    let mu = total /. fn in
+    let variance =
+      Array.fold_left (fun s v -> s +. ((v -. mu) ** 2.0)) 0.0 sorted /. fn
+    in
+    (* Nearest rank on the sorted buffer, same rule as {!percentile}. *)
+    let pct p =
+      let rank = max 1 (int_of_float (Float.ceil (p /. 100.0 *. fn))) in
+      sorted.(min (n - 1) (rank - 1))
+    in
+    Some
+      {
+        n;
+        mean = mu;
+        stddev = sqrt variance;
+        minimum = sorted.(0);
+        maximum = sorted.(n - 1);
+        p50 = pct 50.0;
+        p90 = pct 90.0;
+        p95 = pct 95.0;
+        p99 = pct 99.0;
+      }
+  end
+
 let summarize values =
-  match values with
-  | [] -> None
-  | _ when List.exists (fun v -> not (Float.is_finite v)) values -> None
-  | _ ->
-      let n = List.length values in
-      let fn = float_of_int n in
-      let total = List.fold_left ( +. ) 0.0 values in
-      let mu = total /. fn in
-      let variance =
-        List.fold_left (fun acc v -> acc +. ((v -. mu) ** 2.0)) 0.0 values /. fn
-      in
-      let pct p = Option.get (percentile values ~p) in
-      Some
-        {
-          n;
-          mean = mu;
-          stddev = sqrt variance;
-          minimum = List.fold_left Float.min infinity values;
-          maximum = List.fold_left Float.max neg_infinity values;
-          p50 = pct 50.0;
-          p90 = pct 90.0;
-          p99 = pct 99.0;
-        }
+  let acc = create () in
+  List.iter (add acc) values;
+  (* Reject non-finite inputs outright, as before the accumulator. *)
+  if acc.nonfinite then None else finalize acc
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f" s.n
-    s.mean s.stddev s.minimum s.p50 s.p90 s.p99 s.maximum
+    "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p95=%.3f p99=%.3f max=%.3f"
+    s.n s.mean s.stddev s.minimum s.p50 s.p90 s.p95 s.p99 s.maximum

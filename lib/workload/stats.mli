@@ -8,12 +8,35 @@ type summary = {
   maximum : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
 }
 
+(** {1 Streaming accumulation}
+
+    [create]/[add]/[finalize] build a summary without the caller
+    materialising a [float list]: values stream into one flat buffer
+    that is sorted exactly once. *)
+
+type acc
+
+val create : unit -> acc
+
+val add : acc -> float -> unit
+(** Non-finite values poison the accumulator: [finalize] will return
+    [None], matching {!summarize}'s garbage-in-nothing-out rule. *)
+
+val count : acc -> int
+(** Finite values accumulated so far. *)
+
+val finalize : acc -> summary option
+(** [None] when empty or when any non-finite value was added.  The
+    accumulator may be finalized more than once; further [add]s are
+    also allowed (the summary is a snapshot). *)
+
 val summarize : float list -> summary option
-(** [None] on the empty list; non-finite inputs are rejected by
-    returning [None] as well (garbage in, nothing out). *)
+(** Wrapper over [create]/[add]/[finalize].  [None] on the empty list;
+    non-finite inputs are rejected by returning [None] as well. *)
 
 val percentile : float list -> p:float -> float option
 (** Nearest-rank percentile; [p] within [0, 100].  [None] on the empty

@@ -261,6 +261,83 @@ let test_demo_feeds_retrieve () =
   check_int "retrieve on demo files" 0 code;
   check_bool "same winner" true (contains out "impl 2 on dsp")
 
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let test_profile_exit_codes () =
+  let code, out = run_cli "profile" in
+  check_int "profile exit 0" 0 code;
+  check_bool "breakdown printed" true (contains out "total-cycles=131");
+  check_bool "phase sum checked" true (contains out "consistent=true");
+  check_bool "linearity verdict" true (contains out "linear=true");
+  let code, out = run_cli "profile --max-cycles 10" in
+  check_int "budget violation exit 1" 1 code;
+  check_bool "violation named" true (contains out "cycle budget exceeded");
+  let code, _ = run_cli "profile --max-cycles 131" in
+  check_int "budget met exit 0" 0 code;
+  let code, out = run_cli "profile --format=json" in
+  check_int "json exit 0" 0 code;
+  check_bool "json envelope" true
+    (contains out "\"total_cycles\":131" && contains out "\"linearity\"");
+  (* Config toggles reach the machine: restart scanning costs cycles. *)
+  let code, out = run_cli "profile --restart-scan" in
+  check_int "restart-scan exit 0" 0 code;
+  check_bool "restart scan is slower" true (contains out "total-cycles=143")
+
+let test_observability_flags () =
+  let prom = Filename.concat tmp_dir "sim.prom" in
+  let trace = Filename.concat tmp_dir "sim_trace.json" in
+  let args =
+    Printf.sprintf
+      "simulate --duration-us 20000 --seed 11 --metrics %s --trace-out %s" prom
+      trace
+  in
+  let code, out = run_cli args in
+  check_int "instrumented simulate exit 0" 0 code;
+  check_bool "report still printed" true (contains out "TOTAL");
+  let prom1 = read_file prom and trace1 = read_file trace in
+  check_bool "prometheus families present" true
+    (contains prom1 "# TYPE qosalloc_alloc_events_total counter"
+    && contains prom1 "qosalloc_sim_queue_depth"
+    && contains prom1 "qosalloc_setup_time_us_bucket");
+  check_bool "chrome trace envelope" true
+    (contains trace1 "{\"traceEvents\":["
+    && contains trace1 "\"ph\":\"B\""
+    && contains trace1 "\"cat\":\"qosalloc\"");
+  (* Same seed and flags: byte-identical exports. *)
+  let code, _ = run_cli args in
+  check_int "second run exit 0" 0 code;
+  check_bool "metrics byte-identical" true (String.equal prom1 (read_file prom));
+  check_bool "trace byte-identical" true (String.equal trace1 (read_file trace));
+  (* The .json metrics flavour switches the export format. *)
+  let mjson = Filename.concat tmp_dir "sim_metrics.json" in
+  let code, _ =
+    run_cli
+      (Printf.sprintf "simulate --duration-us 20000 --seed 11 --metrics %s"
+         mjson)
+  in
+  check_int "json metrics exit 0" 0 code;
+  check_bool "json metrics envelope" true
+    (contains (read_file mjson) "{\"metrics\":[");
+  (* Instrumentation must not perturb the simulation itself. *)
+  let plain_args = "simulate --duration-us 20000 --seed 11" in
+  let _, plain_out = run_cli plain_args in
+  check_bool "same report with and without instrumentation" true
+    (String.equal out plain_out)
+
+let test_faults_observability () =
+  let prom = Filename.concat tmp_dir "faults.prom" in
+  let code, _ =
+    run_cli
+      (Printf.sprintf
+         "faults --duration-us 60000 --fail dsp0@20000+15000 --metrics %s" prom)
+  in
+  check_int "degraded campaign exit preserved" 1 code;
+  let text = read_file prom in
+  check_bool "MTTR histogram exported" true
+    (contains text "# TYPE qosalloc_device_mttr_us histogram");
+  check_bool "relocation counter exported" true
+    (contains text "qosalloc_alloc_events_total{event=\"relocated\"}")
+
 let test_bad_input_fails_cleanly () =
   let bad = Filename.concat tmp_dir "bad.cb" in
   Out_channel.with_open_text bad (fun oc ->
@@ -296,6 +373,14 @@ let () =
           Alcotest.test_case "demo feeds retrieve" `Quick
             test_demo_feeds_retrieve;
           Alcotest.test_case "bad input" `Quick test_bad_input_fails_cleanly;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "profile exit codes" `Quick
+            test_profile_exit_codes;
+          Alcotest.test_case "metrics and trace flags" `Quick
+            test_observability_flags;
+          Alcotest.test_case "faults metrics" `Quick test_faults_observability;
         ] );
       ( "lint",
         [

@@ -256,6 +256,86 @@ let test_trace_csv_roundtrip () =
              && Float.abs (a.T.setup_us -. b.T.setup_us) < 1e-2)
            report.S.trace rows)
 
+(* Generator producing rows whose float fields survive the %.3f / %.6f
+   formatting of [to_csv] exactly, so equality (not tolerance) can be
+   checked after the round-trip. *)
+let trace_row_gen =
+  let open QCheck2.Gen in
+  let ident =
+    let* len = int_range 1 8 in
+    let* chars =
+      list_size (return len)
+        (oneof [ char_range 'a' 'z'; char_range '0' '9'; return '_' ])
+    in
+    return (String.init len (List.nth chars))
+  in
+  let milli = map (fun k -> float_of_int k /. 1000.0) (int_range 0 5_000_000) in
+  let micro = map (fun k -> float_of_int k /. 1e6) (int_range 0 1_000_000) in
+  let* time_us = milli in
+  let* app_id = ident in
+  let* type_id = int_range 0 99 in
+  let* outcome = oneofl [ T.Granted; T.Granted_bypass; T.Refused ] in
+  let* impl_id = int_range 0 99 in
+  let* device_id = ident in
+  let* similarity = micro in
+  let* setup_us = milli in
+  let* rounds = int_range 0 9 in
+  return
+    {
+      T.time_us;
+      app_id;
+      type_id;
+      outcome;
+      impl_id;
+      device_id;
+      similarity;
+      setup_us;
+      rounds;
+    }
+
+let trace_props =
+  [
+    prop "trace CSV round-trips exactly over generated rows"
+      QCheck2.Gen.(list_size (int_range 0 40) trace_row_gen)
+      (fun rows ->
+        match T.of_csv (T.to_csv rows) with
+        | Error _ -> false
+        | Ok back -> back = rows);
+  ]
+
+let test_trace_csv_field_validation () =
+  let row id =
+    {
+      T.time_us = 1.0;
+      app_id = id;
+      type_id = 0;
+      outcome = T.Granted;
+      impl_id = 1;
+      device_id = "dev0";
+      similarity = 0.5;
+      setup_us = 10.0;
+      rounds = 1;
+    }
+  in
+  List.iter
+    (fun bad ->
+      check_bool
+        (Printf.sprintf "id %S rejected" bad)
+        true
+        (try
+           ignore (T.to_csv [ row bad ]);
+           false
+         with Invalid_argument _ -> true))
+    [ "a,b"; "a\nb"; "a\rb"; "a\"b" ];
+  let bad_dev = { (row "ok") with T.device_id = "d\"ev" } in
+  check_bool "device_id is validated too" true
+    (try
+       ignore (T.to_csv [ bad_dev ]);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "clean IDs pass" true
+    (String.length (T.to_csv [ row "audio_app-0" ]) > 0)
+
 let test_trace_csv_errors () =
   check_bool "bad header" true (Result.is_error (T.of_csv "nope\n1,2,3\n"));
   check_bool "bad row" true
@@ -316,6 +396,9 @@ let () =
           Alcotest.test_case "trace csv round-trip" `Quick
             test_trace_csv_roundtrip;
           Alcotest.test_case "trace csv errors" `Quick test_trace_csv_errors;
+          Alcotest.test_case "trace csv field validation" `Quick
+            test_trace_csv_field_validation;
           Alcotest.test_case "utilization metric" `Quick test_utilization_metric;
-        ] );
+        ]
+        @ trace_props );
     ]

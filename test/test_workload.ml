@@ -195,13 +195,38 @@ let test_percentile_edges () =
   check_bool "p100 unsorted" true
     (St.percentile [ 9.0; 2.0; 7.0 ] ~p:100.0 = Some 9.0)
 
+let test_acc_streaming () =
+  let values = [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
+  let acc = St.create () in
+  List.iter (St.add acc) values;
+  check_int "count" 5 (St.count acc);
+  let streamed = Option.get (St.finalize acc) in
+  let batch = Option.get (St.summarize values) in
+  check_bool "finalize matches summarize" true (streamed = batch);
+  (* Finalize is a snapshot: adding more and re-finalizing works. *)
+  St.add acc 100.0;
+  let grown = Option.get (St.finalize acc) in
+  check_int "snapshot grows" 6 grown.St.n;
+  check_bool "new max" true (grown.St.maximum = 100.0);
+  (* Growth beyond the initial buffer. *)
+  let big = St.create () in
+  for i = 1 to 1000 do
+    St.add big (float_of_int i)
+  done;
+  let s = Option.get (St.finalize big) in
+  check_int "big n" 1000 s.St.n;
+  check_bool "big p95" true (s.St.p95 = 950.0);
+  (* Non-finite values poison the accumulator. *)
+  St.add big Float.nan;
+  check_bool "poisoned" true (St.finalize big = None)
+
 let test_pp_summary_golden () =
   match St.summarize [ 5.0; 1.0; 3.0; 2.0; 4.0 ] with
   | None -> Alcotest.fail "summarize returned None"
   | Some s ->
       Alcotest.(check string)
         "golden rendering"
-        "n=5 mean=3.000 sd=1.414 min=1.000 p50=3.000 p90=5.000 p99=5.000 max=5.000"
+        "n=5 mean=3.000 sd=1.414 min=1.000 p50=3.000 p90=5.000 p95=5.000 p99=5.000 max=5.000"
         (Format.asprintf "%a" St.pp_summary s)
 
 let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen f)
@@ -251,7 +276,8 @@ let stats_props =
         | Some s ->
             s.St.minimum <= s.St.p50
             && s.St.p50 <= s.St.p90
-            && s.St.p90 <= s.St.p99
+            && s.St.p90 <= s.St.p95
+            && s.St.p95 <= s.St.p99
             && s.St.p99 <= s.St.maximum
             && s.St.minimum <= s.St.mean
             && s.St.mean <= s.St.maximum
@@ -291,6 +317,7 @@ let () =
           Alcotest.test_case "known values" `Quick test_stats_known_values;
           Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
+          Alcotest.test_case "streaming accumulator" `Quick test_acc_streaming;
           Alcotest.test_case "pp_summary golden" `Quick test_pp_summary_golden;
         ] );
       ("properties", props @ stats_props);
