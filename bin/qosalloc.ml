@@ -362,8 +362,42 @@ let resources_cmd =
 
 (* --- simulate --------------------------------------------------------------- *)
 
+(* Deterministic replay stream for the sharded front-end: the same
+   application templates the discrete-event simulation draws from,
+   cycled round-robin and jittered from the spec seed. *)
+let par_request_stream (spec : Desim.Simulate.spec) ~count =
+  let rng = Workload.Prng.create ~seed:(spec.Desim.Simulate.seed + 1) in
+  let apps = Array.of_list spec.Desim.Simulate.apps in
+  let napps = Array.length apps in
+  List.init count (fun i ->
+      let profile = apps.(i mod napps) in
+      let templates = profile.Desim.Apps.templates in
+      let template = List.nth templates (i / napps mod List.length templates) in
+      {
+        Parallel.Frontend.app_id = profile.Desim.Apps.app_id;
+        request = Desim.Apps.instantiate rng template;
+      })
+
+let run_par_section ?obs (spec : Desim.Simulate.spec) ~jobs ~batch ~par_out =
+  let config =
+    { Parallel.Frontend.default_config with Parallel.Frontend.jobs; batch }
+  in
+  let fe =
+    or_die (Parallel.Frontend.create ?obs ~config spec.Desim.Simulate.casebase)
+  in
+  let report = Parallel.Frontend.run fe (par_request_stream spec ~count:256) in
+  Format.printf "@[<v>=== PAR (sharded retrieval front-end) ===@,%a@]@."
+    Parallel.Frontend.pp_perf report;
+  Format.printf "PAR results digest: %s@."
+    (Parallel.Frontend.results_digest report);
+  match par_out with
+  | None -> ()
+  | Some path ->
+      write_file path (Parallel.Frontend.results_to_string report);
+      Format.printf "PAR results -> %s@." path
+
 let simulate_cmd =
-  let run duration_us seed trace_csv metrics trace_out =
+  let run duration_us seed trace_csv metrics trace_out jobs batch par_out =
     let spec =
       {
         (Desim.Simulate.default_spec ()) with
@@ -374,6 +408,13 @@ let simulate_cmd =
     in
     let obs = make_obs ~metrics ~trace_out in
     let report = Desim.Simulate.run ?obs spec in
+    (match (jobs, batch, par_out) with
+    | None, None, None -> ()
+    | _ ->
+        run_par_section ?obs spec
+          ~jobs:(Option.value jobs ~default:1)
+          ~batch:(Option.value batch ~default:16)
+          ~par_out);
     emit_obs obs ~metrics ~trace_out;
     Format.printf "%a@." Desim.Simulate.pp_report report;
     match trace_csv with
@@ -404,10 +445,37 @@ let simulate_cmd =
       & info [ "trace-csv" ] ~docv:"FILE"
           ~doc:"Write a per-request CSV trace and print its analysis.")
   in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Also run the sharded retrieval front-end with $(docv) worker \
+             domains over a deterministic replay of the application \
+             requests.  Results are byte-identical for any $(docv).")
+  in
+  let batch =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Front-end batch size (requests per queue element).")
+  in
+  let par_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "par-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the front-end's jobs-invariant result report to $(docv) \
+             (byte-identical across --jobs settings).")
+  in
   let doc = "simulate the Fig. 1 multi-device system under load" in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
-      const run $ duration $ seed $ trace_csv $ metrics_arg $ trace_out_arg)
+      const run $ duration $ seed $ trace_csv $ metrics_arg $ trace_out_arg
+      $ jobs $ batch $ par_out)
 
 (* --- faults ---------------------------------------------------------------- *)
 

@@ -1,9 +1,11 @@
 open Qos_core
 
-type key = { app_id : string; type_id : int; fingerprint : int }
+let quantise w = Fxp.Q15.to_raw (Fxp.Q15.of_float w)
+
+let signature (r : Request.t) =
+  List.map (fun (aid, v, w) -> (aid, v, quantise w)) (Request.normalized_weights r)
 
 let fingerprint (r : Request.t) =
-  let quantise w = Fxp.Q15.to_raw (Fxp.Q15.of_float w) in
   List.fold_left
     (fun acc (aid, v, w) ->
       let h = acc in
@@ -14,34 +16,76 @@ let fingerprint (r : Request.t) =
     (Request.normalized_weights r)
   land max_int
 
-let key_of ~app_id (r : Request.t) =
-  { app_id; type_id = r.type_id; fingerprint = fingerprint r }
+(* The token the table is addressed by (what the hardware would hold in
+   a CAM word) is only the 62-bit fingerprint; the full signature rides
+   along in [key] so hits can be verified instead of trusted. *)
+type token = { tok_app : string; tok_type : int; tok_fp : int }
+
+type key = {
+  app_id : string;
+  type_id : int;
+  fingerprint : int;
+  signature : (int * int * int) list;
+}
+
+let key_of ?fingerprint:fp ~app_id (r : Request.t) =
+  let fingerprint = match fp with Some f -> f r | None -> fingerprint r in
+  { app_id; type_id = r.type_id; fingerprint; signature = signature r }
+
+let token_of (k : key) =
+  { tok_app = k.app_id; tok_type = k.type_id; tok_fp = k.fingerprint }
+
+type entry = { e_signature : (int * int * int) list; e_impl : int }
 
 type t = {
-  table : (key, int) Hashtbl.t;
+  table : (token, entry) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  mutable verified_misses : int;
   mutable invalidations : int;
 }
 
 let create () =
-  { table = Hashtbl.create 64; hits = 0; misses = 0; invalidations = 0 }
+  {
+    table = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+    verified_misses = 0;
+    invalidations = 0;
+  }
+
+let find_verified t key =
+  match Hashtbl.find_opt t.table (token_of key) with
+  | Some e when e.e_signature = key.signature -> `Hit e.e_impl
+  | Some _ -> `Collision
+  | None -> `Absent
 
 let lookup t key =
-  match Hashtbl.find_opt t.table key with
-  | Some impl_id ->
+  match find_verified t key with
+  | `Hit impl_id ->
       t.hits <- t.hits + 1;
       Some impl_id
-  | None ->
+  | `Collision ->
+      (* Fingerprint matched but the stored constraints differ: a hash
+         collision between two distinct requests.  Returning the stored
+         variant here would silently violate the caller's QoS. *)
+      t.verified_misses <- t.verified_misses + 1;
+      None
+  | `Absent ->
       t.misses <- t.misses + 1;
       None
 
-let remember t key ~impl_id = Hashtbl.replace t.table key impl_id
+let peek t key =
+  match find_verified t key with `Hit impl_id -> Some impl_id | _ -> None
+
+let remember t key ~impl_id =
+  Hashtbl.replace t.table (token_of key)
+    { e_signature = key.signature; e_impl = impl_id }
 
 let drop_matching t predicate =
   let victims =
     Hashtbl.fold
-      (fun key impl_id acc -> if predicate key impl_id then key :: acc else acc)
+      (fun tok entry acc -> if predicate tok entry then tok :: acc else acc)
       t.table []
   in
   List.iter (Hashtbl.remove t.table) victims;
@@ -50,22 +94,29 @@ let drop_matching t predicate =
   n
 
 let invalidate_impl t ~type_id ~impl_id =
-  drop_matching t (fun key stored ->
-      key.type_id = type_id && stored = impl_id)
+  drop_matching t (fun tok entry ->
+      tok.tok_type = type_id && entry.e_impl = impl_id)
 
 let invalidate_app t ~app_id =
-  drop_matching t (fun key _ -> String.equal key.app_id app_id)
+  drop_matching t (fun tok _ -> String.equal tok.tok_app app_id)
 
-type stats = { hits : int; misses : int; tokens : int; invalidations : int }
+type stats = {
+  hits : int;
+  misses : int;
+  verified_misses : int;
+  tokens : int;
+  invalidations : int;
+}
 
 let stats (t : t) =
   {
     hits = t.hits;
     misses = t.misses;
+    verified_misses = t.verified_misses;
     tokens = Hashtbl.length t.table;
     invalidations = t.invalidations;
   }
 
 let pp_stats ppf s =
-  Format.fprintf ppf "hits=%d misses=%d tokens=%d invalidated=%d" s.hits
-    s.misses s.tokens s.invalidations
+  Format.fprintf ppf "hits=%d misses=%d verified-miss=%d tokens=%d invalidated=%d"
+    s.hits s.misses s.verified_misses s.tokens s.invalidations

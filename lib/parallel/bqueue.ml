@@ -1,0 +1,57 @@
+type 'a t = {
+  queue : 'a Queue.t;
+  capacity : int;
+  mutex : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+  mutable closed : bool;
+  mutable peak : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
+  {
+    queue = Queue.create ();
+    capacity;
+    mutex = Mutex.create ();
+    not_full = Condition.create ();
+    not_empty = Condition.create ();
+    closed = false;
+    peak = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let push t x =
+  with_lock t (fun () ->
+      while (not t.closed) && Queue.length t.queue >= t.capacity do
+        Condition.wait t.not_full t.mutex
+      done;
+      if t.closed then invalid_arg "Bqueue.push: queue is closed";
+      Queue.push x t.queue;
+      let d = Queue.length t.queue in
+      if d > t.peak then t.peak <- d;
+      Condition.signal t.not_empty)
+
+let pop t =
+  with_lock t (fun () ->
+      while (not t.closed) && Queue.is_empty t.queue do
+        Condition.wait t.not_empty t.mutex
+      done;
+      match Queue.take_opt t.queue with
+      | Some x ->
+          Condition.signal t.not_full;
+          Some x
+      | None -> None (* closed and drained *))
+
+let close t =
+  with_lock t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.not_empty;
+      Condition.broadcast t.not_full)
+
+let depth t = with_lock t (fun () -> Queue.length t.queue)
+let peak_depth t = with_lock t (fun () -> t.peak)
+let capacity t = t.capacity

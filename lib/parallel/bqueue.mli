@@ -1,0 +1,32 @@
+(** Bounded blocking queue between the coordinator and one worker
+    domain.
+
+    A plain [Queue.t] guarded by a mutex and two condition variables:
+    [push] blocks while the queue is at capacity (backpressure towards
+    the submitter), [pop] blocks while it is empty and returns [None]
+    once the queue has been closed and drained.  The high-water mark of
+    the depth is tracked so the front-end can export a queue-depth
+    gauge without sampling races. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val push : 'a t -> 'a -> unit
+(** Blocks while full.
+    @raise Invalid_argument if the queue was closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocks while empty and open; [None] once closed and drained. *)
+
+val close : 'a t -> unit
+(** Idempotent; wakes every blocked consumer. *)
+
+val depth : 'a t -> int
+(** Current number of queued elements. *)
+
+val peak_depth : 'a t -> int
+(** Highest depth ever observed (monotone). *)
+
+val capacity : 'a t -> int

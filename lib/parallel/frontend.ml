@@ -1,0 +1,365 @@
+open Qos_core
+module Bypass = Allocator.Bypass
+module Machine = Rtlsim.Machine
+
+type config = { jobs : int; batch : int; queue_depth : int; high_water : int }
+
+let default_config = { jobs = 1; batch = 16; queue_depth = 8; high_water = 4096 }
+let bypass_hit_cycles = 4
+
+(* The paper's synthesised clock; converts modeled cycles to the
+   microsecond latency ladder the obs histograms use. *)
+let clock_mhz = 75.0
+
+type job = { app_id : string; request : Request.t }
+
+type outcome =
+  | Retrieved of { impl_id : int; score : Fxp.Q15.t; via_bypass : bool }
+  | Failed of string
+  | Shed of { stale_impl : int option }
+
+type shard_load = {
+  shard_id : int;
+  types_hosted : int;
+  processed : int;
+  batches : int;
+  busy_cycles : int;
+  peak_queue_depth : int;
+  bypass : Bypass.stats;
+}
+
+type report = {
+  jobs_requested : int;
+  shards : int;
+  batch : int;
+  submitted : int;
+  admitted : int;
+  shed : int;
+  requests : (string * int) array;
+  outcomes : outcome array;
+  loads : shard_load array;
+  total_busy_cycles : int;
+  makespan_cycles : int;
+  batch_cycles : int list;
+}
+
+type t = {
+  cfg : config;
+  shards : Shard.t array;
+  route : (int, int) Hashtbl.t;  (* type_id -> shard_id *)
+  obs : Obs.Ctx.t option;
+}
+
+let config t = t.cfg
+let shard_count t = Array.length t.shards
+
+let create ?obs ?(config = default_config) cb =
+  if config.jobs < 1 then Error "jobs must be >= 1"
+  else if config.batch < 1 then Error "batch must be >= 1"
+  else if config.queue_depth < 1 then Error "queue_depth must be >= 1"
+  else if config.high_water < 1 then Error "high_water must be >= 1"
+  else
+    Result.map
+      (fun shards ->
+        let route = Hashtbl.create 64 in
+        Array.iter
+          (fun (s : Shard.t) ->
+            List.iter (fun tid -> Hashtbl.replace route tid s.shard_id)
+              s.type_ids)
+          shards;
+        { cfg = config; shards; route; obs })
+      (Shard.partition cb ~shards:config.jobs)
+
+(* Split [items] into chunks of [size], preserving order. *)
+let chunk size items =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if n = size then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (n + 1) rest
+  in
+  go [] [] 0 items
+
+type worker_summary = {
+  w_processed : int;
+  w_batches : int;
+  w_busy : int;
+  w_batch_cycles : int list;  (* dequeue order *)
+}
+
+(* One request on one shard's modeled retrieval unit.  Token hits are
+   verified by [Bypass.lookup] itself; a verified miss (fingerprint
+   collision) falls through to a full retrieval like any other miss. *)
+let serve (shard : Shard.t) (j : job) =
+  let key = Bypass.key_of ~app_id:j.app_id j.request in
+  let bypassed =
+    match Bypass.lookup shard.bypass key with
+    | None -> None
+    | Some impl_id ->
+        Option.map
+          (fun impl ->
+            let score =
+              Engine_fixed.score_impl shard.casebase.schema j.request impl
+            in
+            (Retrieved { impl_id; score; via_bypass = true }, bypass_hit_cycles))
+          (Casebase.find_impl shard.casebase ~type_id:j.request.type_id
+             ~impl_id)
+  in
+  match bypassed with
+  | Some r -> r
+  | None -> (
+      match Machine.retrieve shard.casebase j.request with
+      | Ok o ->
+          Bypass.remember shard.bypass key ~impl_id:o.best_impl_id;
+          ( Retrieved
+              {
+                impl_id = o.best_impl_id;
+                score = o.best_score;
+                via_bypass = false;
+              },
+            o.stats.cycles )
+      | Error e -> (Failed (Machine.error_to_string e), 0))
+
+let worker (shard : Shard.t) queue (outcomes : outcome array) =
+  let processed = ref 0 and batches = ref 0 and busy = ref 0 in
+  let batch_cycles = ref [] in
+  let rec loop () =
+    match Bqueue.pop queue with
+    | None -> ()
+    | Some batch ->
+        let cycles = ref 0 in
+        List.iter
+          (fun (idx, j) ->
+            let o, c = serve shard j in
+            outcomes.(idx) <- o;
+            cycles := !cycles + c;
+            incr processed)
+          batch;
+        incr batches;
+        busy := !busy + !cycles;
+        batch_cycles := !cycles :: !batch_cycles;
+        loop ()
+  in
+  loop ();
+  {
+    w_processed = !processed;
+    w_batches = !batches;
+    w_busy = !busy;
+    w_batch_cycles = List.rev !batch_cycles;
+  }
+
+let stats_delta (a : Bypass.stats) (b : Bypass.stats) =
+  {
+    Bypass.hits = b.hits - a.hits;
+    misses = b.misses - a.misses;
+    verified_misses = b.verified_misses - a.verified_misses;
+    tokens = b.tokens;
+    invalidations = b.invalidations - a.invalidations;
+  }
+
+let record_obs t (r : report) =
+  match t.obs with
+  | None -> ()
+  | Some obs ->
+      let reg = obs.Obs.Ctx.registry in
+      let outcome_counter kind =
+        Obs.Metrics.counter reg ~help:"Front-end jobs by outcome"
+          ~labels:[ ("outcome", kind) ]
+          "qosalloc_par_requests_total"
+      in
+      let count pred kind =
+        let n =
+          Array.fold_left (fun n o -> if pred o then n + 1 else n) 0 r.outcomes
+        in
+        Obs.Metrics.inc_by (outcome_counter kind) n
+      in
+      count (function Retrieved { via_bypass = false; _ } -> true | _ -> false)
+        "retrieved";
+      count (function Retrieved { via_bypass = true; _ } -> true | _ -> false)
+        "bypass";
+      count (function Shed _ -> true | _ -> false) "shed";
+      count (function Failed _ -> true | _ -> false) "failed";
+      Array.iter
+        (fun (l : shard_load) ->
+          let labels = [ ("shard", string_of_int l.shard_id) ] in
+          Obs.Metrics.set
+            (Obs.Metrics.gauge reg ~help:"Peak request-queue depth (batches)"
+               ~labels "qosalloc_par_queue_depth")
+            (float_of_int l.peak_queue_depth);
+          Obs.Metrics.inc_by
+            (Obs.Metrics.counter reg ~help:"Per-shard bypass token hits"
+               ~labels "qosalloc_par_shard_hits_total")
+            l.bypass.hits;
+          Obs.Metrics.inc_by
+            (Obs.Metrics.counter reg ~help:"Per-shard bypass token misses"
+               ~labels "qosalloc_par_shard_misses_total")
+            (l.bypass.misses + l.bypass.verified_misses))
+        r.loads;
+      let histo =
+        Obs.Metrics.histogram reg
+          ~help:"Modeled batch service latency (us at 75 MHz)"
+          ~buckets:Obs.Metrics.default_buckets "qosalloc_par_batch_latency_us"
+      in
+      List.iter
+        (fun c -> Obs.Metrics.observe histo (float_of_int c /. clock_mhz))
+        r.batch_cycles
+
+let run t jobs =
+  let submitted = List.length jobs in
+  let indexed = List.mapi (fun i j -> (i, j)) jobs in
+  let admitted, shed_jobs =
+    List.partition (fun (i, _) -> i < t.cfg.high_water) indexed
+  in
+  let outcomes = Array.make submitted (Shed { stale_impl = None }) in
+  let requests =
+    Array.of_list
+      (List.map (fun (j : job) -> (j.app_id, j.request.type_id)) jobs)
+  in
+  let n = Array.length t.shards in
+  let work = Array.make n [] in
+  List.iter
+    (fun (idx, (j : job)) ->
+      match Hashtbl.find_opt t.route j.request.type_id with
+      | Some sid -> work.(sid) <- (idx, j) :: work.(sid)
+      | None ->
+          outcomes.(idx) <-
+            Failed (Machine.error_to_string (Type_not_found j.request.type_id)))
+    admitted;
+  let batches = Array.map (fun l -> chunk t.cfg.batch (List.rev l)) work in
+  let queues =
+    Array.map (fun _ -> Bqueue.create ~capacity:t.cfg.queue_depth) t.shards
+  in
+  let before = Array.map (fun (s : Shard.t) -> Bypass.stats s.bypass) t.shards in
+  let domains =
+    Array.mapi
+      (fun i s -> Domain.spawn (fun () -> worker s queues.(i) outcomes))
+      t.shards
+  in
+  (* Round-robin the batches across shards so one full queue only
+     stalls its own feed, then close everything and join. *)
+  let pending = Array.map (fun b -> ref b) batches in
+  let remaining = ref (Array.fold_left (fun a b -> a + List.length b) 0 batches) in
+  while !remaining > 0 do
+    Array.iteri
+      (fun i p ->
+        match !p with
+        | [] -> ()
+        | b :: rest ->
+            Bqueue.push queues.(i) b;
+            p := rest;
+            decr remaining)
+      pending
+  done;
+  Array.iter Bqueue.close queues;
+  let summaries = Array.map Domain.join domains in
+  (* Shed jobs: consult the (now settled) bypass tables for an advisory
+     stale token — degraded QoS instead of a blocked submitter. *)
+  List.iter
+    (fun (idx, (j : job)) ->
+      let stale_impl =
+        Option.bind (Hashtbl.find_opt t.route j.request.type_id) (fun sid ->
+            let shard = t.shards.(sid) in
+            Bypass.peek shard.bypass (Bypass.key_of ~app_id:j.app_id j.request))
+      in
+      outcomes.(idx) <- Shed { stale_impl })
+    shed_jobs;
+  let loads =
+    Array.mapi
+      (fun i (s : Shard.t) ->
+        let w = summaries.(i) in
+        {
+          shard_id = s.shard_id;
+          types_hosted = List.length s.type_ids;
+          processed = w.w_processed;
+          batches = w.w_batches;
+          busy_cycles = w.w_busy;
+          peak_queue_depth = Bqueue.peak_depth queues.(i);
+          bypass = stats_delta before.(i) (Bypass.stats s.bypass);
+        })
+      t.shards
+  in
+  let report =
+    {
+      jobs_requested = t.cfg.jobs;
+      shards = n;
+      batch = t.cfg.batch;
+      submitted;
+      admitted = List.length admitted;
+      shed = List.length shed_jobs;
+      requests;
+      outcomes;
+      loads;
+      total_busy_cycles =
+        Array.fold_left (fun a (l : shard_load) -> a + l.busy_cycles) 0 loads;
+      makespan_cycles =
+        Array.fold_left (fun a (l : shard_load) -> max a l.busy_cycles) 0 loads;
+      batch_cycles =
+        List.concat_map (fun (w : worker_summary) -> w.w_batch_cycles)
+          (Array.to_list summaries);
+    }
+  in
+  record_obs t report;
+  report
+
+let results_to_string (r : report) =
+  let buf = Buffer.create (64 * (r.submitted + 4)) in
+  Buffer.add_string buf "par-results v1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "submitted=%d admitted=%d shed=%d\n" r.submitted r.admitted
+       r.shed);
+  let hits, misses, verified =
+    Array.fold_left
+      (fun (h, m, v) (l : shard_load) ->
+        (h + l.bypass.hits, m + l.bypass.misses, v + l.bypass.verified_misses))
+      (0, 0, 0) r.loads
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "bypass hits=%d misses=%d verified-miss=%d\n" hits misses
+       verified);
+  Array.iteri
+    (fun i o ->
+      let app, tid = r.requests.(i) in
+      Buffer.add_string buf (Printf.sprintf "%4d app=%s type=%d " i app tid);
+      (match o with
+      | Retrieved { impl_id; score; via_bypass } ->
+          Buffer.add_string buf
+            (Printf.sprintf "impl=%d score=%d via=%s" impl_id
+               (Fxp.Q15.to_raw score)
+               (if via_bypass then "bypass" else "retrieval"))
+      | Failed msg -> Buffer.add_string buf ("failed: " ^ msg)
+      | Shed { stale_impl } ->
+          Buffer.add_string buf
+            (Printf.sprintf "shed stale=%s"
+               (match stale_impl with
+               | Some id -> string_of_int id
+               | None -> "-")));
+      Buffer.add_char buf '\n')
+    r.outcomes;
+  Buffer.contents buf
+
+let results_digest r = Digest.to_hex (Digest.string (results_to_string r))
+
+let pp_perf ppf (r : report) =
+  Format.fprintf ppf
+    "jobs=%d shards=%d batch=%d submitted=%d admitted=%d shed=%d@,"
+    r.jobs_requested r.shards r.batch r.submitted r.admitted r.shed;
+  Array.iter
+    (fun (l : shard_load) ->
+      Format.fprintf ppf
+        "  shard %d: types=%d processed=%d batches=%d busy=%d cycles \
+         peak-queue=%d %a@,"
+        l.shard_id l.types_hosted l.processed l.batches l.busy_cycles
+        l.peak_queue_depth Bypass.pp_stats l.bypass)
+    r.loads;
+  let speedup =
+    if r.makespan_cycles = 0 then 1.0
+    else float_of_int r.total_busy_cycles /. float_of_int r.makespan_cycles
+  in
+  let throughput =
+    if r.makespan_cycles = 0 then 0.0
+    else float_of_int r.admitted *. 1e6 /. float_of_int r.makespan_cycles
+  in
+  Format.fprintf ppf
+    "  total=%d cycles makespan=%d cycles speedup=%.2fx \
+     throughput=%.1f req/Mcycle"
+    r.total_busy_cycles r.makespan_cycles speedup throughput

@@ -1,0 +1,118 @@
+(** Domain-parallel sharded retrieval front-end.
+
+    The paper puts retrieval in hardware because allocation sits on the
+    run-time hot path; this front-end models the next scaling step the
+    related work (BAM/CBR switching, multi-region managers) asks for:
+    {e replicated} retrieval units, one per case-base shard, fed by a
+    batching request queue.
+
+    {2 Execution model}
+
+    A batch of jobs is submitted in order.  Admission is decided up
+    front: jobs beyond the [high_water] mark are {e shed} with degraded
+    QoS — they get no retrieval, only an advisory stale bypass token if
+    one exists (mirroring the negotiation layer's fallback to a weaker
+    variant instead of blocking).  Admitted jobs are routed by function
+    type to one of [min jobs type_count] shards ({!Shard.partition}),
+    chunked into batches of [batch] requests, and pushed through a
+    bounded {!Bqueue} (capacity [queue_depth] batches) to one worker
+    domain per shard.  Each worker consults its private bypass table
+    (hit: {!bypass_hit_cycles}; miss: a full [Rtlsim.Machine] retrieval
+    whose cycle count is charged to the shard's modeled retrieval
+    unit), and writes its outcome into the submission-indexed result
+    slot.
+
+    {2 Determinism}
+
+    The {e results} of a run — per-job outcome, bypass hit/miss/
+    verified-miss totals, shed decisions — are byte-identical for any
+    [jobs] value: admission is positional, the type-disjoint partition
+    pins every token to one shard, and results are merged by submission
+    index.  {!results_to_string}/{!results_digest} expose exactly that
+    invariant surface.  Per-shard {e performance} (cycles, makespan,
+    queue depths) legitimately varies with [jobs] and is reported
+    separately ({!pp_perf}). *)
+
+type config = {
+  jobs : int;  (** Worker domains requested; effective count is
+                   capped at the number of function types. *)
+  batch : int;  (** Requests per queue element. *)
+  queue_depth : int;  (** Bounded queue capacity, in batches. *)
+  high_water : int;  (** Admission limit per submission; jobs beyond
+                         it are shed with degraded QoS. *)
+}
+
+val default_config : config
+(** [jobs = 1], [batch = 16], [queue_depth = 8], [high_water = 4096]. *)
+
+val bypass_hit_cycles : int
+(** Modeled cost of a verified token hit (CAM probe + residency
+    check); charged instead of a retrieval. *)
+
+type job = { app_id : string; request : Qos_core.Request.t }
+
+type outcome =
+  | Retrieved of { impl_id : int; score : Fxp.Q15.t; via_bypass : bool }
+  | Failed of string  (** Retrieval error, e.g. an unknown type. *)
+  | Shed of { stale_impl : int option }
+      (** Rejected at admission; [stale_impl] is the advisory bypass
+          token consulted after the run (no retrieval was performed). *)
+
+type shard_load = {
+  shard_id : int;
+  types_hosted : int;
+  processed : int;
+  batches : int;
+  busy_cycles : int;  (** Modeled cycles on this shard's retrieval unit. *)
+  peak_queue_depth : int;
+  bypass : Allocator.Bypass.stats;  (** Delta for this run only. *)
+}
+
+type report = {
+  jobs_requested : int;
+  shards : int;  (** Effective worker-domain count. *)
+  batch : int;
+  submitted : int;
+  admitted : int;
+  shed : int;
+  requests : (string * int) array;  (** (app_id, type_id), submission order. *)
+  outcomes : outcome array;  (** Submission order. *)
+  loads : shard_load array;  (** Indexed by shard ID. *)
+  total_busy_cycles : int;  (** Sum over shards. *)
+  makespan_cycles : int;
+      (** Max over shards — the modeled wall-clock of the batch when
+          every shard's retrieval unit runs concurrently. *)
+  batch_cycles : int list;  (** Per dequeued batch, shard-major order. *)
+}
+
+type t
+
+val create :
+  ?obs:Obs.Ctx.t ->
+  ?config:config ->
+  Qos_core.Casebase.t ->
+  (t, string) result
+(** Partitions the case base and builds the type-to-shard route table.
+    Errors on a non-positive config field or an empty case base. *)
+
+val config : t -> config
+val shard_count : t -> int
+
+val run : t -> job list -> report
+(** Execute one submission.  Bypass tables persist across runs on the
+    same [t].  When an [?obs] context was given, records the
+    queue-depth gauge, per-shard hit/miss counters, per-outcome request
+    counters and the modeled batch-latency histogram (microseconds at
+    the paper's 75 MHz clock). *)
+
+val results_to_string : report -> string
+(** The jobs-invariant surface: per-job outcomes plus admission and
+    bypass totals.  Byte-identical across [jobs] settings for the same
+    submission — the contract the property tests diff. *)
+
+val results_digest : report -> string
+(** MD5 hex of {!results_to_string}. *)
+
+val pp_perf : Format.formatter -> report -> unit
+(** Jobs-{e dependent} performance: per-shard loads, makespan, modeled
+    speedup and throughput. *)

@@ -1,0 +1,43 @@
+open Qos_core
+
+type t = {
+  shard_id : int;
+  casebase : Casebase.t;
+  type_ids : int list;
+  bypass : Allocator.Bypass.t;
+}
+
+let partition (cb : Casebase.t) ~shards =
+  if shards < 1 then Error "shards must be >= 1"
+  else
+    let ftypes = cb.ftypes in
+    let n_types = List.length ftypes in
+    if n_types = 0 then Error "case base has no function types"
+    else
+      let n = min shards n_types in
+      let buckets = Array.make n [] in
+      List.iteri
+        (fun k (ft : Ftype.t) -> buckets.(k mod n) <- ft :: buckets.(k mod n))
+        ftypes;
+      let build shard_id bucket =
+        let fts = List.rev bucket in
+        Result.map
+          (fun casebase ->
+            {
+              shard_id;
+              casebase;
+              type_ids = List.map (fun (ft : Ftype.t) -> ft.Ftype.id) fts;
+              bypass = Allocator.Bypass.create ();
+            })
+          (Casebase.make
+             ~name:(Printf.sprintf "%s#%d" cb.name shard_id)
+             ~schema:cb.schema fts)
+      in
+      let rec collect i acc =
+        if i < 0 then Ok (Array.of_list acc)
+        else
+          match build i buckets.(i) with
+          | Ok s -> collect (i - 1) (s :: acc)
+          | Error e -> Error e
+      in
+      collect (n - 1) []

@@ -1,0 +1,21 @@
+(** A shard: the slice of the case base one worker domain owns.
+
+    The case base is partitioned {e by function type}, round-robin over
+    the ID-sorted type list, so every request for a given type is
+    always served by the same shard.  Each shard carries its own
+    {!Allocator.Bypass} token table — the type-disjoint partition means
+    a token can only ever be created and hit inside one shard, so the
+    hit path needs no cross-domain lock and the union of the per-shard
+    tables equals the table a sequential run would build. *)
+
+type t = {
+  shard_id : int;
+  casebase : Qos_core.Casebase.t;  (** Only this shard's function types. *)
+  type_ids : int list;  (** Sorted; never empty. *)
+  bypass : Allocator.Bypass.t;
+}
+
+val partition : Qos_core.Casebase.t -> shards:int -> (t array, string) result
+(** Split into [min shards type_count] non-empty shards (type [k] in
+    ID order goes to shard [k mod n]).  Errors when [shards < 1] or the
+    case base has no function types. *)

@@ -15,16 +15,36 @@ let int64 t =
 
 let split t = { state = int64 t }
 
+(* Largest 62-bit value: draws are masked to 62 bits so they always fit
+   OCaml's 63-bit native int. *)
+let max62 = 0x3FFFFFFFFFFFFFFF
+
 let int t ~bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive"
   else
-    (* Keep 62 bits so the value always fits OCaml's 63-bit native int. *)
-    let raw = Int64.to_int (Int64.logand (int64 t) 0x3FFFFFFFFFFFFFFFL) in
-    raw mod bound
+    (* Rejection sampling: [raw mod bound] alone over-represents the
+       first [2^62 mod bound] residues.  Redraw whenever [raw] lands in
+       the short tail above the largest multiple of [bound]; each
+       accepted residue is then exactly equally likely.  [2^62] itself
+       is not representable, so the tail length is computed as
+       [((max62 mod bound) + 1) mod bound]. *)
+    let tail = ((max62 mod bound) + 1) mod bound in
+    let accept_max = max62 - tail in
+    let rec draw () =
+      let raw = Int64.to_int (Int64.logand (int64 t) 0x3FFFFFFFFFFFFFFFL) in
+      if raw <= accept_max then raw mod bound else draw ()
+    in
+    draw ()
 
 let int_in t ~lo ~hi =
   if lo > hi then invalid_arg "Prng.int_in: lo > hi"
-  else lo + int t ~bound:(hi - lo + 1)
+  else
+    let range = hi - lo + 1 in
+    if range <= 0 then
+      invalid_arg
+        (Printf.sprintf
+           "Prng.int_in: range [%d, %d] spans more than max_int values" lo hi)
+    else lo + int t ~bound:range
 
 let float t =
   let raw = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in

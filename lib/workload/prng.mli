@@ -18,10 +18,16 @@ val int64 : t -> int64
 (** Next raw 64-bit value. *)
 
 val int : t -> bound:int -> int
-(** Uniform in [0, bound); [bound] must be positive. *)
+(** Exactly uniform in [0, bound); [bound] must be positive.  Uses
+    rejection sampling over the 62-bit draw, so no residue is favoured
+    even when [bound] does not divide 2^62 (the redraw probability is
+    [bound / 2^62], i.e. negligible for realistic bounds). *)
 
 val int_in : t -> lo:int -> hi:int -> int
-(** Uniform in [lo, hi] inclusive; requires [lo <= hi]. *)
+(** Uniform in [lo, hi] inclusive; requires [lo <= hi].
+    @raise Invalid_argument when [hi - lo + 1] overflows [max_int]
+    (e.g. [lo = min_int, hi = 0]): such a range cannot be sampled with
+    a native-int bound. *)
 
 val float : t -> float
 (** Uniform in [0, 1). *)

@@ -86,8 +86,79 @@ let test_bypass_cache () =
   let s = B.stats t in
   check_int "hits" 1 s.B.hits;
   check_int "misses" 2 s.B.misses;
+  check_int "no verified misses" 0 s.B.verified_misses;
   check_int "invalidations" 2 s.B.invalidations;
   check_int "tokens" 0 s.B.tokens
+
+(* Regression: a fingerprint collision between two requests with
+   different constraints must NOT return the stored variant.  Genuine
+   62-bit collisions need ~2^31 birthday work to find, so the test
+   injects a deliberately weak hash through the public [?fingerprint]
+   seam; the old table trusted the fingerprint blindly and answered
+   [Some 7] for the colliding request. *)
+let test_bypass_collision_detected () =
+  let weak _ = 42 in
+  let r1 = get (Request.make ~type_id:1 [ (1, 16, 1.0) ]) in
+  let r2 = get (Request.make ~type_id:1 [ (1, 8, 1.0) ]) in
+  let t = B.create () in
+  let k1 = B.key_of ~fingerprint:weak ~app_id:"app" r1 in
+  let k2 = B.key_of ~fingerprint:weak ~app_id:"app" r2 in
+  B.remember t k1 ~impl_id:7;
+  check_bool "colliding request is refused" true (B.lookup t k2 = None);
+  check_bool "original still hits" true (B.lookup t k1 = Some 7);
+  check_bool "peek verifies too" true
+    (B.peek t k2 = None && B.peek t k1 = Some 7);
+  let s = B.stats t in
+  check_int "collision counted as verified miss" 1 s.B.verified_misses;
+  check_int "one genuine hit" 1 s.B.hits;
+  check_int "no plain miss" 0 s.B.misses
+
+(* Signatures quantise weights exactly like the fingerprint, so keys
+   built from indistinguishable requests still hit. *)
+let test_bypass_signature_quantises () =
+  let t = B.create () in
+  let a = get (Request.make ~type_id:1 [ (1, 16, 1.0); (3, 1, 2.0) ]) in
+  let b =
+    get (Request.make ~type_id:1 [ (1, 16, 1.0000001); (3, 1, 2.0000002) ])
+  in
+  check_bool "signatures collapse quantised weights" true
+    (B.signature a = B.signature b);
+  B.remember t (B.key_of ~app_id:"app" a) ~impl_id:3;
+  check_bool "quantised twin hits" true
+    (B.lookup t (B.key_of ~app_id:"app" b) = Some 3)
+
+let bypass_prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen f)
+
+(* Even under a constant (worst-case) fingerprint, [lookup] never
+   returns a variant for a request whose constraints differ from the
+   remembered one. *)
+let bypass_props =
+  let gen_request =
+    QCheck2.Gen.(
+      let triple =
+        map2
+          (fun aid v -> (aid, v, 1.0))
+          (int_range 1 4) (int_range 1 64)
+      in
+      map
+        (fun triples ->
+          match Request.make ~type_id:1 triples with
+          | Ok r -> r
+          | Error _ -> request)
+        (list_size (int_range 1 4) triple))
+  in
+  [
+    bypass_prop "lookup never answers for different constraints"
+      QCheck2.Gen.(pair gen_request gen_request)
+      (fun (r1, r2) ->
+        let weak _ = 0 in
+        let t = B.create () in
+        B.remember t (B.key_of ~fingerprint:weak ~app_id:"a" r1) ~impl_id:9;
+        match B.lookup t (B.key_of ~fingerprint:weak ~app_id:"a" r2) with
+        | Some _ -> B.signature r1 = B.signature r2
+        | None -> B.signature r1 <> B.signature r2);
+  ]
 
 (* --- Manager -------------------------------------------------------------------- *)
 
@@ -819,7 +890,12 @@ let () =
         [
           Alcotest.test_case "fingerprint" `Quick test_bypass_fingerprint;
           Alcotest.test_case "cache" `Quick test_bypass_cache;
-        ] );
+          Alcotest.test_case "collision detected" `Quick
+            test_bypass_collision_detected;
+          Alcotest.test_case "signature quantises" `Quick
+            test_bypass_signature_quantises;
+        ]
+        @ bypass_props );
       ( "manager",
         [
           Alcotest.test_case "grants best variant" `Quick test_grant_best_variant;

@@ -324,6 +324,43 @@ let test_observability_flags () =
   check_bool "same report with and without instrumentation" true
     (String.equal out plain_out)
 
+let test_parallel_flags () =
+  (* The sharded front-end's result report is byte-identical across
+     --jobs settings; only the perf section (shards, makespan) moves. *)
+  let out_for jobs =
+    let path = Filename.concat tmp_dir (Printf.sprintf "par_%d.txt" jobs) in
+    let code, out =
+      run_cli
+        (Printf.sprintf
+           "simulate --duration-us 2000 --seed 42 --jobs %d --par-out %s" jobs
+           path)
+    in
+    check_int "simulate --jobs exit 0" 0 code;
+    check_bool "PAR section printed" true
+      (contains out "=== PAR (sharded retrieval front-end) ===");
+    let digest =
+      List.find
+        (fun l -> contains l "PAR results digest:")
+        (String.split_on_char '\n' out)
+    in
+    (digest, read_file path)
+  in
+  let d1, r1 = out_for 1 in
+  let d2, r2 = out_for 2 in
+  let d4, r4 = out_for 4 in
+  check_bool "digest invariant 1=2" true (String.equal d1 d2);
+  check_bool "digest invariant 2=4" true (String.equal d2 d4);
+  check_bool "results byte-identical 1=4" true (String.equal r1 r4);
+  check_bool "results byte-identical 1=2" true (String.equal r1 r2);
+  check_bool "result lines carry outcomes" true
+    (contains r1 "via=retrieval" && contains r1 "app=");
+  (* --batch alone also triggers the section; a bad jobs count dies. *)
+  let code, out = run_cli "simulate --duration-us 2000 --batch 4" in
+  check_int "batch-only exit 0" 0 code;
+  check_bool "batch-only prints PAR" true (contains out "=== PAR");
+  let code, _ = run_cli "simulate --duration-us 2000 --jobs 0" in
+  check_int "jobs 0 rejected" 1 code
+
 let test_faults_observability () =
   let prom = Filename.concat tmp_dir "faults.prom" in
   let code, _ =
@@ -381,6 +418,10 @@ let () =
           Alcotest.test_case "metrics and trace flags" `Quick
             test_observability_flags;
           Alcotest.test_case "faults metrics" `Quick test_faults_observability;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "jobs determinism" `Quick test_parallel_flags;
         ] );
       ( "lint",
         [

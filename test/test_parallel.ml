@@ -1,0 +1,273 @@
+(* Tests for the domain-parallel sharded retrieval front-end: the
+   bounded queue, the type partition, and the merge-determinism
+   contract (jobs 1/2/4 produce byte-identical result reports). *)
+
+open Qos_core
+module F = Parallel.Frontend
+module S = Parallel.Shard
+module Q = Parallel.Bqueue
+module G = Workload.Generator
+module P = Workload.Prng
+
+let get = function Ok x -> x | Error e -> Alcotest.fail e
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec at i = i + m <= n && (String.sub haystack i m = needle || at (i + 1)) in
+  at 0
+
+let casebase = G.sized_casebase ~seed:71 ~types:15 ~impls:6 ~attrs:8
+
+(* A request stream with repetition so the bypass tables get hits:
+   [unique] distinct requests cycled [rounds] times, round-robin over
+   the function types. *)
+let jobs ?(seed = 72) ~unique ~rounds () =
+  let rng = P.create ~seed in
+  let types = List.map (fun (ft : Ftype.t) -> ft.Ftype.id) casebase.ftypes in
+  let n_types = List.length types in
+  let base =
+    List.init unique (fun i ->
+        let type_id = List.nth types (i mod n_types) in
+        {
+          F.app_id = Printf.sprintf "app-%d" (i mod 4);
+          request =
+            G.request rng ~schema:casebase.schema ~type_id
+              G.default_request_spec;
+        })
+  in
+  List.concat (List.init rounds (fun _ -> base))
+
+let run_with ~jobs:n ?(batch = 8) ?(high_water = 4096) stream =
+  let config = { F.default_config with jobs = n; batch; high_water } in
+  let fe = get (F.create ~config casebase) in
+  F.run fe stream
+
+(* --- Bqueue --------------------------------------------------------------- *)
+
+let test_bqueue_fifo () =
+  let q = Q.create ~capacity:4 in
+  Q.push q 1;
+  Q.push q 2;
+  Q.push q 3;
+  check_int "depth" 3 (Q.depth q);
+  check_int "peak" 3 (Q.peak_depth q);
+  check_bool "fifo" true (Q.pop q = Some 1 && Q.pop q = Some 2);
+  Q.close q;
+  check_bool "drains after close" true (Q.pop q = Some 3);
+  check_bool "then None" true (Q.pop q = None);
+  Alcotest.check_raises "push after close"
+    (Invalid_argument "Bqueue.push: queue is closed") (fun () -> Q.push q 4);
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Bqueue.create: capacity must be >= 1") (fun () ->
+      ignore (Q.create ~capacity:0))
+
+let test_bqueue_backpressure () =
+  (* A slow consumer domain: the producer's 20 pushes must block on the
+     capacity-2 queue rather than grow it. *)
+  let q = Q.create ~capacity:2 in
+  let consumer =
+    Domain.spawn (fun () ->
+        let n = ref 0 in
+        let rec loop () =
+          match Q.pop q with
+          | None -> !n
+          | Some _ ->
+              incr n;
+              loop ()
+        in
+        loop ())
+  in
+  for i = 1 to 20 do
+    Q.push q i
+  done;
+  Q.close q;
+  check_int "all consumed" 20 (Domain.join consumer);
+  check_bool "depth never exceeded capacity" true (Q.peak_depth q <= 2)
+
+(* --- Shard partition ------------------------------------------------------- *)
+
+let test_partition () =
+  let shards = get (S.partition casebase ~shards:4) in
+  check_int "four shards" 4 (Array.length shards);
+  let all =
+    Array.to_list shards |> List.concat_map (fun (s : S.t) -> s.S.type_ids)
+  in
+  let expect =
+    List.map (fun (ft : Ftype.t) -> ft.Ftype.id) casebase.ftypes
+  in
+  check_bool "partition covers every type exactly once" true
+    (List.sort compare all = List.sort compare expect);
+  Array.iter
+    (fun (s : S.t) ->
+      check_bool "shard non-empty" true (s.S.type_ids <> []);
+      check_int "sub-casebase matches its type list"
+        (List.length s.S.type_ids)
+        (List.length s.S.casebase.ftypes))
+    shards;
+  (* More shards than types clamps. *)
+  let many = get (S.partition casebase ~shards:64) in
+  check_int "clamped to type count" 15 (Array.length many);
+  check_bool "zero shards rejected" true
+    (Result.is_error (S.partition casebase ~shards:0))
+
+(* --- Front-end ------------------------------------------------------------- *)
+
+let test_results_match_sequential_engine () =
+  let stream = jobs ~unique:30 ~rounds:1 () in
+  let r = run_with ~jobs:4 stream in
+  check_int "all admitted" 30 r.F.admitted;
+  List.iteri
+    (fun i (j : F.job) ->
+      match (r.F.outcomes.(i), Engine_fixed.best casebase j.F.request) with
+      | F.Retrieved { impl_id; score; _ }, Ok ranked ->
+          check_int "same variant as the sequential engine"
+            ranked.Retrieval.impl.Impl.id impl_id;
+          check_int "same Q15 score"
+            (Fxp.Q15.to_raw ranked.Retrieval.score)
+            (Fxp.Q15.to_raw score)
+      | _ -> Alcotest.fail "expected Retrieved + sequential Ok")
+    stream
+
+let test_merge_determinism () =
+  let stream = jobs ~unique:40 ~rounds:3 () in
+  let r1 = run_with ~jobs:1 stream in
+  let r2 = run_with ~jobs:2 stream in
+  let r4 = run_with ~jobs:4 stream in
+  check_string "jobs 1 = jobs 2" (F.results_to_string r1)
+    (F.results_to_string r2);
+  check_string "jobs 2 = jobs 4" (F.results_to_string r2)
+    (F.results_to_string r4);
+  check_string "digests agree" (F.results_digest r1) (F.results_digest r4);
+  check_int "effective shards at jobs 4" 4 r4.F.shards;
+  (* The repeated rounds must hit the bypass tables. *)
+  let hits =
+    Array.fold_left
+      (fun a (l : F.shard_load) -> a + l.F.bypass.Allocator.Bypass.hits)
+      0 r4.F.loads
+  in
+  check_int "rounds 2 and 3 served from tokens" 80 hits
+
+let test_bypass_state_persists_across_runs () =
+  let stream = jobs ~unique:20 ~rounds:1 () in
+  let config = { F.default_config with F.jobs = 2 } in
+  let fe = get (F.create ~config casebase) in
+  let first = F.run fe stream in
+  let again = F.run fe stream in
+  let hits r =
+    Array.fold_left
+      (fun a (l : F.shard_load) -> a + l.F.bypass.Allocator.Bypass.hits)
+      0 r.F.loads
+  in
+  check_int "cold run has no hits" 0 (hits first);
+  check_int "warm run is all hits" 20 (hits again)
+
+let test_shedding () =
+  let stream = jobs ~unique:10 ~rounds:2 () in
+  (* high_water 12: the whole first round and two repeats are admitted;
+     the remaining 8 are shed, and their stale tokens point at the
+     variants the first round remembered. *)
+  let r = run_with ~jobs:2 ~high_water:12 stream in
+  check_int "admitted" 12 r.F.admitted;
+  check_int "shed" 8 r.F.shed;
+  for i = 12 to 19 do
+    match r.F.outcomes.(i) with
+    | F.Shed { stale_impl = Some impl } -> (
+        match r.F.outcomes.(i - 10) with
+        | F.Retrieved { impl_id; _ } ->
+            check_int "stale token matches first-round variant" impl_id impl
+        | _ -> Alcotest.fail "first round should have retrieved")
+    | _ -> Alcotest.fail "expected shed with a stale token"
+  done;
+  (* Shedding is positional, hence jobs-invariant. *)
+  let r1 = run_with ~jobs:1 ~high_water:12 stream in
+  check_string "shed pattern identical at jobs 1"
+    (F.results_to_string r1) (F.results_to_string r)
+
+let test_unknown_type_fails_cleanly () =
+  let bad =
+    {
+      F.app_id = "ghost";
+      request = get (Request.make ~type_id:9999 [ (1, 1, 1.0) ]);
+    }
+  in
+  let r = run_with ~jobs:2 (jobs ~unique:4 ~rounds:1 () @ [ bad ]) in
+  match r.F.outcomes.(4) with
+  | F.Failed msg -> check_bool "mentions the type" true (contains msg "9999")
+  | _ -> Alcotest.fail "expected a failure outcome"
+
+let test_perf_accounting () =
+  let stream = jobs ~unique:40 ~rounds:1 () in
+  let r = run_with ~jobs:4 stream in
+  let busy_sum =
+    Array.fold_left (fun a (l : F.shard_load) -> a + l.F.busy_cycles) 0 r.F.loads
+  in
+  check_int "total = sum of shard busy cycles" busy_sum r.F.total_busy_cycles;
+  check_bool "makespan <= total" true
+    (r.F.makespan_cycles <= r.F.total_busy_cycles);
+  check_bool "makespan is the max shard" true
+    (Array.exists
+       (fun (l : F.shard_load) -> l.F.busy_cycles = r.F.makespan_cycles)
+       r.F.loads);
+  check_int "batch cycles sum to total" r.F.total_busy_cycles
+    (List.fold_left ( + ) 0 r.F.batch_cycles);
+  let processed =
+    Array.fold_left (fun a (l : F.shard_load) -> a + l.F.processed) 0 r.F.loads
+  in
+  check_int "every admitted job processed" r.F.admitted processed
+
+let test_obs_instrumentation () =
+  let obs = Obs.Ctx.create () in
+  let config = { F.default_config with F.jobs = 2; batch = 4 } in
+  let fe = get (F.create ~obs ~config casebase) in
+  let _ = F.run fe (jobs ~unique:20 ~rounds:2 ()) in
+  let prom = Obs.Metrics.to_prometheus obs.Obs.Ctx.registry in
+  let has s = contains prom s in
+  check_bool "queue depth gauge" true (has "qosalloc_par_queue_depth");
+  check_bool "per-shard hits" true (has "qosalloc_par_shard_hits_total");
+  check_bool "outcome counters" true
+    (has "qosalloc_par_requests_total{outcome=\"bypass\"}");
+  check_bool "batch latency histogram" true
+    (has "qosalloc_par_batch_latency_us_bucket")
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen f)
+
+let props =
+  [
+    prop "results digest is invariant in jobs and batch"
+      QCheck2.Gen.(triple (int_range 0 100_000) (int_range 1 6) (int_range 1 9))
+      (fun (seed, jobs_n, batch) ->
+        let stream = jobs ~seed ~unique:17 ~rounds:2 () in
+        let reference = run_with ~jobs:1 ~batch:8 stream in
+        let r = run_with ~jobs:jobs_n ~batch stream in
+        String.equal (F.results_to_string reference) (F.results_to_string r));
+  ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "bqueue",
+        [
+          Alcotest.test_case "fifo and close" `Quick test_bqueue_fifo;
+          Alcotest.test_case "backpressure" `Quick test_bqueue_backpressure;
+        ] );
+      ("shard", [ Alcotest.test_case "partition" `Quick test_partition ]);
+      ( "frontend",
+        [
+          Alcotest.test_case "matches sequential engine" `Quick
+            test_results_match_sequential_engine;
+          Alcotest.test_case "merge determinism" `Quick test_merge_determinism;
+          Alcotest.test_case "bypass persists" `Quick
+            test_bypass_state_persists_across_runs;
+          Alcotest.test_case "shedding" `Quick test_shedding;
+          Alcotest.test_case "unknown type" `Quick
+            test_unknown_type_fails_cleanly;
+          Alcotest.test_case "perf accounting" `Quick test_perf_accounting;
+          Alcotest.test_case "obs instrumentation" `Quick
+            test_obs_instrumentation;
+        ]
+        @ props );
+    ]

@@ -73,6 +73,54 @@ let test_prng_collections () =
   check_bool "k=0 returns nothing" true
     (P.sample_without_replacement rng ~k:0 original = [])
 
+(* Deterministic chi-square check: with rejection sampling every
+   residue of a non-power-of-two bound is exactly equally likely, so a
+   fixed-seed draw of 100k samples over 10 bins must sit well under the
+   p = 0.001 critical value for 9 degrees of freedom (27.88).  The old
+   [raw mod bound] path was biased for bounds not dividing 2^62. *)
+let test_prng_uniformity () =
+  let bins = 10 and draws = 100_000 in
+  let rng = P.create ~seed:2026 in
+  let counts = Array.make bins 0 in
+  for _ = 1 to draws do
+    let v = P.int rng ~bound:bins in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = float_of_int draws /. float_of_int bins in
+  let chi2 =
+    Array.fold_left
+      (fun acc o ->
+        let d = float_of_int o -. expected in
+        acc +. (d *. d /. expected))
+      0.0 counts
+  in
+  check_bool
+    (Printf.sprintf "chi-square %.2f under critical 27.88" chi2)
+    true (chi2 < 27.88);
+  Array.iter (fun c -> check_bool "every residue reached" true (c > 0)) counts
+
+(* [hi - lo + 1] used to overflow silently for extreme ranges and feed
+   a negative bound downstream; now it is a clean [Invalid_argument]. *)
+let test_prng_int_in_overflow () =
+  let rng = P.create ~seed:3 in
+  check_bool "widest legal range works" true
+    (let v = P.int_in rng ~lo:min_int ~hi:(-2) in
+     v >= min_int && v <= -2);
+  check_bool "max_int range works" true
+    (let v = P.int_in rng ~lo:0 ~hi:(max_int - 1) in
+     v >= 0);
+  Alcotest.check_raises "min_int..0 overflows"
+    (Invalid_argument
+       (Printf.sprintf
+          "Prng.int_in: range [%d, %d] spans more than max_int values" min_int 0))
+    (fun () -> ignore (P.int_in rng ~lo:min_int ~hi:0));
+  Alcotest.check_raises "full int range overflows"
+    (Invalid_argument
+       (Printf.sprintf
+          "Prng.int_in: range [%d, %d] spans more than max_int values" min_int
+          max_int))
+    (fun () -> ignore (P.int_in rng ~lo:min_int ~hi:max_int))
+
 (* --- Generators ----------------------------------------------------------------- *)
 
 let test_generated_schema () =
@@ -302,6 +350,9 @@ let () =
           Alcotest.test_case "copy and split" `Quick test_prng_copy_and_split;
           Alcotest.test_case "bounds" `Quick test_prng_bounds;
           Alcotest.test_case "collections" `Quick test_prng_collections;
+          Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+          Alcotest.test_case "int_in overflow guard" `Quick
+            test_prng_int_in_overflow;
         ] );
       ( "generator",
         [
