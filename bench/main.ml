@@ -17,6 +17,7 @@
      B1  extra    - allocation quality vs naive baselines
      B2  extra    - Mahalanobis cost comparison (Sec. 2.2 claim)
      R1  extra    - fault campaigns: scrubbing on vs off under SEUs
+     NETLIST extra - IR elaboration + pass-suite cost (BENCH_netlist.json)
      OBS extra    - observability instrumentation overhead (BENCH_obs.json) *)
 
 open Qos_core
@@ -1183,6 +1184,84 @@ let run_obs_bench () =
       Printf.printf "-> BENCH_obs.json\n"
   | _ -> Printf.printf "no estimates (benchmark failed to stabilise)\n"
 
+let run_netlist_bench () =
+  section "NETLIST"
+    "extra: netlist elaboration and IR pass suite (BENCH_netlist.json)";
+  Printf.printf
+    "cost of the structural story: elaborating the full system design\n\
+     (retrieval unit plus scenario-encoded ROMs) and running all %d\n\
+     static-analysis passes over the IR, per case-base size.  Both are\n\
+     development-time costs, so the acceptance is loose: the whole\n\
+     elaborate + lint cycle must stay well under a second.\n\n"
+    (List.length Analysis.Netlist_check.pass_names);
+  let time_ms f =
+    (* CPU-time a thunk: repeat until >= 50 ms total, report ms/run. *)
+    let rec go n =
+      let t0 = Sys.time () in
+      for _ = 1 to n do
+        ignore (Sys.opaque_identity (f ()))
+      done;
+      let dt = Sys.time () -. t0 in
+      if dt < 0.05 && n < 1_000_000 then go (n * 4)
+      else dt *. 1000.0 /. float_of_int n
+    in
+    go 1
+  in
+  let rom_words (d : Netlist.Ir.design) =
+    List.fold_left
+      (fun acc m ->
+        List.fold_left
+          (fun acc -> function
+            | Netlist.Ir.Rom { rwords; _ } -> acc + Array.length rwords
+            | _ -> acc)
+          acc m.Netlist.Ir.cells)
+      0 d.Netlist.Ir.modules
+  in
+  let sizes = [ (2, 3, 3); (5, 5, 5); (10, 10, 10); (15, 10, 10) ] in
+  Printf.printf "%6s %6s %6s %10s %13s %11s %6s\n" "types" "impls" "attrs"
+    "rom-words" "elaborate-ms" "passes-ms" "diags";
+  let rows =
+    List.map
+      (fun (types, impls, attrs) ->
+        let cb =
+          Workload.Generator.sized_casebase ~seed:81 ~types ~impls ~attrs
+        in
+        let req = Workload.Generator.sized_request ~seed:82 cb in
+        let design = get (Netlist.Elaborate.design_of_scenario cb req) in
+        let words = rom_words design in
+        let diags = Analysis.Netlist_check.check design in
+        let errors = Analysis.Diagnostic.errors diags in
+        if errors > 0 then
+          failwith "generated scenario must elaborate to a clean netlist";
+        let elaborate_ms =
+          time_ms (fun () -> get (Netlist.Elaborate.design_of_scenario cb req))
+        in
+        let passes_ms =
+          time_ms (fun () -> Analysis.Netlist_check.check design)
+        in
+        Printf.printf "%6d %6d %6d %10d %13.3f %11.3f %6d\n" types impls attrs
+          words elaborate_ms passes_ms (List.length diags);
+        (types, impls, attrs, words, elaborate_ms, passes_ms,
+         List.length diags))
+      sizes
+  in
+  Printf.printf
+    "\nacceptance: elaborate + all passes < 1000 ms at every size.\n";
+  let oc = open_out "BENCH_netlist.json" in
+  Printf.fprintf oc
+    "{\"bench\":\"netlist\",\"passes\":%d,\"sizes\":[%s]}\n"
+    (List.length Analysis.Netlist_check.pass_names)
+    (String.concat ","
+       (List.map
+          (fun (types, impls, attrs, words, elaborate_ms, passes_ms, diags) ->
+            Printf.sprintf
+              "{\"types\":%d,\"impls\":%d,\"attrs\":%d,\"rom_words\":%d,\
+               \"elaborate_ms\":%.3f,\"passes_ms\":%.3f,\"diagnostics\":%d}"
+              types impls attrs words elaborate_ms passes_ms diags)
+          rows));
+  close_out oc;
+  Printf.printf "-> BENCH_netlist.json\n"
+
 (* ------------------------------------------------------------------ *)
 (* Reproduction scorecard                                              *)
 (* ------------------------------------------------------------------ *)
@@ -1245,6 +1324,7 @@ let () =
   run_b3 ();
   run_r1 ();
   run_par ();
+  run_netlist_bench ();
   run_obs_bench ();
   run_micro ();
   run_scorecard ();

@@ -843,17 +843,22 @@ let lint_cmd =
           in
           Analysis.Driver.lint_raw ~cb_mem ~req_mem ~supplemental_base
       | None, None ->
-          (* Scenario mode: encode the case base + request and run all
-             four passes, including the generated VHDL. *)
+          (* Scenario mode: encode the case base + request and run
+             every pass family, including the netlist IR passes and
+             the generated VHDL.  A scenario that does not encode is a
+             lint finding (exit 2), not a CLI failure. *)
           let cb = or_die (load_casebase casebase) in
           let req = or_die (load_request request) in
           let vhdl =
-            List.map
-              (fun (f : Rtlgen.Vhdl.file) ->
-                (f.Rtlgen.Vhdl.filename, f.Rtlgen.Vhdl.contents))
-              (or_die (Rtlgen.Vhdl.project cb req))
+            match Rtlgen.Vhdl.project cb req with
+            | Ok files ->
+                List.map
+                  (fun (f : Rtlgen.Vhdl.file) ->
+                    (f.Rtlgen.Vhdl.filename, f.Rtlgen.Vhdl.contents))
+                  files
+            | Error _ -> []
           in
-          or_die (Analysis.Driver.lint ~vhdl cb req)
+          Analysis.Driver.lint_scenario ~vhdl cb req
       | _ -> or_die (Error "--cb-hex and --req-hex must be given together")
     in
     (match format with
@@ -905,7 +910,7 @@ let lint_cmd =
   in
   let doc =
     "statically analyse the RAM image, fixed-point datapath, soft-core \
-     routines and generated VHDL"
+     routines, elaborated netlist and generated VHDL"
   in
   let man =
     [
@@ -915,7 +920,9 @@ let lint_cmd =
          termination, sorted attribute IDs, pointer bounds, reserved words, \
          reciprocal and weight-sum consistency), interval range analysis of \
          the Q15 datapath, CFG/dataflow checks of both MicroBlaze routine \
-         styles, and a lint of the generated VHDL.";
+         styles, six structural passes over the elaborated netlist IR \
+         (width, multi-driver, combinational loops, dead logic, BRAM port \
+         conflicts, clock domains), and a lint of the generated VHDL.";
       `P
         "Exit status: 0 when clean (Info findings allowed), 1 when any \
          warning was reported, 2 when any error was reported.";

@@ -22,6 +22,21 @@ let vhdl_pass = function
   | [] -> []
   | files -> Vhdl_check.check_files files
 
+(* Elaborate the Fig. 7 datapath for this image and run the six
+   IR-level structural passes over it.  Elaboration failure is itself
+   a finding (the image describes a datapath we cannot build), not a
+   crash. *)
+let netlist_pass image =
+  match Netlist.Elaborate.system image with
+  | Error e ->
+      [ Diagnostic.errorf ~pass:"netlist" ~loc:"elaborate" "%s" e ]
+  | Ok design ->
+      Diagnostic.infof ~pass:"netlist" ~loc:design.Netlist.Ir.top
+        "%d IR passes over %d modules"
+        (List.length Netlist_check.pass_names)
+        (List.length design.Netlist.Ir.modules)
+      :: Netlist_check.check design
+
 let range_pass_raw ~cb_mem ~req_mem ~supplemental_base =
   if supplemental_base < 0 || supplemental_base > Array.length cb_mem then []
   else
@@ -51,6 +66,7 @@ let lint_image ?(vhdl = []) (image : Memlayout.system_image) =
         ~req_mem:image.Memlayout.req_mem
         ~supplemental_base:image.Memlayout.supplemental_base
     @ prog_pass image
+    @ netlist_pass image
     @ vhdl_pass vhdl)
 
 let lint ?(vhdl = []) cb req =
@@ -62,4 +78,14 @@ let lint ?(vhdl = []) cb req =
            (Image_check.check_system image
            @ (Range_check.analyze ~request:req cb).Range_check.diagnostics
            @ prog_pass image
+           @ netlist_pass image
            @ vhdl_pass vhdl))
+
+let lint_scenario ?(vhdl = []) cb req =
+  match lint ~vhdl cb req with
+  | Ok ds -> ds
+  | Error e ->
+      (* The scenario does not even encode: report that as the single
+         (sorted) finding so the CLI exit-code contract — 2 on errors,
+         1 on warnings, 0 otherwise — holds on every input. *)
+      [ Diagnostic.errorf ~pass:"image" ~loc:"encode" "%s" e ]

@@ -1,0 +1,666 @@
+module I = Netlist.Ir
+
+let pass_names =
+  [
+    "netlist-width"; "netlist-driver"; "netlist-comb"; "netlist-dead";
+    "netlist-bram"; "netlist-clock";
+  ]
+
+let loc m name = m.I.mod_name ^ "/" ^ name
+
+(* --- shared structural queries ------------------------------------------- *)
+
+(* Every assignment in a module: (cell, process variables, target, rhs). *)
+let module_assigns m =
+  List.concat_map
+    (fun c ->
+      match c with
+      | I.Comb { cname; ctarget; cexpr } -> [ (cname, [], ctarget, cexpr) ]
+      | I.Select { mname; mtarget; marms; mdefault; _ } ->
+          List.map (fun (e, _) -> (mname, [], mtarget, e)) marms
+          @ [ (mname, [], mtarget, mdefault) ]
+      | I.Fsm { fname; fvars; freset_stmts; farms; _ } ->
+          let stmts = freset_stmts @ List.concat_map snd farms in
+          List.map
+            (fun (t, e) -> (fname, fvars, t, e))
+            (List.concat_map I.stmt_writes stmts)
+      | I.Rom _ | I.Inst _ -> [])
+    m.I.cells
+
+let rec stmt_exprs = function
+  | I.Assign (_, e) | I.Vassign (_, e) -> [ e ]
+  | I.If (branches, els) ->
+      List.concat_map (fun (c, b) -> c :: List.concat_map stmt_exprs b) branches
+      @ List.concat_map stmt_exprs els
+
+(* Every expression in a module, with the variable environment it sees. *)
+let module_exprs m =
+  List.concat_map
+    (fun c ->
+      match c with
+      | I.Comb { cexpr; _ } -> [ ([], cexpr) ]
+      | I.Select { marms; mdefault; _ } ->
+          List.map (fun (e, _) -> ([], e)) marms @ [ ([], mdefault) ]
+      | I.Fsm { fvars; freset_stmts; farms; _ } ->
+          List.map
+            (fun e -> (fvars, e))
+            (List.concat_map stmt_exprs (freset_stmts @ List.concat_map snd farms))
+      | I.Rom _ | I.Inst _ -> [])
+    m.I.cells
+
+let find_port m name = List.find_opt (fun p -> String.equal p.I.pname name) m.I.ports
+let is_in_port m name =
+  match find_port m name with Some p -> p.I.pdir = I.In | None -> false
+
+let entity_ports d name =
+  match I.find_module d name with Some e -> e.I.ports | None -> []
+
+let entity_out_ports d name =
+  List.filter_map
+    (fun p -> if p.I.pdir = I.Out then Some p.I.pname else None)
+    (entity_ports d name)
+
+let entity_in_ports d name =
+  List.filter_map
+    (fun p -> if p.I.pdir = I.In then Some p.I.pname else None)
+    (entity_ports d name)
+
+(* (net, driving cell) pairs, one per driver region. *)
+let drivers d m =
+  List.concat_map
+    (fun c ->
+      match c with
+      | I.Comb { cname; ctarget; _ } -> [ (ctarget, cname) ]
+      | I.Select { mname; mtarget; _ } -> [ (mtarget, mname) ]
+      | I.Fsm { fname; freset_stmts; farms; _ } ->
+          List.map
+            (fun t -> (t, fname))
+            (I.fsm_signal_targets (freset_stmts @ List.concat_map snd farms))
+      | I.Rom { rname; rdata; _ } -> [ (rdata, rname) ]
+      | I.Inst { iname; ientity; iports; _ } ->
+          let outs = entity_out_ports d ientity in
+          List.filter_map
+            (fun (f, a) -> if List.mem f outs then Some (a, iname) else None)
+            iports)
+    m.I.cells
+
+(* Every name a module's cells read (data or control). *)
+let reads d m =
+  List.concat_map
+    (fun c ->
+      match c with
+      | I.Comb { cexpr; _ } -> I.expr_reads cexpr
+      | I.Select { mselector; marms; mdefault; _ } ->
+          (mselector :: List.concat_map (fun (e, _) -> I.expr_reads e) marms)
+          @ I.expr_reads mdefault
+      | I.Fsm { fclock; freset; freset_stmts; farms; _ } ->
+          fclock :: freset
+          :: List.concat_map I.stmt_reads
+               (freset_stmts @ List.concat_map snd farms)
+      | I.Rom { raddr; _ } -> [ raddr ]
+      | I.Inst { ientity; igenerics; iports; _ } ->
+          let ins = entity_in_ports d ientity in
+          List.concat_map (fun (_, e) -> I.expr_reads e) igenerics
+          @ List.filter_map
+              (fun (f, a) -> if List.mem f ins then Some a else None)
+              iports)
+    m.I.cells
+
+(* --- netlist-width -------------------------------------------------------- *)
+
+let width_pass d =
+  let pass = "netlist-width" in
+  List.concat_map
+    (fun m ->
+      let const n = Option.map fst (List.assoc_opt n d.I.constants) in
+      let assign_diags =
+        List.filter_map
+          (fun (cell, vars, target, e) ->
+            let lookup n = I.module_width d m ~vars n in
+            match (lookup target, I.expr_width ~lookup ~const e) with
+            | Some tw, Some ew when tw <> ew ->
+                Some
+                  (Diagnostic.errorf ~pass ~loc:(loc m target)
+                     "width mismatch in %s: %d-bit expression assigned to \
+                      %d-bit target"
+                     cell ew tw)
+            | _ -> None)
+          (module_assigns m)
+      in
+      let slice_diags =
+        List.concat_map
+          (fun (vars, e) ->
+            let lookup n = I.module_width d m ~vars n in
+            let acc = ref [] in
+            let rec walk e =
+              (match e with
+              | I.Slice (base, hi, lo) -> (
+                  match
+                    ( I.expr_width ~lookup ~const base,
+                      I.eval_const ~lookup:const hi,
+                      I.eval_const ~lookup:const lo )
+                  with
+                  | Some w, Some h, Some l when h >= w || l < 0 || l > h ->
+                      acc :=
+                        Diagnostic.errorf ~pass ~loc:(loc m "slice")
+                          "slice (%d downto %d) out of range for a %d-bit \
+                           operand"
+                          h l w
+                        :: !acc
+                  | _ -> ())
+              | _ -> ());
+              match e with
+              | I.Ref _ | I.Int _ | I.Bitlit _ | I.Zeros | I.Statelit _ -> ()
+              | I.Paren a -> walk a
+              | I.Bin (_, a, b) ->
+                  walk a;
+                  walk b
+              | I.Slice (a, h, l) ->
+                  walk a;
+                  walk h;
+                  walk l
+              | I.Resize (a, w) | I.To_unsigned (a, w) ->
+                  walk a;
+                  walk w
+              | I.Cond (a, c, b) ->
+                  walk a;
+                  walk c;
+                  walk b
+            in
+            walk e;
+            !acc)
+          (module_exprs m)
+      in
+      assign_diags @ slice_diags)
+    d.I.modules
+
+(* --- netlist-driver ------------------------------------------------------- *)
+
+let driver_pass d =
+  let pass = "netlist-driver" in
+  List.concat_map
+    (fun m ->
+      let by_net = Hashtbl.create 16 in
+      List.iter
+        (fun (net, cell) ->
+          let cells = try Hashtbl.find by_net net with Not_found -> [] in
+          if not (List.mem cell cells) then
+            Hashtbl.replace by_net net (cell :: cells))
+        (drivers d m);
+      Hashtbl.fold
+        (fun net cells acc ->
+          let multi =
+            if List.length cells > 1 then
+              [
+                Diagnostic.errorf ~pass ~loc:(loc m net)
+                  "net driven from %d cells: %s" (List.length cells)
+                  (String.concat ", " (List.rev cells));
+              ]
+            else []
+          in
+          let inp =
+            if is_in_port m net then
+              [
+                Diagnostic.errorf ~pass ~loc:(loc m net)
+                  "input port driven inside the module (by %s)"
+                  (String.concat ", " (List.rev cells));
+              ]
+            else []
+          in
+          multi @ inp @ acc)
+        by_net [])
+    d.I.modules
+
+(* --- netlist-comb --------------------------------------------------------- *)
+
+(* Direct combinational dependency edges (target -> names it reads
+   through combinational logic only; FSM outputs are registered and
+   break paths).  Instances contribute their combinational in->out
+   paths, so a loop closed through an asynchronous ROM is visible. *)
+let rec comb_edges d m =
+  List.concat_map
+    (fun c ->
+      match c with
+      | I.Comb { ctarget; cexpr; _ } -> [ (ctarget, I.expr_reads cexpr) ]
+      | I.Select { mtarget; mselector; marms; mdefault; _ } ->
+          [
+            ( mtarget,
+              mselector
+              :: (List.concat_map (fun (e, _) -> I.expr_reads e) marms
+                 @ I.expr_reads mdefault) );
+          ]
+      | I.Rom { rdata; raddr; _ } -> [ (rdata, [ raddr ]) ]
+      | I.Fsm _ -> []
+      | I.Inst { ientity; iports; _ } ->
+          List.concat_map
+            (fun (out_formal, in_formals) ->
+              match List.assoc_opt out_formal iports with
+              | None -> []
+              | Some actual_out ->
+                  let actual_ins =
+                    List.filter_map
+                      (fun f -> List.assoc_opt f iports)
+                      in_formals
+                  in
+                  if actual_ins = [] then [] else [ (actual_out, actual_ins) ])
+            (comb_through d ientity))
+    m.I.cells
+
+(* For an entity: which input ports combinationally reach each output
+   port. *)
+and comb_through d ientity =
+  match I.find_module d ientity with
+  | None -> []
+  | Some e ->
+      let edges = comb_edges d e in
+      let ins = entity_in_ports d ientity in
+      List.filter_map
+        (fun out ->
+          let seen = Hashtbl.create 8 in
+          let rec reach n =
+            if Hashtbl.mem seen n then []
+            else begin
+              Hashtbl.add seen n ();
+              let here = if List.mem n ins then [ n ] else [] in
+              let deeper =
+                List.concat_map
+                  (fun (t, rs) -> if String.equal t n then rs else [])
+                  edges
+              in
+              here @ List.concat_map reach deeper
+            end
+          in
+          match List.sort_uniq String.compare (reach out) with
+          | [] -> None
+          | reached -> Some (out, reached))
+        (entity_out_ports d ientity)
+
+let comb_pass d =
+  let pass = "netlist-comb" in
+  List.concat_map
+    (fun m ->
+      let edges = comb_edges d m in
+      let deps n =
+        List.concat_map (fun (t, rs) -> if String.equal t n then rs else []) edges
+      in
+      let reported = Hashtbl.create 4 in
+      let diags = ref [] in
+      let rec dfs path n =
+        if List.mem n path then begin
+          let cycle =
+            let rec drop = function
+              | [] -> []
+              | x :: rest -> if String.equal x n then x :: rest else drop rest
+            in
+            drop (List.rev path)
+          in
+          let key = List.sort String.compare cycle in
+          if not (Hashtbl.mem reported key) then begin
+            Hashtbl.add reported key ();
+            diags :=
+              Diagnostic.errorf ~pass ~loc:(loc m n)
+                "combinational loop: %s -> %s"
+                (String.concat " -> " cycle)
+                n
+              :: !diags
+          end
+        end
+        else List.iter (dfs (n :: path)) (deps n)
+      in
+      List.iter (fun (t, _) -> dfs [] t) edges;
+      !diags)
+    d.I.modules
+
+(* --- netlist-dead --------------------------------------------------------- *)
+
+let dead_pass d =
+  let pass = "netlist-dead" in
+  List.concat_map
+    (fun m ->
+      let driven = List.map fst (drivers d m) in
+      let read = reads d m in
+      let known n =
+        List.exists (fun s -> String.equal s.I.sname n) m.I.signals
+        || find_port m n <> None
+      in
+      let signal_diags =
+        List.concat_map
+          (fun s ->
+            let n = s.I.sname in
+            match (List.mem n driven, List.mem n read) with
+            | false, true ->
+                [
+                  Diagnostic.errorf ~pass ~loc:(loc m n)
+                    "signal is read but never driven";
+                ]
+            | true, false ->
+                [
+                  Diagnostic.warningf ~pass ~loc:(loc m n)
+                    "signal is driven but never read (dead logic)";
+                ]
+            | false, false ->
+                [ Diagnostic.warningf ~pass ~loc:(loc m n) "unused signal" ]
+            | true, true -> [])
+          m.I.signals
+      in
+      let port_diags =
+        List.concat_map
+          (fun p ->
+            match p.I.pdir with
+            | I.Out when not (List.mem p.I.pname driven) ->
+                [
+                  Diagnostic.errorf ~pass ~loc:(loc m p.I.pname)
+                    "output port is never driven";
+                ]
+            | I.In when not (List.mem p.I.pname read) ->
+                [
+                  Diagnostic.warningf ~pass ~loc:(loc m p.I.pname)
+                    "input port is never read";
+                ]
+            | _ -> [])
+          m.I.ports
+      in
+      let fsm_diags =
+        List.concat_map
+          (fun c ->
+            match c with
+            | I.Fsm { fname; fstate; fstates; finitial; freset_stmts; farms; _ }
+              ->
+                let goto_targets stmts =
+                  List.filter_map
+                    (fun (t, e) ->
+                      match e with
+                      | I.Statelit s when String.equal t fstate -> Some s
+                      | _ -> None)
+                    (List.concat_map I.stmt_writes stmts)
+                in
+                let arm_diags =
+                  List.concat_map
+                    (fun st ->
+                      if List.mem_assoc st farms then []
+                      else
+                        [
+                          Diagnostic.errorf ~pass ~loc:(loc m (fname ^ "/" ^ st))
+                            "state has no case arm";
+                        ])
+                    fstates
+                  @ List.concat_map
+                      (fun (st, _) ->
+                        if List.mem st fstates then []
+                        else
+                          [
+                            Diagnostic.errorf ~pass
+                              ~loc:(loc m (fname ^ "/" ^ st))
+                              "case arm for an undeclared state";
+                          ])
+                      farms
+                in
+                let reachable = Hashtbl.create 16 in
+                let rec visit st =
+                  if not (Hashtbl.mem reachable st) then begin
+                    Hashtbl.add reachable st ();
+                    match List.assoc_opt st farms with
+                    | None -> ()
+                    | Some body -> List.iter visit (goto_targets body)
+                  end
+                in
+                List.iter visit (finitial :: goto_targets freset_stmts);
+                arm_diags
+                @ List.filter_map
+                    (fun st ->
+                      if Hashtbl.mem reachable st then None
+                      else
+                        Some
+                          (Diagnostic.warningf ~pass
+                             ~loc:(loc m (fname ^ "/" ^ st))
+                             "unreachable state (dead logic)"))
+                    fstates
+            | _ -> [])
+          m.I.cells
+      in
+      let inst_diags =
+        List.concat_map
+          (fun c ->
+            match c with
+            | I.Inst { iname; ientity; iports; _ } -> (
+                match I.find_module d ientity with
+                | None ->
+                    [
+                      Diagnostic.errorf ~pass ~loc:(loc m iname)
+                        "instance of unknown entity %s" ientity;
+                    ]
+                | Some e ->
+                    List.concat_map
+                      (fun p ->
+                        if List.mem_assoc p.I.pname iports then []
+                        else
+                          [
+                            Diagnostic.errorf ~pass
+                              ~loc:(loc m (iname ^ "/" ^ p.I.pname))
+                              "unconnected port on instance of %s" ientity;
+                          ])
+                      e.I.ports
+                    @ List.concat_map
+                        (fun (f, a) ->
+                          let formal_ok =
+                            List.exists
+                              (fun p -> String.equal p.I.pname f)
+                              e.I.ports
+                          in
+                          let formal_diag =
+                            if formal_ok then []
+                            else
+                              [
+                                Diagnostic.errorf ~pass
+                                  ~loc:(loc m (iname ^ "/" ^ f))
+                                  "no such port on entity %s" ientity;
+                              ]
+                          in
+                          let actual_diag =
+                            if known a then []
+                            else
+                              [
+                                Diagnostic.errorf ~pass
+                                  ~loc:(loc m (iname ^ "/" ^ f))
+                                  "port bound to unknown net %s" a;
+                              ]
+                          in
+                          formal_diag @ actual_diag)
+                        iports)
+            | _ -> [])
+          m.I.cells
+      in
+      signal_diags @ port_diags @ fsm_diags @ inst_diags)
+    d.I.modules
+
+(* --- netlist-bram --------------------------------------------------------- *)
+
+let bram_pass d =
+  let pass = "netlist-bram" in
+  let image_diags =
+    List.concat_map
+      (fun m ->
+        List.concat_map
+          (fun c ->
+            match c with
+            | I.Rom { rname; raddr; rwords; _ } ->
+                let n = Array.length rwords in
+                let empty =
+                  if n = 0 then
+                    [
+                      Diagnostic.errorf ~pass ~loc:(loc m rname)
+                        "empty memory image";
+                    ]
+                  else []
+                in
+                let range =
+                  if Array.exists (fun w -> w < 0 || w > 0xFFFF) rwords then
+                    [
+                      Diagnostic.errorf ~pass ~loc:(loc m rname)
+                        "memory word outside the 16-bit port width";
+                    ]
+                  else []
+                in
+                let addr_width =
+                  match I.module_width d m ~vars:[] raddr with
+                  | Some w when n > 1 lsl w ->
+                      [
+                        Diagnostic.errorf ~pass ~loc:(loc m rname)
+                          "%d words exceed the %d-bit address space" n w;
+                      ]
+                  | _ -> []
+                in
+                empty @ range @ addr_width
+            | _ -> [])
+          m.I.cells)
+      d.I.modules
+  in
+  (* Fig. 4/5 memories are single-ported: each ROM-bearing entity may
+     be instantiated at most once, and two ROM cells in one module may
+     not share a port net. *)
+  let rom_entities =
+    List.filter_map
+      (fun m ->
+        if List.exists (function I.Rom _ -> true | _ -> false) m.I.cells then
+          Some m.I.mod_name
+        else None)
+      d.I.modules
+  in
+  let conflict_diags =
+    List.filter_map
+      (fun entity ->
+        let insts =
+          List.concat_map
+            (fun m ->
+              List.filter_map
+                (fun c ->
+                  match c with
+                  | I.Inst { iname; ientity; _ }
+                    when String.equal ientity entity ->
+                      Some (loc m iname)
+                  | _ -> None)
+                m.I.cells)
+            d.I.modules
+        in
+        if List.length insts > 1 then
+          Some
+            (Diagnostic.errorf ~pass ~loc:entity
+               "BRAM port conflict: single-port memory instantiated %d times \
+                (%s)"
+               (List.length insts)
+               (String.concat ", " insts))
+        else None)
+      rom_entities
+  in
+  let shared_port_diags =
+    List.concat_map
+      (fun m ->
+        let ports =
+          List.concat_map
+            (fun c ->
+              match c with
+              | I.Rom { rname; raddr; rdata; _ } ->
+                  [ (raddr, rname); (rdata, rname) ]
+              | _ -> [])
+            m.I.cells
+        in
+        List.filter_map
+          (fun (net, rname) ->
+            let users = List.filter (fun (n, _) -> String.equal n net) ports in
+            if List.length users > 1 && String.equal (snd (List.hd users)) rname
+            then
+              Some
+                (Diagnostic.errorf ~pass ~loc:(loc m net)
+                   "BRAM port conflict: net shared by %d ROM ports"
+                   (List.length users))
+            else None)
+          ports)
+      d.I.modules
+  in
+  image_diags @ conflict_diags @ shared_port_diags
+
+(* --- netlist-clock -------------------------------------------------------- *)
+
+(* Clock inputs of an entity: the ports its FSM cells clock from. *)
+let entity_clock_ports d name =
+  match I.find_module d name with
+  | None -> []
+  | Some e ->
+      List.sort_uniq String.compare
+        (List.concat_map
+           (fun c ->
+             match c with
+             | I.Fsm { fclock; _ } when find_port e fclock <> None -> [ fclock ]
+             | _ -> [])
+           e.I.cells)
+
+let clock_pass d =
+  let pass = "netlist-clock" in
+  List.concat_map
+    (fun m ->
+      let check_clock_net kind cell n =
+        match find_port m n with
+        | Some { pdir = I.In; ptype = I.Bit; _ } -> []
+        | Some _ ->
+            [
+              Diagnostic.errorf ~pass ~loc:(loc m n)
+                "%s of %s is not a std_logic input port" kind cell;
+            ]
+        | None ->
+            [
+              Diagnostic.errorf ~pass ~loc:(loc m n)
+                "%s of %s is a derived/gated net, not an input port" kind cell;
+            ]
+      in
+      let fsm_diags =
+        List.concat_map
+          (fun c ->
+            match c with
+            | I.Fsm { fname; fclock; freset; _ } ->
+                check_clock_net "clock" fname fclock
+                @ check_clock_net "reset" fname freset
+            | _ -> [])
+          m.I.cells
+      in
+      let domain_sources =
+        List.concat_map
+          (fun c ->
+            match c with
+            | I.Fsm { fclock; _ } -> [ fclock ]
+            | I.Inst { ientity; iports; _ } ->
+                List.filter_map
+                  (fun f -> List.assoc_opt f iports)
+                  (entity_clock_ports d ientity)
+            | _ -> [])
+          m.I.cells
+      in
+      let distinct = List.sort_uniq String.compare domain_sources in
+      let crossing =
+        if List.length distinct > 1 then
+          [
+            Diagnostic.errorf ~pass ~loc:(loc m "clock")
+              "clock-domain crossing: sequential cells clocked from %s"
+              (String.concat " and " distinct);
+          ]
+        else []
+      in
+      let inst_clock_diags =
+        List.concat_map
+          (fun c ->
+            match c with
+            | I.Inst { iname; ientity; iports; _ } ->
+                List.concat_map
+                  (fun f ->
+                    match List.assoc_opt f iports with
+                    | None -> []
+                    | Some actual -> check_clock_net "clock" iname actual)
+                  (entity_clock_ports d ientity)
+            | _ -> [])
+          m.I.cells
+      in
+      fsm_diags @ crossing @ inst_clock_diags)
+    d.I.modules
+
+let check d =
+  width_pass d @ driver_pass d @ comb_pass d @ dead_pass d @ bram_pass d
+  @ clock_pass d

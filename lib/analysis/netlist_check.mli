@@ -1,0 +1,35 @@
+(** IR-level structural lint over elaborated {!Netlist.Ir} designs.
+
+    Six passes, each checking one structural property the VHDL printer
+    can no longer get wrong by construction but a hand-edited or
+    mutated datapath can:
+
+    - [netlist-width] — assignment width mismatches and out-of-range
+      slices (implicit truncation);
+    - [netlist-driver] — multiply-driven nets and driven input ports;
+    - [netlist-comb] — combinational loops, including loops closed
+      through the combinational in→out paths of instances (e.g. an
+      asynchronous ROM's addr→q);
+    - [netlist-dead] — undriven-but-read nets, unread nets,
+      unconnected instance/output ports, unreachable FSM states;
+    - [netlist-bram] — Fig. 4/5 memory organisation: ROM images
+      non-empty, 16-bit clean and within the address space, and each
+      single-port memory instantiated at most once (port conflict);
+    - [netlist-clock] — every FSM clock/reset is a [std_logic] input
+      port and all sequential cells in a module (and all clock
+      bindings of its instances) agree on one clock domain.
+
+    Locations are netlist paths: [module/net] or [module/cell]. *)
+
+val pass_names : string list
+(** The six pass names, in the order {!check} runs them. *)
+
+val width_pass : Netlist.Ir.design -> Diagnostic.t list
+val driver_pass : Netlist.Ir.design -> Diagnostic.t list
+val comb_pass : Netlist.Ir.design -> Diagnostic.t list
+val dead_pass : Netlist.Ir.design -> Diagnostic.t list
+val bram_pass : Netlist.Ir.design -> Diagnostic.t list
+val clock_pass : Netlist.Ir.design -> Diagnostic.t list
+
+val check : Netlist.Ir.design -> Diagnostic.t list
+(** All six passes, concatenated (unsorted — the driver sorts). *)

@@ -1,3 +1,12 @@
 let ok_exn ~ctx = function
   | Ok x -> x
   | Error e -> failwith (ctx ^ ": " ^ e)
+
+let fletcher16 words =
+  let sum1 = ref 0 and sum2 = ref 0 in
+  Array.iter
+    (fun w ->
+      sum1 := (!sum1 + (w land 0xFFFF)) mod 65535;
+      sum2 := (!sum2 + !sum1) mod 65535)
+    words;
+  (!sum2 * 65536) + !sum1

@@ -9,3 +9,9 @@
 val ok_exn : ctx:string -> ('a, string) result -> 'a
 (** [ok_exn ~ctx r] returns [x] for [Ok x] and raises [Failure
     (ctx ^ ": " ^ e)] for [Error e]. *)
+
+val fletcher16 : int array -> int
+(** Fletcher-16 over 16-bit words (each masked to 16 bits), widened to
+    [sum2 * 2{^16} + sum1].  The one shared implementation behind
+    [Memlayout.checksum] and the fault scrubber's readback compare —
+    an O(n) whole-image fingerprint that needs no structural decode. *)

@@ -20,7 +20,7 @@ let create casebase request =
               live = Array.copy golden;
               req_mem = system.Memlayout.req_mem;
               supplemental_base = image.Memlayout.cb_supplemental_base;
-              golden_checksum = Memlayout.checksum golden;
+              golden_checksum = Qos_core.Util.fletcher16 golden;
             })
 
 let live t = t.live
@@ -32,7 +32,8 @@ let corrupted_words t =
 
 let clean t = corrupted_words t = 0
 
-let checksum_matches t = Memlayout.checksum t.live = t.golden_checksum
+let checksum_matches t =
+  Qos_core.Util.fletcher16 t.live = t.golden_checksum
 
 let diagnose t =
   Analysis.Image_check.check_raw ~cb_mem:t.live ~req_mem:t.req_mem

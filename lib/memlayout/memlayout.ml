@@ -405,13 +405,8 @@ let pp_accounting ppf a =
     (bytes_of_words
        (a.request_words + a.supplemental_words + a.tree_total_words))
 
-let checksum words =
-  (* Fletcher-16 over the 16-bit words, widened so the scrubber can
-     compare full images in O(n) without rescanning structure. *)
-  let sum1 = ref 0 and sum2 = ref 0 in
-  Array.iter
-    (fun w ->
-      sum1 := (!sum1 + (w land 0xFFFF)) mod 65535;
-      sum2 := (!sum2 + !sum1) mod 65535)
-    words;
-  (!sum2 * 65536) + !sum1
+(* Fletcher-16 over the 16-bit words, widened so the scrubber can
+   compare full images in O(n) without rescanning structure.  The
+   implementation lives in [Qos_core.Util] so the faults scrubber and
+   this module share one copy. *)
+let checksum = Qos_core.Util.fletcher16

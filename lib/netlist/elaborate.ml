@@ -1,0 +1,435 @@
+open Ir
+
+let constants =
+  [
+    ("WORD_BITS", (16, None));
+    ("ADDR_BITS", (16, None));
+    ("END_MARKER", (0xffff, Some 16));
+    ("Q15_ONE", (0x8000, Some 17));
+  ]
+
+(* Expression shorthands for the elaborator only. *)
+let r s = Ref s
+let ( +: ) a b = Bin (Add, a, b)
+let ( -: ) a b = Bin (Sub, a, b)
+let ( *: ) a b = Bin (Mul, a, b)
+let ( =: ) a b = Bin (Eq, a, b)
+let ( >: ) a b = Bin (Gt, a, b)
+let ( >=: ) a b = Bin (Ge, a, b)
+let ( ||: ) a b = Bin (Or_, a, b)
+let goto st = Assign ("state", Statelit st)
+let bit c = Bitlit c
+let low16 e = Slice (e, r "ADDR_BITS" -: Int 1, Int 0)
+
+let states =
+  [
+    "st_idle"; "st_fetch_type"; "st_scan_type"; "st_type_ptr"; "st_impl_id";
+    "st_impl_ptr"; "st_req_id"; "st_req_val"; "st_req_w"; "st_supp_scan";
+    "st_supp_recip"; "st_attr_scan"; "st_attr_val"; "st_abs"; "st_mul_recip";
+    "st_complement"; "st_local_zero"; "st_accum_mul"; "st_accum_add";
+    "st_compare"; "st_done"; "st_error";
+  ]
+
+let ports =
+  [
+    { pname = "clk"; ptype = Bit; pdir = In; pdoc = None };
+    { pname = "rst"; ptype = Bit; pdir = In; pdoc = None };
+    { pname = "start"; ptype = Bit; pdir = In; pdoc = None };
+    { pname = "cb_addr"; ptype = Addr; pdir = Out; pdoc = None };
+    { pname = "cb_q"; ptype = Word; pdir = In; pdoc = None };
+    { pname = "req_addr"; ptype = Addr; pdir = Out; pdoc = None };
+    { pname = "req_q"; ptype = Word; pdir = In; pdoc = None };
+    { pname = "done"; ptype = Bit; pdir = Out; pdoc = None };
+    {
+      pname = "not_found";
+      ptype = Bit;
+      pdir = Out;
+      pdoc = Some "requested type absent / no variants";
+    };
+    { pname = "best_id"; ptype = Word; pdir = Out; pdoc = None };
+    { pname = "best_score"; ptype = Word; pdir = Out; pdoc = None };
+  ]
+
+let word name doc = { sname = name; stype = Word; sdoc = doc }
+let addr name doc = { sname = name; stype = Addr; sdoc = doc }
+
+let signals =
+  [
+    word "rtype" None;
+    word "tid" (Some "type-list entry under test");
+    addr "cur" (Some "level-0 cursor");
+    addr "lcur" (Some "level-1 cursor");
+    addr "apos" (Some "level-2 cursor");
+    addr "spos" (Some "supplemental cursor");
+    addr "rpos" (Some "request cursor");
+    word "impl_id_r" None;
+    word "aid" None;
+    word "rvalue" None;
+    word "weight" None;
+    word "recip" None;
+    word "cbval" None;
+    word "diff" None;
+    word "local_s" None;
+    { sname = "prodr"; stype = Unsigned 17; sdoc = Some "clamped d * recip" };
+    { sname = "acc"; stype = Unsigned 17; sdoc = None };
+    word "smax" None;
+    { sname = "smax_valid"; stype = Bit; sdoc = None };
+    {
+      sname = "supp_miss";
+      stype = Bit;
+      sdoc = Some "attribute absent from the supplemental list";
+    };
+    word "best_id_r" None;
+  ]
+
+(* One arm per state.  The transition structure is cycle-exact against
+   Rtlsim.Machine (paper config): list scans consume two states per
+   (id, ptr) entry because the word-serial port delivers one word per
+   clock, the local-similarity datapath spends abs / multiply /
+   complement in three separate states, and a supplemental miss still
+   walks the implementation's attribute list (advancing the level-2
+   cursor exactly as the reference model does) before forcing Si := 0. *)
+let arms =
+  [
+    ("st_idle", [ If ([ (r "start" =: bit '1', [ goto "st_fetch_type" ]) ], []) ]);
+    ( "st_fetch_type",
+      [
+        Assign ("rtype", r "req_q");
+        Assign ("cur", To_unsigned (r "TREE_BASE", r "ADDR_BITS"));
+        goto "st_scan_type";
+      ] );
+    ("st_scan_type", [ Assign ("tid", r "cb_q"); goto "st_type_ptr" ]);
+    ( "st_type_ptr",
+      [
+        If
+          ( [
+              (r "tid" =: r "END_MARKER", [ goto "st_error" ]);
+              ( r "tid" =: r "rtype",
+                [
+                  Assign ("lcur", low16 (r "cb_q"));
+                  Assign ("smax_valid", bit '0');
+                  Assign ("smax", Zeros);
+                  Assign ("best_id_r", Zeros);
+                  goto "st_impl_id";
+                ] );
+            ],
+            [ Assign ("cur", r "cur" +: Int 2); goto "st_scan_type" ] );
+      ] );
+    ("st_impl_id", [ Assign ("impl_id_r", r "cb_q"); goto "st_impl_ptr" ]);
+    ( "st_impl_ptr",
+      [
+        If
+          ( [
+              ( r "impl_id_r" =: r "END_MARKER",
+                [
+                  If
+                    ( [ (r "smax_valid" =: bit '1', [ goto "st_done" ]) ],
+                      [ goto "st_error" ] );
+                ] );
+            ],
+            [
+              Assign ("apos", low16 (r "cb_q"));
+              Assign ("spos", To_unsigned (r "SUPP_BASE", r "ADDR_BITS"));
+              Assign ("acc", Zeros);
+              Assign ("rpos", To_unsigned (r "REQ_BASE" +: Int 1, r "ADDR_BITS"));
+              goto "st_req_id";
+            ] );
+      ] );
+    ( "st_req_id",
+      [
+        If
+          ( [ (r "req_q" =: r "END_MARKER", [ goto "st_compare" ]) ],
+            [ Assign ("aid", r "req_q"); goto "st_req_val" ] );
+      ] );
+    ("st_req_val", [ Assign ("rvalue", r "req_q"); goto "st_req_w" ]);
+    ( "st_req_w",
+      [
+        Assign ("weight", r "req_q");
+        Assign ("supp_miss", bit '0');
+        goto "st_supp_scan";
+      ] );
+    ( "st_supp_scan",
+      [
+        If
+          ( [
+              ( r "cb_q" =: r "END_MARKER" ||: (r "cb_q" >: r "aid"),
+                [ Assign ("supp_miss", bit '1'); goto "st_attr_scan" ] );
+              (r "cb_q" =: r "aid", [ goto "st_supp_recip" ]);
+            ],
+            [ Assign ("spos", r "spos" +: Int 4) ] );
+      ] );
+    ( "st_supp_recip",
+      [
+        Assign ("recip", r "cb_q");
+        Assign ("spos", r "spos" +: Int 4);
+        goto "st_attr_scan";
+      ] );
+    ( "st_attr_scan",
+      [
+        If
+          ( [
+              ( r "cb_q" =: r "END_MARKER" ||: (r "cb_q" >: r "aid"),
+                [ goto "st_local_zero" ] );
+              (r "cb_q" =: r "aid", [ goto "st_attr_val" ]);
+            ],
+            [ Assign ("apos", r "apos" +: Int 2) ] );
+      ] );
+    ( "st_attr_val",
+      [
+        Assign ("cbval", r "cb_q");
+        Assign ("apos", r "apos" +: Int 2);
+        If
+          ( [ (r "supp_miss" =: bit '1', [ goto "st_local_zero" ]) ],
+            [ goto "st_abs" ] );
+      ] );
+    ( "st_abs",
+      [
+        If
+          ( [ (r "rvalue" >=: r "cbval", [ Assign ("diff", r "rvalue" -: r "cbval") ]) ],
+            [ Assign ("diff", r "cbval" -: r "rvalue") ] );
+        goto "st_mul_recip";
+      ] );
+    ( "st_mul_recip",
+      [
+        Vassign ("prod", r "diff" *: r "recip");
+        If
+          ( [ (r "prod" >=: r "Q15_ONE", [ Assign ("prodr", r "Q15_ONE") ]) ],
+            [ Assign ("prodr", Slice (r "prod", Int 16, Int 0)) ] );
+        goto "st_complement";
+      ] );
+    ( "st_complement",
+      [
+        Assign ("local_s", Resize (r "Q15_ONE" -: r "prodr", r "WORD_BITS"));
+        goto "st_accum_mul";
+      ] );
+    ("st_local_zero", [ Assign ("local_s", Zeros); goto "st_accum_mul" ]);
+    ( "st_accum_mul",
+      [
+        Vassign ("wprod", r "local_s" *: r "weight");
+        Vassign
+          ( "rounded",
+            Resize (Bin (Srl, Paren (r "wprod" +: Int 16384), Int 15), Int 17) );
+        If
+          ( [
+              ( r "rounded" >: Int 65535,
+                [ Vassign ("rounded", To_unsigned (Int 65535, Int 17)) ] );
+            ],
+            [] );
+        Assign ("diff", Slice (r "rounded", Int 15, Int 0));
+        goto "st_accum_add";
+      ] );
+    ( "st_accum_add",
+      [
+        Vassign ("summed", Resize (r "acc", Int 18) +: Resize (r "diff", Int 18));
+        If
+          ( [
+              ( r "summed" >: Int 65535,
+                [ Assign ("acc", To_unsigned (Int 65535, Int 17)) ] );
+            ],
+            [ Assign ("acc", Slice (r "summed", Int 16, Int 0)) ] );
+        Assign ("rpos", r "rpos" +: Int 3);
+        goto "st_req_id";
+      ] );
+    ( "st_compare",
+      [
+        If
+          ( [
+              ( r "smax_valid" =: bit '0'
+                ||: (Slice (r "acc", Int 15, Int 0) >: r "smax"),
+                [
+                  Assign ("smax", Slice (r "acc", Int 15, Int 0));
+                  Assign ("best_id_r", r "impl_id_r");
+                ] );
+            ],
+            [] );
+        Assign ("smax_valid", bit '1');
+        Assign ("lcur", r "lcur" +: Int 2);
+        goto "st_impl_id";
+      ] );
+    ("st_done", []);
+    ("st_error", []);
+  ]
+
+let retrieval_unit () =
+  {
+    mod_name = "qos_retrieval_unit";
+    generics =
+      [
+        {
+          gname = "SUPP_BASE";
+          gdefault = None;
+          gdoc = Some "supplemental list base in CB-MEM";
+        };
+        {
+          gname = "REQ_BASE";
+          gdefault = Some 0;
+          gdoc = Some "request list base in Req-MEM";
+        };
+        {
+          gname = "TREE_BASE";
+          gdefault = Some 0;
+          gdoc = Some "type directory base in CB-MEM";
+        };
+      ];
+    ports;
+    signals;
+    cells =
+      [
+        Comb { cname = "best_id_out"; ctarget = "best_id"; cexpr = r "best_id_r" };
+        Comb { cname = "best_score_out"; ctarget = "best_score"; cexpr = r "smax" };
+        Comb
+          {
+            cname = "done_out";
+            ctarget = "done";
+            cexpr =
+              Cond
+                ( bit '1',
+                  (r "state" =: Statelit "st_done")
+                  ||: (r "state" =: Statelit "st_error"),
+                  bit '0' );
+          };
+        Comb
+          {
+            cname = "not_found_out";
+            ctarget = "not_found";
+            cexpr = Cond (bit '1', r "state" =: Statelit "st_error", bit '0');
+          };
+        Select
+          {
+            mname = "cb_addr_mux";
+            mtarget = "cb_addr";
+            mselector = "state";
+            marms =
+              [
+                (r "cur", "st_scan_type");
+                (r "cur" +: Int 1, "st_type_ptr");
+                (r "lcur", "st_impl_id");
+                (r "lcur" +: Int 1, "st_impl_ptr");
+                (r "spos", "st_supp_scan");
+                (r "spos" +: Int 3, "st_supp_recip");
+                (r "apos", "st_attr_scan");
+                (r "apos" +: Int 1, "st_attr_val");
+              ];
+            mdefault = Zeros;
+          };
+        Select
+          {
+            mname = "req_addr_mux";
+            mtarget = "req_addr";
+            mselector = "state";
+            marms =
+              [
+                (To_unsigned (r "REQ_BASE", r "ADDR_BITS"), "st_fetch_type");
+                (r "rpos", "st_req_id");
+                (r "rpos" +: Int 1, "st_req_val");
+                (r "rpos" +: Int 2, "st_req_w");
+              ];
+            mdefault = Zeros;
+          };
+        Fsm
+          {
+            fname = "fsm";
+            fclock = "clk";
+            freset = "rst";
+            fstate = "state";
+            fstates = states;
+            finitial = "st_idle";
+            freset_stmts = [ goto "st_idle"; Assign ("smax_valid", bit '0') ];
+            fvars =
+              [
+                ("prod", Unsigned 32);
+                ("wprod", Unsigned 32);
+                ("rounded", Unsigned 17);
+                ("summed", Unsigned 18);
+              ];
+            farms = arms;
+          };
+      ];
+  }
+
+let word_ok w = w >= 0 && w <= 0xFFFF
+
+let rom_module ~name ~words =
+  if Array.length words = 0 then Error "empty ROM image"
+  else if not (Array.for_all word_ok words) then
+    Error "ROM word outside the 16-bit range"
+  else
+    Ok
+      {
+        mod_name = name;
+        generics = [];
+        ports =
+          [
+            { pname = "addr"; ptype = Addr; pdir = In; pdoc = None };
+            { pname = "q"; ptype = Word; pdir = Out; pdoc = None };
+          ];
+        signals = [];
+        cells =
+          [ Rom { rname = "content"; raddr = "addr"; rdata = "q"; rwords = words } ];
+      }
+
+let mem_inst iname ientity ~addr ~q =
+  Inst { iname; ientity; igenerics = []; iports = [ ("addr", addr); ("q", q) ] }
+
+let system (image : Memlayout.system_image) =
+  let ( let* ) = Result.bind in
+  let* cb_rom = rom_module ~name:"qos_cb_rom" ~words:image.Memlayout.cb_mem in
+  let* req_rom = rom_module ~name:"qos_req_rom" ~words:image.Memlayout.req_mem in
+  let top =
+    {
+      mod_name = "qos_retrieval_system";
+      generics = [];
+      ports =
+        [
+          { pname = "clk"; ptype = Bit; pdir = In; pdoc = None };
+          { pname = "rst"; ptype = Bit; pdir = In; pdoc = None };
+          { pname = "start"; ptype = Bit; pdir = In; pdoc = None };
+          { pname = "done"; ptype = Bit; pdir = Out; pdoc = None };
+          { pname = "not_found"; ptype = Bit; pdir = Out; pdoc = None };
+          { pname = "best_id"; ptype = Word; pdir = Out; pdoc = None };
+          { pname = "best_score"; ptype = Word; pdir = Out; pdoc = None };
+        ];
+      signals =
+        [
+          addr "cb_addr" None;
+          word "cb_q" None;
+          addr "req_addr" None;
+          word "req_q" None;
+        ];
+      cells =
+        [
+          Inst
+            {
+              iname = "dut";
+              ientity = "qos_retrieval_unit";
+              igenerics =
+                [
+                  ("SUPP_BASE", Int image.Memlayout.supplemental_base);
+                  ("REQ_BASE", Int 0);
+                  ("TREE_BASE", Int image.Memlayout.tree_base);
+                ];
+              iports =
+                [
+                  ("clk", "clk"); ("rst", "rst"); ("start", "start");
+                  ("cb_addr", "cb_addr"); ("cb_q", "cb_q");
+                  ("req_addr", "req_addr"); ("req_q", "req_q");
+                  ("done", "done"); ("not_found", "not_found");
+                  ("best_id", "best_id"); ("best_score", "best_score");
+                ];
+            };
+          mem_inst "cb_mem" "qos_cb_rom" ~addr:"cb_addr" ~q:"cb_q";
+          mem_inst "req_mem" "qos_req_rom" ~addr:"req_addr" ~q:"req_q";
+        ];
+    }
+  in
+  Ok
+    {
+      constants;
+      modules = [ retrieval_unit (); cb_rom; req_rom; top ];
+      top = "qos_retrieval_system";
+    }
+
+let design_of_scenario casebase request =
+  match Memlayout.build_system casebase request with
+  | Error e -> Error e
+  | Ok image -> system image

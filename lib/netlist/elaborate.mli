@@ -1,0 +1,38 @@
+(** Elaborates the paper's retrieval hardware into {!Ir} structures.
+
+    {!retrieval_unit} is the single source of truth for the Fig. 7
+    word-serial datapath: a 22-state FSM over two asynchronous memory
+    ports, cycle-exact against [Rtlsim.Machine] under the paper
+    configuration — every RAM read and every ALU/multiplier operation
+    occupies one state for one clock.  (The pre-IR VHDL emitter fused
+    the multiply and complement into one state and skipped the
+    attribute scan on a supplemental miss; both shortcuts broke
+    cycle-identity with the reference machine and are gone.)
+
+    {!system} wraps the unit together with the Fig. 4/5 ROM images of
+    a concrete scenario into a closed design — the form the simulator
+    runs and [qosalloc lint]'s netlist passes analyse. *)
+
+val constants : (string * (int * int option)) list
+(** The package constants: [WORD_BITS], [ADDR_BITS] (plain integers),
+    [END_MARKER] (16-bit) and [Q15_ONE] (17-bit). *)
+
+val retrieval_unit : unit -> Ir.m
+(** The [qos_retrieval_unit] entity: generics [SUPP_BASE], [REQ_BASE]
+    (default 0) and [TREE_BASE] (default 0), the standard
+    clk/rst/start + memory-port interface, two address muxes and the
+    clocked FSM.  Deterministic. *)
+
+val rom_module : name:string -> words:int array -> (Ir.m, string) result
+(** A single-port asynchronous ROM entity holding [words]; fails on an
+    empty image or a word outside 16 bits.  Out-of-range reads return
+    the end marker. *)
+
+val system : Memlayout.system_image -> (Ir.design, string) result
+(** The closed [qos_retrieval_system] design: the unit instantiated
+    with the image's supplemental/tree bases plus one ROM instance per
+    memory. *)
+
+val design_of_scenario :
+  Qos_core.Casebase.t -> Qos_core.Request.t -> (Ir.design, string) result
+(** [system] over [Memlayout.build_system]. *)

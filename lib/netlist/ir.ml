@@ -1,0 +1,209 @@
+type vtype = Bit | Word | Addr | Unsigned of int
+
+let width_of_vtype = function
+  | Bit -> 1
+  | Word | Addr -> 16 (* WORD_BITS / ADDR_BITS in the package *)
+  | Unsigned n -> n
+
+let vtype_name = function
+  | Bit -> "std_logic"
+  | Word -> "word_t"
+  | Addr -> "addr_t"
+  | Unsigned n -> Printf.sprintf "unsigned(%d downto 0)" (n - 1)
+
+type binop = Add | Sub | Mul | Srl | Eq | Neq | Lt | Le | Gt | Ge | And_ | Or_
+
+type expr =
+  | Ref of string
+  | Int of int
+  | Bitlit of char
+  | Zeros
+  | Statelit of string
+  | Bin of binop * expr * expr
+  | Paren of expr
+  | Slice of expr * expr * expr
+  | Resize of expr * expr
+  | To_unsigned of expr * expr
+  | Cond of expr * expr * expr
+
+type stmt =
+  | Assign of string * expr
+  | Vassign of string * expr
+  | If of (expr * stmt list) list * stmt list
+
+type dir = In | Out
+type port = { pname : string; ptype : vtype; pdir : dir; pdoc : string option }
+type signal = { sname : string; stype : vtype; sdoc : string option }
+type generic = { gname : string; gdefault : int option; gdoc : string option }
+
+type cell =
+  | Comb of { cname : string; ctarget : string; cexpr : expr }
+  | Select of {
+      mname : string;
+      mtarget : string;
+      mselector : string;
+      marms : (expr * string) list;
+      mdefault : expr;
+    }
+  | Fsm of {
+      fname : string;
+      fclock : string;
+      freset : string;
+      fstate : string;
+      fstates : string list;
+      finitial : string;
+      freset_stmts : stmt list;
+      fvars : (string * vtype) list;
+      farms : (string * stmt list) list;
+    }
+  | Rom of { rname : string; raddr : string; rdata : string; rwords : int array }
+  | Inst of {
+      iname : string;
+      ientity : string;
+      igenerics : (string * expr) list;
+      iports : (string * string) list;
+    }
+
+let cell_name = function
+  | Comb { cname; _ } -> cname
+  | Select { mname; _ } -> mname
+  | Fsm { fname; _ } -> fname
+  | Rom { rname; _ } -> rname
+  | Inst { iname; _ } -> iname
+
+type m = {
+  mod_name : string;
+  generics : generic list;
+  ports : port list;
+  signals : signal list;
+  cells : cell list;
+}
+
+type design = {
+  constants : (string * (int * int option)) list;
+  modules : m list;
+  top : string;
+}
+
+let find_module d name =
+  List.find_opt (fun m -> String.equal m.mod_name name) d.modules
+
+let module_width d m ~vars name =
+  match List.assoc_opt name vars with
+  | Some t -> Some (width_of_vtype t)
+  | None -> (
+      match List.find_opt (fun s -> String.equal s.sname name) m.signals with
+      | Some s -> Some (width_of_vtype s.stype)
+      | None -> (
+          match List.find_opt (fun p -> String.equal p.pname name) m.ports with
+          | Some p -> Some (width_of_vtype p.ptype)
+          | None -> (
+              match List.assoc_opt name d.constants with
+              | Some (_, w) -> w
+              | None -> None)))
+
+let merge_widths a b =
+  match (a, b) with
+  | Some x, Some y -> Some (max x y)
+  | Some x, None | None, Some x -> Some x
+  | None, None -> None
+
+let rec eval_const ~lookup = function
+  | Int n -> Some n
+  | Ref name -> lookup name
+  | Paren e -> eval_const ~lookup e
+  | Bin (op, a, b) -> (
+      match (eval_const ~lookup a, eval_const ~lookup b) with
+      | Some x, Some y -> (
+          match op with
+          | Add -> Some (x + y)
+          | Sub -> Some (x - y)
+          | Mul -> Some (x * y)
+          | Srl -> Some (x lsr y)
+          | Eq | Neq | Lt | Le | Gt | Ge | And_ | Or_ -> None)
+      | _ -> None)
+  | Bitlit _ | Zeros | Statelit _ | Slice _ | Resize _ | To_unsigned _
+  | Cond _ ->
+      None
+
+let rec expr_width ~lookup ~const = function
+  | Ref name -> lookup name
+  | Int _ | Zeros | Statelit _ -> None
+  | Bitlit _ -> Some 1
+  | Paren e -> expr_width ~lookup ~const e
+  | Bin (op, a, b) -> (
+      match op with
+      | Add | Sub ->
+          merge_widths (expr_width ~lookup ~const a) (expr_width ~lookup ~const b)
+      | Mul -> (
+          match (expr_width ~lookup ~const a, expr_width ~lookup ~const b) with
+          | Some x, Some y -> Some (x + y)
+          | _ -> None)
+      | Srl -> expr_width ~lookup ~const a
+      | Eq | Neq | Lt | Le | Gt | Ge | And_ | Or_ -> None)
+  | Slice (_, hi, lo) -> (
+      (* Bounds and width arguments fold in the value environment
+         (WORD_BITS, ADDR_BITS, ...), not the width one. *)
+      match (eval_const ~lookup:const hi, eval_const ~lookup:const lo) with
+      | Some h, Some l -> Some (h - l + 1)
+      | _ -> None)
+  | Resize (_, w) | To_unsigned (_, w) -> eval_const ~lookup:const w
+  | Cond (a, _, b) ->
+      merge_widths (expr_width ~lookup ~const a) (expr_width ~lookup ~const b)
+
+let expr_reads e =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let add name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      acc := name :: !acc
+    end
+  in
+  let rec go = function
+    | Ref name -> add name
+    | Int _ | Bitlit _ | Zeros | Statelit _ -> ()
+    | Paren e -> go e
+    | Bin (_, a, b) ->
+        go a;
+        go b
+    | Slice (e, hi, lo) ->
+        go e;
+        go hi;
+        go lo
+    | Resize (e, w) | To_unsigned (e, w) ->
+        go e;
+        go w
+    | Cond (a, c, b) ->
+        go a;
+        go c;
+        go b
+  in
+  go e;
+  List.rev !acc
+
+let rec stmt_reads = function
+  | Assign (_, e) | Vassign (_, e) -> expr_reads e
+  | If (branches, els) ->
+      List.concat_map
+        (fun (c, body) -> expr_reads c @ List.concat_map stmt_reads body)
+        branches
+      @ List.concat_map stmt_reads els
+
+let rec stmt_writes = function
+  | Assign (t, e) | Vassign (t, e) -> [ (t, e) ]
+  | If (branches, els) ->
+      List.concat_map (fun (_, body) -> List.concat_map stmt_writes body) branches
+      @ List.concat_map stmt_writes els
+
+let fsm_signal_targets stmts =
+  let rec signal_targets = function
+    | Assign (t, _) -> [ t ]
+    | Vassign _ -> []
+    | If (branches, els) ->
+        List.concat_map
+          (fun (_, body) -> List.concat_map signal_targets body)
+          branches
+        @ List.concat_map signal_targets els
+  in
+  List.sort_uniq String.compare (List.concat_map signal_targets stmts)

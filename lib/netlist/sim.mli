@@ -1,0 +1,35 @@
+(** Cycle simulator over elaborated {!Ir} designs, plus the
+    equivalence harness against [Rtlsim.Machine].
+
+    The simulator flattens the design's instance hierarchy (generics
+    bound, ports renamed onto the nets of the enclosing module),
+    settles the combinational cells to a fixpoint each cycle, then
+    clocks every FSM with VHDL signal semantics (all right-hand sides
+    read pre-edge values; assignments commit together).
+
+    It expects the standard system top from [Elaborate.system]:
+    in-ports [clk]/[rst]/[start], out-ports [done], [not_found],
+    [best_id], [best_score].  A cycle is counted for every clock edge
+    on which some FSM sits in a working state (anything other than
+    [st_idle], [st_done], [st_error]) — the same accounting
+    [Rtlsim.Machine] uses, so the two totals are comparable 1:1. *)
+
+type outcome = {
+  cycles : int;
+  best_impl_id : int;
+  best_score_raw : int;  (** Q15 raw *)
+  not_found : bool;
+}
+
+val run : ?max_cycles:int -> Ir.design -> (outcome, string) result
+(** Simulate to [done = '1'].  Errors on unresolved names, a
+    combinational fixpoint that does not settle (a dynamic
+    combinational loop) or cycle-limit overrun (default 5,000,000). *)
+
+val crosscheck : Memlayout.system_image -> (outcome, string) result
+(** Elaborate [image], simulate it, and compare against
+    [Rtlsim.Machine.run] under the paper configuration: identical
+    cycle count, winning implementation id and raw Q15 score — or,
+    when the machine reports type-not-found / no-implementations, the
+    netlist must raise [not_found].  Any divergence is an [Error]
+    naming both sides. *)

@@ -160,6 +160,203 @@ type paper_numbers = {
 let table2 =
   { paper_slices = 441; paper_brams = 2; paper_mults = 2; paper_clock_mhz = 77.0 }
 
+(* --- IR-derived component inventory ---------------------------------------- *)
+
+module I = Netlist.Ir
+module D = Rtlsim.Datapath
+
+let binop_tag = function
+  | I.Add -> "+"
+  | I.Sub -> "-"
+  | I.Mul -> "*"
+  | I.Srl -> "srl"
+  | I.Eq -> "="
+  | I.Neq -> "/="
+  | I.Lt -> "<"
+  | I.Le -> "<="
+  | I.Gt -> ">"
+  | I.Ge -> ">="
+  | I.And_ -> "and"
+  | I.Or_ -> "or"
+
+(* Canonical text of an expression, used to de-duplicate operator
+   sites: `spos + 4` written in two FSM arms is one shared incrementer
+   in the datapath, exactly as Fig. 7 draws one box per function. *)
+let rec expr_key = function
+  | I.Ref n -> n
+  | I.Int n -> string_of_int n
+  | I.Bitlit c -> Printf.sprintf "'%c'" c
+  | I.Zeros -> "zeros"
+  | I.Statelit s -> s
+  | I.Bin (op, a, b) ->
+      Printf.sprintf "(%s %s %s)" (expr_key a) (binop_tag op) (expr_key b)
+  | I.Paren e -> expr_key e
+  | I.Slice (e, hi, lo) ->
+      Printf.sprintf "%s[%s:%s]" (expr_key e) (expr_key hi) (expr_key lo)
+  | I.Resize (e, w) -> Printf.sprintf "resize(%s,%s)" (expr_key e) (expr_key w)
+  | I.To_unsigned (e, w) ->
+      Printf.sprintf "to_unsigned(%s,%s)" (expr_key e) (expr_key w)
+  | I.Cond (a, c, b) ->
+      Printf.sprintf "(%s?%s:%s)" (expr_key c) (expr_key a) (expr_key b)
+
+let of_netlist (d : I.design) =
+  let comps = ref [] in
+  let add c = comps := c :: !comps in
+  let const n = Option.map fst (List.assoc_opt n d.I.constants) in
+  List.iter
+    (fun m ->
+      let fsm_stmts =
+        List.concat_map
+          (function
+            | I.Fsm { freset_stmts; farms; _ } ->
+                freset_stmts @ List.concat_map snd farms
+            | _ -> [])
+          m.I.cells
+      in
+      (* A register whose only arithmetic is self-increment is a
+         counter: its adder rides the carry chain inside the counter
+         cost, so `cur + 2` sites are not separate Adders. *)
+      let counters =
+        List.sort_uniq String.compare
+          (List.filter_map
+             (fun (t, e) ->
+               match e with
+               | I.Bin (I.Add, I.Ref s, I.Int _) when String.equal s t -> Some t
+               | _ -> None)
+             (List.concat_map I.stmt_writes fsm_stmts))
+      in
+      let is_counter s = List.mem s counters in
+      let seen = Hashtbl.create 32 in
+      let rec walk_expr ~vars e =
+        let lookup n = I.module_width d m ~vars n in
+        let w e = I.expr_width ~lookup ~const e in
+        let wd e = Option.value ~default:16 (w e) in
+        (match e with
+        | I.Bin (op, a, b) ->
+            let k = m.I.mod_name ^ "/" ^ expr_key e in
+            if not (Hashtbl.mem seen k) then begin
+              Hashtbl.add seen k ();
+              match op with
+              | I.Mul ->
+                  add (D.Multiplier { name = k; a_bits = wd a; b_bits = wd b })
+              | I.Add | I.Sub -> (
+                  let counter_incr =
+                    match (a, b) with
+                    | I.Ref s, I.Int _ -> is_counter s
+                    | _ -> false
+                  in
+                  (* No derivable width: an elaboration-time constant
+                     (generic arithmetic), not datapath logic. *)
+                  match w e with
+                  | Some bits when not counter_incr ->
+                      add
+                        (if op = I.Add then D.Adder { name = k; bits }
+                         else D.Subtractor { name = k; bits })
+                  | _ -> ())
+              | I.Eq | I.Neq | I.Lt | I.Le | I.Gt | I.Ge ->
+                  (* Single-bit flag tests are FSM glue, not a
+                     Fig. 7 comparator box. *)
+                  let bits =
+                    max
+                      (Option.value ~default:0 (w a))
+                      (Option.value ~default:0 (w b))
+                  in
+                  if bits > 1 then add (D.Comparator { name = k; bits })
+              | I.Srl | I.And_ | I.Or_ -> ()
+            end
+        | _ -> ());
+        match e with
+        | I.Ref _ | I.Int _ | I.Bitlit _ | I.Zeros | I.Statelit _ -> ()
+        | I.Paren a -> walk_expr ~vars a
+        | I.Bin (_, a, b) ->
+            walk_expr ~vars a;
+            walk_expr ~vars b
+        | I.Slice (a, hi, lo) ->
+            walk_expr ~vars a;
+            walk_expr ~vars hi;
+            walk_expr ~vars lo
+        | I.Resize (a, wexp) | I.To_unsigned (a, wexp) ->
+            walk_expr ~vars a;
+            walk_expr ~vars wexp
+        | I.Cond (a, c, b) ->
+            walk_expr ~vars a;
+            walk_expr ~vars c;
+            walk_expr ~vars b
+      in
+      let rec walk_stmt ~vars st =
+        match st with
+        (* if a >= b then t <= a - b else t <= b - a: one ABS box. *)
+        | I.If
+            ( [
+                ( I.Bin (I.Ge, I.Ref x, I.Ref y),
+                  [ I.Assign (t1, I.Bin (I.Sub, I.Ref x', I.Ref y')) ] );
+              ],
+              [ I.Assign (t2, I.Bin (I.Sub, I.Ref y'', I.Ref x'')) ] )
+          when String.equal x x' && String.equal x x'' && String.equal y y'
+               && String.equal y y'' && String.equal t1 t2 ->
+            let bits =
+              Option.value ~default:16 (I.module_width d m ~vars x)
+            in
+            add (D.Abs_unit { name = m.I.mod_name ^ "/" ^ t1; bits })
+        | I.Assign (_, e) | I.Vassign (_, e) -> walk_expr ~vars e
+        | I.If (branches, els) ->
+            List.iter
+              (fun (c, body) ->
+                walk_expr ~vars c;
+                List.iter (walk_stmt ~vars) body)
+              branches;
+            List.iter (walk_stmt ~vars) els
+      in
+      List.iter
+        (fun cell ->
+          match cell with
+          | I.Comb { cexpr; _ } -> walk_expr ~vars:[] cexpr
+          | I.Select { mname; mtarget; marms; mdefault; _ } ->
+              let bits =
+                Option.value ~default:16 (I.module_width d m ~vars:[] mtarget)
+              in
+              add
+                (D.Mux
+                   {
+                     name = m.I.mod_name ^ "/" ^ mname;
+                     inputs = List.length marms + 1;
+                     bits;
+                   });
+              List.iter (fun (e, _) -> walk_expr ~vars:[] e) marms;
+              walk_expr ~vars:[] mdefault
+          | I.Fsm { fname; fstate; fstates; freset_stmts; fvars; farms; _ } ->
+              add
+                (D.Fsm
+                   {
+                     name = m.I.mod_name ^ "/" ^ fname;
+                     states = List.length fstates;
+                   });
+              let registered =
+                List.filter
+                  (fun t -> not (String.equal t fstate))
+                  (I.fsm_signal_targets
+                     (freset_stmts @ List.concat_map snd farms))
+              in
+              List.iter
+                (fun t ->
+                  let bits =
+                    Option.value ~default:16
+                      (I.module_width d m ~vars:fvars t)
+                  in
+                  let name = m.I.mod_name ^ "/" ^ t in
+                  add
+                    (if is_counter t then D.Counter { name; bits }
+                     else D.Register { name; bits }))
+                registered;
+              List.iter (walk_stmt ~vars:fvars)
+                (freset_stmts @ List.concat_map snd farms)
+          | I.Rom { rname; _ } ->
+              add (D.Bram { name = m.I.mod_name ^ "/" ^ rname; kbits = 18 })
+          | I.Inst _ -> ())
+        m.I.cells)
+    d.I.modules;
+  List.rev !comps
+
 let pp_estimate ppf e =
   Format.fprintf ppf
     "slices=%d (luts=%d ffs=%d) bram=%d mult18x18=%d clock=%.1fMHz (path: %s)"

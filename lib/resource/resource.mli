@@ -78,5 +78,19 @@ type paper_numbers = {
 
 val table2 : paper_numbers
 
+val of_netlist : Netlist.Ir.design -> Rtlsim.Datapath.component list
+(** Derive the component inventory directly from an elaborated netlist
+    IR design rather than the hand-maintained [Rtlsim.Datapath] table:
+    ROM cells become 18-kbit block RAMs, selected assignments become
+    muxes, each FSM becomes an FSM box plus one register (or counter,
+    when its only arithmetic is self-increment) per signal it loads,
+    and operator sites — de-duplicated by operand text, since one
+    drawn Fig. 7 box serves every state that uses it — become
+    multiplier/adder/subtractor/comparator boxes.  The
+    [if a >= b then a - b else b - a] idiom is recognised as one ABS
+    unit.  Feed the result to {!estimate} and cross-check against the
+    legacy table ({!Rtlsim.Datapath.retrieval_unit}): block-RAM and
+    multiplier counts must agree exactly. *)
+
 val pp_estimate : Format.formatter -> estimate -> unit
 val pp_utilization : Format.formatter -> utilization -> unit

@@ -4,7 +4,15 @@
     beta-state tool and patched the result by hand (Sec. 4.2).  This
     module is the equivalent exporter for this repository: it emits a
     self-contained VHDL-93 project implementing the Fig. 6 most-similar
-    retrieval FSM over the Fig. 4/5 RAM images —
+    retrieval FSM over the Fig. 4/5 RAM images.
+
+    The retrieval unit and the ROM entities are {e printed} from the
+    elaborated netlist IR ({!Netlist.Elaborate.retrieval_unit} and
+    {!Netlist.Elaborate.rom_module}) rather than kept as string
+    templates, so the text emitted here, the structure the
+    [Analysis.Netlist_check] passes lint, the area the resource model
+    folds over and the machine the netlist simulator executes are all
+    the same object.  The files —
 
     - [qos_retrieval_pkg]: widths and the end-marker constant;
     - [qos_retrieval_unit]: the word-serial FSM + datapath (entity with
@@ -20,7 +28,9 @@
     request.  It is not compiled in this repository's CI (no VHDL
     toolchain in the sealed environment); structural well-formedness is
     covered by tests, semantic equivalence by the shared
-    [Rtlsim.Machine] model the FSM text mirrors state for state. *)
+    [Rtlsim.Machine] model: the printed FSM is cycle-exact against it,
+    a property the netlist simulator asserts on every golden
+    workload. *)
 
 type file = { filename : string; contents : string }
 

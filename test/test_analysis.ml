@@ -97,6 +97,31 @@ let test_vhdl_clean_generated () =
   let diags = Analysis.Vhdl_check.check_files (project_files ()) in
   if diags <> [] then fail_with "generated VHDL must lint clean" diags
 
+let test_netlist_passes_in_lint () =
+  (* The driver runs the six IR passes; the clean scenario surfaces
+     their summary Info and nothing worse. *)
+  let diags = Analysis.Driver.lint_scenario cb request in
+  check_int "no errors" 0 (D.errors diags);
+  check_int "no warnings" 0 (D.warnings diags);
+  check_bool "netlist summary info present" true
+    (List.exists
+       (fun (d : D.t) ->
+         d.D.severity = D.Info && d.D.pass = "netlist"
+         && contains d.D.message "6 IR passes")
+       diags)
+
+let test_lint_scenario_total () =
+  (* An un-encodable scenario is a lint error (exit 2), not an Error:
+     attribute id 65535 passes Request.make but collides with the end
+     marker during encoding. *)
+  let colliding = get (Qos_core.Request.make ~type_id:1 [ (65535, 16, 1.0) ]) in
+  check_bool "scenario really fails to encode" true
+    (Result.is_error (Analysis.Driver.lint ~vhdl:[] cb colliding));
+  let diags = Analysis.Driver.lint_scenario cb colliding in
+  check_bool "encode failure becomes an error diagnostic" true
+    (D.errors diags > 0);
+  check_int "exit code 2" 2 (D.exit_code diags)
+
 (* --- Negative: image pass ------------------------------------------------ *)
 
 let test_image_corrupt_recip () =
@@ -289,6 +314,31 @@ let test_exit_codes () =
          D.errorf ~pass:"image" ~loc:"y" "bad";
        ])
 
+(* --- properties -------------------------------------------------------------- *)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen f)
+
+let props =
+  [
+    prop "encode -> emit -> lint is error-free on generated scenarios"
+      (QCheck2.Gen.int_range 0 20_000)
+      (fun seed ->
+        let cb =
+          Workload.Generator.sized_casebase ~seed ~types:2 ~impls:3 ~attrs:3
+        in
+        let req = Workload.Generator.sized_request ~seed cb in
+        match Rtlgen.Vhdl.project cb req with
+        | Error _ -> true (* un-encodable scenarios are exercised elsewhere *)
+        | Ok files ->
+            let vhdl =
+              List.map
+                (fun (f : Rtlgen.Vhdl.file) ->
+                  (f.Rtlgen.Vhdl.filename, f.Rtlgen.Vhdl.contents))
+                files
+            in
+            D.errors (Analysis.Driver.lint_scenario ~vhdl cb req) = 0);
+  ]
+
 let () =
   Alcotest.run "analysis"
     [
@@ -300,6 +350,8 @@ let () =
           Alcotest.test_case "routines (both styles)" `Quick
             test_prog_clean_both_styles;
           Alcotest.test_case "generated VHDL" `Quick test_vhdl_clean_generated;
+          Alcotest.test_case "netlist passes in lint" `Quick
+            test_netlist_passes_in_lint;
         ] );
       ( "image",
         [
@@ -335,5 +387,8 @@ let () =
           Alcotest.test_case "merge and sort" `Quick
             test_driver_merges_and_sorts;
           Alcotest.test_case "exit codes" `Quick test_exit_codes;
+          Alcotest.test_case "lint_scenario is total" `Quick
+            test_lint_scenario_total;
         ] );
+      ("properties", props);
     ]

@@ -101,9 +101,15 @@ let test_lint_clean_exit0 () =
   in
   check_int "clean fixtures exit 0" 0 code;
   check_bool "totals line" true (contains out "lint: 0 error(s), 0 warning(s)");
+  (* The elaborated netlist IR rides along: the six structural passes
+     report their coverage as an info diagnostic and stay clean. *)
+  check_bool "netlist passes ran" true (contains out "info[netlist]");
+  check_bool "all six IR passes" true (contains out "6 IR passes");
   (* The built-in scenario is the same data and is equally clean. *)
-  let code, _ = run_cli "lint" in
-  check_int "built-in scenario exit 0" 0 code
+  let code, out = run_cli "lint" in
+  check_int "built-in scenario exit 0" 0 code;
+  check_bool "built-in scenario covers the netlist" true
+    (contains out "info[netlist]")
 
 let test_lint_warning_exit1 () =
   (* Constrain an attribute the schema does not describe: a
@@ -145,6 +151,23 @@ let test_lint_error_exit2 () =
   in
   check_int "corrupted raw exit 2" 2 code;
   check_bool "error names the word" true (contains out "cb_mem[0x0001]")
+
+let test_lint_unencodable_exit2 () =
+  (* Attribute id 0xffff passes the schema but collides with the image
+     end marker, so the scenario cannot be encoded.  That used to abort
+     the CLI before any diagnostic was printed; it must now surface as
+     an ordinary lint error with exit code 2. *)
+  let req = Filename.concat tmp_dir "unencodable.req" in
+  Out_channel.with_open_text req (fun oc ->
+      Out_channel.output_string oc "request 1\n  want 65535 16 1\n");
+  let code, out = run_cli (Printf.sprintf "lint -r %s" req) in
+  check_int "unencodable scenario exit 2" 2 code;
+  check_bool "encode failure reported as diagnostic" true
+    (contains out "error[image]");
+  let code, out = run_cli (Printf.sprintf "lint --format=json -r %s" req) in
+  check_int "json mode same exit code" 2 code;
+  check_bool "json carries the error" true
+    (contains out "\"severity\":\"error\"")
 
 let test_lint_json_stable () =
   let args =
@@ -429,6 +452,8 @@ let () =
             test_lint_clean_exit0;
           Alcotest.test_case "warning exit 1" `Quick test_lint_warning_exit1;
           Alcotest.test_case "error exit 2" `Quick test_lint_error_exit2;
+          Alcotest.test_case "unencodable exit 2" `Quick
+            test_lint_unencodable_exit2;
           Alcotest.test_case "stable json" `Quick test_lint_json_stable;
         ] );
       ( "golden flow",

@@ -1,0 +1,293 @@
+(* Tests for the netlist IR: elaboration, the cycle simulator and its
+   equivalence against Rtlsim.Machine, and the IR-level static-analysis
+   passes (each exercised by a seeded mutation of the elaborated
+   design that plants exactly its defect class). *)
+
+open Qos_core
+module Ir = Netlist.Ir
+module El = Netlist.Elaborate
+module Sim = Netlist.Sim
+
+let get = function Ok x -> x | Error e -> Alcotest.fail e
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let cb = Scenario_audio.casebase
+let request = Scenario_audio.request
+
+(* --- structure ------------------------------------------------------------ *)
+
+let test_unit_structure () =
+  let m = El.retrieval_unit () in
+  check_bool "entity name" true (String.equal m.Ir.mod_name "qos_retrieval_unit");
+  check_int "ports" 11 (List.length m.Ir.ports);
+  let fsm =
+    List.find_map
+      (function
+        | Ir.Fsm { fstates; farms; _ } -> Some (fstates, farms) | _ -> None)
+      m.Ir.cells
+  in
+  match fsm with
+  | None -> Alcotest.fail "no FSM cell"
+  | Some (fstates, farms) ->
+      check_int "22 states" 22 (List.length fstates);
+      check_int "one arm per state" (List.length fstates) (List.length farms);
+      List.iter
+        (fun st ->
+          check_bool (st ^ " has an arm") true (List.mem_assoc st farms))
+        fstates
+
+let test_system_modules () =
+  let d = get (El.design_of_scenario cb request) in
+  Alcotest.(check (list string))
+    "module set"
+    [ "qos_retrieval_unit"; "qos_cb_rom"; "qos_req_rom"; "qos_retrieval_system" ]
+    (List.map (fun m -> m.Ir.mod_name) d.Ir.modules);
+  check_bool "top resolves" true (Ir.find_module d d.Ir.top <> None)
+
+let test_rom_validation () =
+  check_bool "empty rejected" true
+    (Result.is_error (El.rom_module ~name:"r" ~words:[||]));
+  check_bool "range checked" true
+    (Result.is_error (El.rom_module ~name:"r" ~words:[| 70000 |]))
+
+(* --- simulator equivalence ------------------------------------------------ *)
+
+let machine_cycles image =
+  match Rtlsim.Machine.run image with
+  | Ok o -> o.Rtlsim.Machine.stats.Rtlsim.Machine.cycles
+  | Error e -> Alcotest.fail (Rtlsim.Machine.error_to_string e)
+
+let test_sim_matches_machine_audio () =
+  let image = get (Memlayout.build_system cb request) in
+  let sim = get (Sim.crosscheck image) in
+  (* The paper scenario's pinned figures: impl 2, raw score 31588, and
+     the cycle count the profiler reports. *)
+  check_int "impl" 2 sim.Sim.best_impl_id;
+  check_int "score" 31588 sim.Sim.best_score_raw;
+  check_int "cycles" (machine_cycles image) sim.Sim.cycles
+
+let test_sim_not_found () =
+  let missing = get (Request.make ~type_id:42 [ (1, 16, 1.0) ]) in
+  let image = get (Memlayout.build_system cb missing) in
+  let sim = get (Sim.crosscheck image) in
+  check_bool "not_found" true sim.Sim.not_found
+
+let golden_scenarios () =
+  let builtin = [ (cb, request) ] in
+  let generated =
+    List.map
+      (fun seed ->
+        let cb =
+          Workload.Generator.sized_casebase ~seed ~types:3 ~impls:3 ~attrs:4
+        in
+        (cb, Workload.Generator.sized_request ~seed cb))
+      [ 1; 7; 42; 1234; 9001 ]
+  in
+  builtin @ generated
+
+let test_sim_matches_machine_generated () =
+  List.iter
+    (fun (cb, req) ->
+      let image = get (Memlayout.build_system cb req) in
+      match Sim.crosscheck image with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+    (golden_scenarios ())
+
+(* --- static-analysis passes: seeded mutation harness ---------------------- *)
+
+module Nc = Analysis.Netlist_check
+module Diag = Analysis.Diagnostic
+
+let design () = get (El.design_of_scenario cb request)
+
+let map_module name f d =
+  {
+    d with
+    Ir.modules =
+      List.map
+        (fun m -> if String.equal m.Ir.mod_name name then f m else m)
+        d.Ir.modules;
+  }
+
+let with_unit f = map_module "qos_retrieval_unit" f (design ())
+let with_top f = map_module "qos_retrieval_system" f (design ())
+
+let errors_of ds =
+  List.length (List.filter (fun d -> d.Diag.severity = Diag.Error) ds)
+
+let check_pass_errors name pass d expect_some =
+  let n = errors_of (pass d) in
+  if expect_some then
+    check_bool (name ^ " flags the mutation") true (n > 0)
+  else check_int (name ^ " clean") 0 n
+
+let test_passes_clean () =
+  let d = design () in
+  check_int "all passes clean on the elaborated system" 0
+    (List.length (Nc.check d))
+
+let test_width_mutation () =
+  (* Widen a register the FSM loads from the 16-bit memory port:
+     implicit truncation the printer would silently emit. *)
+  let d =
+    with_unit (fun m ->
+        {
+          m with
+          Ir.signals =
+            List.map
+              (fun s ->
+                if String.equal s.Ir.sname "rtype" then
+                  { s with Ir.stype = Ir.Unsigned 17 }
+                else s)
+              m.Ir.signals;
+        })
+  in
+  check_pass_errors "netlist-width" Nc.width_pass d true;
+  check_pass_errors "netlist-width" Nc.width_pass (design ()) false
+
+let test_driver_mutation () =
+  (* A second continuous driver for an already-driven output. *)
+  let d =
+    with_unit (fun m ->
+        {
+          m with
+          Ir.cells =
+            Ir.Comb
+              { cname = "dup_drv"; ctarget = "best_id"; cexpr = Ir.Ref "rtype" }
+            :: m.Ir.cells;
+        })
+  in
+  check_pass_errors "netlist-driver" Nc.driver_pass d true;
+  check_pass_errors "netlist-driver" Nc.driver_pass (design ()) false
+
+let test_comb_mutation () =
+  (* Two concurrent assignments reading each other. *)
+  let d =
+    with_unit (fun m ->
+        {
+          m with
+          Ir.signals =
+            { Ir.sname = "loop_a"; stype = Ir.Word; sdoc = None }
+            :: { Ir.sname = "loop_b"; stype = Ir.Word; sdoc = None }
+            :: m.Ir.signals;
+          Ir.cells =
+            Ir.Comb { cname = "la"; ctarget = "loop_a"; cexpr = Ir.Ref "loop_b" }
+            :: Ir.Comb
+                 { cname = "lb"; ctarget = "loop_b"; cexpr = Ir.Ref "loop_a" }
+            :: m.Ir.cells;
+        })
+  in
+  check_pass_errors "netlist-comb" Nc.comb_pass d true;
+  check_pass_errors "netlist-comb" Nc.comb_pass (design ()) false
+
+let test_dead_mutation () =
+  (* Drop the [done] output driver: unconnected output port. *)
+  let d =
+    with_unit (fun m ->
+        {
+          m with
+          Ir.cells =
+            List.filter
+              (fun c -> not (String.equal (Ir.cell_name c) "done_out"))
+              m.Ir.cells;
+        })
+  in
+  check_pass_errors "netlist-dead" Nc.dead_pass d true;
+  check_pass_errors "netlist-dead" Nc.dead_pass (design ()) false
+
+let test_bram_mutation () =
+  (* Instantiate the single-port CB memory twice (Fig. 4/5 forbids a
+     second reader on the same port). *)
+  let d =
+    with_top (fun m ->
+        let dup =
+          Ir.Inst
+            {
+              iname = "cb_mem2";
+              ientity = "qos_cb_rom";
+              igenerics = [];
+              iports = [ ("addr", "cb_addr"); ("q", "cb_q") ];
+            }
+        in
+        { m with Ir.cells = dup :: m.Ir.cells })
+  in
+  check_pass_errors "netlist-bram" Nc.bram_pass d true;
+  check_pass_errors "netlist-bram" Nc.bram_pass (design ()) false
+
+let test_clock_mutation () =
+  (* A second FSM clocked from [start]: two clock domains in one
+     module.  And an FSM clocked from an internal register: a derived
+     clock, not an input port. *)
+  let aux fclock =
+    Ir.Fsm
+      {
+        fname = "aux";
+        fclock;
+        freset = "rst";
+        fstate = "state";
+        fstates = [ "st_idle" ];
+        finitial = "st_idle";
+        freset_stmts = [];
+        fvars = [];
+        farms = [ ("st_idle", []) ];
+      }
+  in
+  let crossing =
+    with_unit (fun m -> { m with Ir.cells = aux "start" :: m.Ir.cells })
+  in
+  let derived =
+    with_unit (fun m -> { m with Ir.cells = aux "best_id_r" :: m.Ir.cells })
+  in
+  check_pass_errors "netlist-clock" Nc.clock_pass crossing true;
+  check_pass_errors "netlist-clock" Nc.clock_pass derived true;
+  check_pass_errors "netlist-clock" Nc.clock_pass (design ()) false
+
+(* --- properties ----------------------------------------------------------- *)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen f)
+
+let props =
+  [
+    prop "netlist sim is cycle- and decision-identical to Rtlsim.Machine"
+      (QCheck2.Gen.int_range 0 20_000)
+      (fun seed ->
+        let cb =
+          Workload.Generator.sized_casebase ~seed ~types:2 ~impls:3 ~attrs:3
+        in
+        let req = Workload.Generator.sized_request ~seed cb in
+        match Memlayout.build_system cb req with
+        | Error _ -> true
+        | Ok image -> Result.is_ok (Sim.crosscheck image));
+  ]
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "ir",
+        [
+          Alcotest.test_case "unit structure" `Quick test_unit_structure;
+          Alcotest.test_case "system modules" `Quick test_system_modules;
+          Alcotest.test_case "rom validation" `Quick test_rom_validation;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "audio equivalence" `Quick
+            test_sim_matches_machine_audio;
+          Alcotest.test_case "not-found" `Quick test_sim_not_found;
+          Alcotest.test_case "generated equivalence" `Quick
+            test_sim_matches_machine_generated;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "clean design" `Quick test_passes_clean;
+          Alcotest.test_case "width mutation" `Quick test_width_mutation;
+          Alcotest.test_case "driver mutation" `Quick test_driver_mutation;
+          Alcotest.test_case "comb mutation" `Quick test_comb_mutation;
+          Alcotest.test_case "dead mutation" `Quick test_dead_mutation;
+          Alcotest.test_case "bram mutation" `Quick test_bram_mutation;
+          Alcotest.test_case "clock mutation" `Quick test_clock_mutation;
+        ] );
+      ("properties", props);
+    ]

@@ -100,6 +100,40 @@ let test_no_multiplier_path () =
     (not (String.equal e.R.critical_path "multiplier-complement"));
   check_bool "faster clock" true (e.R.clock_mhz > estimate.R.clock_mhz)
 
+let test_of_netlist_crosscheck () =
+  let d =
+    match
+      Netlist.Elaborate.design_of_scenario Qos_core.Scenario_audio.casebase
+        Qos_core.Scenario_audio.request
+    with
+    | Ok d -> d
+    | Error e -> Alcotest.fail e
+  in
+  let derived = R.of_netlist d in
+  check_int "brams match the legacy table" (D.bram_count D.retrieval_unit)
+    (D.bram_count derived);
+  check_int "multipliers match the legacy table"
+    (D.multiplier_count D.retrieval_unit)
+    (D.multiplier_count derived);
+  check_bool "abs unit recognised" true
+    (List.exists (function D.Abs_unit _ -> true | _ -> false) derived);
+  check_bool "address counters recognised" true
+    (List.exists (function D.Counter _ -> true | _ -> false) derived);
+  check_bool "fsm carries the 22 cycle-exact states" true
+    (List.exists
+       (function D.Fsm { states; _ } -> states = 22 | _ -> false)
+       derived);
+  let e = R.estimate derived in
+  check_int "still 2 brams" 2 e.R.brams;
+  check_int "still 2 multipliers" 2 e.R.mult18x18;
+  (* The IR inventory keeps every comparator site and the full
+     cycle-exact control, so it prices above the condensed Fig. 7
+     table — but must stay in Table 2's class, not a different order
+     of magnitude. *)
+  check_bool "slices in Table 2's class" true
+    (e.R.slices >= R.table2.R.paper_slices / 2
+    && e.R.slices <= R.table2.R.paper_slices * 5 / 2)
+
 let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen f)
 
 let component_gen =
@@ -146,6 +180,8 @@ let () =
           Alcotest.test_case "n-best datapath" `Quick test_nbest_datapath;
           Alcotest.test_case "calibration knobs" `Quick test_calibration_knobs;
           Alcotest.test_case "no-multiplier path" `Quick test_no_multiplier_path;
+          Alcotest.test_case "netlist-derived inventory" `Quick
+            test_of_netlist_crosscheck;
         ] );
       ("properties", props);
     ]
