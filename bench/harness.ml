@@ -1,0 +1,103 @@
+(* Throughput bench harness: named benches measured on the wall clock
+   with a warmup phase and batched timed iterations, reported as
+   requests/sec and elements/sec (BRAM words scanned), rendered as a
+   table or CSV.
+
+   Bechamel stays in charge of the ns-level micro-benchmarks; this
+   harness answers the coarser engineering question "how many
+   retrievals per second does each engine sustain on a fixed request
+   batch", which needs absolute wall-clock rates, not OLS slopes. *)
+
+type spec = {
+  name : string;
+  requests_per_iter : int;  (** requests retired by one call of [f] *)
+  elements_per_iter : int;  (** CB-MEM words scanned by one call of [f] *)
+  f : unit -> unit;
+}
+
+type result = {
+  rname : string;
+  iters : int;
+  elapsed_s : float;
+  ns_per_iter : float;
+  requests_per_sec : float;
+  elements_per_sec : float;
+}
+
+let make ~name ?(requests_per_iter = 1) ?(elements_per_iter = 0) f =
+  if requests_per_iter < 1 then
+    invalid_arg "Harness.make: requests_per_iter must be >= 1";
+  { name; requests_per_iter; elements_per_iter; f }
+
+(* Run [spec.f] in doubling batches until one batch spans at least
+   [min_time_s] of wall clock, then report the rates of that batch.
+   The warmup batch pays the first-touch costs (page faults, lazy
+   closure allocation, branch history) outside the timed region. *)
+let run ?(warmup = 3) ?(min_time_s = 0.2) spec =
+  for _ = 1 to warmup do
+    spec.f ()
+  done;
+  let rec measure batch =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to batch do
+      spec.f ()
+    done;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    if elapsed < min_time_s && batch < 1 lsl 24 then measure (batch * 2)
+    else (batch, elapsed)
+  in
+  let iters, elapsed_s = measure 1 in
+  let per_iter = elapsed_s /. float_of_int iters in
+  {
+    rname = spec.name;
+    iters;
+    elapsed_s;
+    ns_per_iter = per_iter *. 1e9;
+    requests_per_sec = float_of_int spec.requests_per_iter /. per_iter;
+    elements_per_sec = float_of_int spec.elements_per_iter /. per_iter;
+  }
+
+let run_all ?warmup ?min_time_s specs =
+  List.map (fun s -> run ?warmup ?min_time_s s) specs
+
+let find name results =
+  List.find_opt (fun r -> String.equal r.rname name) results
+
+(* --- rendering ------------------------------------------------------------ *)
+
+let rate v =
+  if v >= 1e6 then Printf.sprintf "%10.2f M" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%10.2f k" (v /. 1e3)
+  else Printf.sprintf "%10.2f  " v
+
+let to_table results =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "%-28s %8s %12s %14s %14s\n" "bench" "iters" "ns/iter"
+       "requests/s" "elements/s");
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%-28s %8d %12.0f %14s %14s\n" r.rname r.iters
+           r.ns_per_iter (rate r.requests_per_sec) (rate r.elements_per_sec)))
+    results;
+  Buffer.contents b
+
+let csv_header = "bench,iters,elapsed_s,ns_per_iter,requests_per_sec,elements_per_sec"
+
+let to_csv results =
+  let b = Buffer.create 512 in
+  Buffer.add_string b csv_header;
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%s,%d,%.6f,%.1f,%.1f,%.1f\n" r.rname r.iters
+           r.elapsed_s r.ns_per_iter r.requests_per_sec r.elements_per_sec))
+    results;
+  Buffer.contents b
+
+let write_csv path results =
+  let oc = open_out path in
+  output_string oc (to_csv results);
+  close_out oc

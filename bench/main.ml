@@ -1110,6 +1110,103 @@ let run_par () =
   close_out oc;
   Printf.printf "-> BENCH_par.json\n"
 
+(* ------------------------------------------------------------------ *)
+(* NATIVE: IR-compiled engine throughput                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Harness results accumulate here so --csv can dump whatever ran. *)
+let harness_results : Harness.result list ref = ref []
+
+let run_native () =
+  section "NATIVE"
+    "tentpole: IR-compiled native engine throughput (BENCH_native.json)";
+  Printf.printf
+    "every registered engine serves the same 256-request batch against\n\
+     the Table 3 case base (15 types x 10 impls x 10 attrs).  The native\n\
+     engine compiles the Fig. 4/5 BRAM image into straight-line OCaml\n\
+     closures; rtlsim walks the same image one FSM state per cycle.\n\
+     elements/s counts CB-MEM words scanned per wall-clock second.\n\n";
+  let cb =
+    Workload.Generator.sized_casebase ~seed:91 ~types:15 ~impls:10 ~attrs:10
+  in
+  let rng = Workload.Prng.create ~seed:92 in
+  let types = List.map (fun (ft : Ftype.t) -> ft.Ftype.id) cb.Casebase.ftypes in
+  let requests =
+    List.init 256 (fun i ->
+        Workload.Generator.request rng ~schema:cb.Casebase.schema
+          ~type_id:(List.nth types (i mod List.length types))
+          Workload.Generator.default_request_spec)
+  in
+  let n = List.length requests in
+  let words = Array.length (get (Memlayout.encode_cb cb)).Memlayout.cb_words in
+  let engine_of name =
+    get (Result.bind (Engines.of_name name) (fun factory -> factory cb))
+  in
+  let engines = List.map (fun nm -> (nm, engine_of nm)) Engines.names in
+  (* Decision identity on the bench batch itself: the throughput claim
+     is only meaningful if every engine returns the same answers. *)
+  let fixed_engine = List.assoc "fixed" engines in
+  let identical =
+    List.for_all
+      (fun req ->
+        let expected = fixed_engine.Engine.retrieve req in
+        List.for_all
+          (fun (name, eng) ->
+            if String.equal name "float" then true
+            else
+              match (expected, eng.Engine.retrieve req) with
+              | Ok a, Ok b ->
+                  a.Engine.impl_id = b.Engine.impl_id
+                  && Fxp.Q15.equal a.Engine.score b.Engine.score
+              | Error _, Error _ -> true
+              | _ -> false)
+          engines)
+      requests
+  in
+  let specs =
+    List.map
+      (fun (name, eng) ->
+        Harness.make ~name:("engine/" ^ name) ~requests_per_iter:n
+          ~elements_per_iter:(n * words) (fun () ->
+            List.iter (fun req -> ignore (eng.Engine.retrieve req)) requests))
+      engines
+  in
+  let results = Harness.run_all specs in
+  harness_results := !harness_results @ results;
+  print_string (Harness.to_table results);
+  let rps name =
+    match Harness.find ("engine/" ^ name) results with
+    | Some r -> r.Harness.requests_per_sec
+    | None -> 0.0
+  in
+  let ratio = rps "native" /. rps "rtlsim" in
+  Printf.printf
+    "\nbit-accurate engines decision-identical on the batch: %b\n\
+     native vs interpretive rtlsim: %.1fx requests/sec (acceptance: >= 5x)\n"
+    identical ratio;
+  let oc = open_out "BENCH_native.json" in
+  Printf.fprintf oc
+    "{\"bench\":\"native\",\"requests\":%d,\"case_base\":\"15x10x10\",\
+     \"cb_words\":%d,\"engines\":{%s},\
+     \"native_vs_rtlsim_requests_per_sec\":%.1f,\
+     \"identical_decisions\":%b}\n"
+    n words
+    (String.concat ","
+       (List.map
+          (fun (name, _) ->
+            match Harness.find ("engine/" ^ name) results with
+            | Some r ->
+                Printf.sprintf
+                  "\"%s\":{\"requests_per_sec\":%.1f,\
+                   \"elements_per_sec\":%.1f,\"ns_per_iter\":%.1f}"
+                  name r.Harness.requests_per_sec r.Harness.elements_per_sec
+                  r.Harness.ns_per_iter
+            | None -> Printf.sprintf "\"%s\":null" name)
+          engines))
+    ratio identical;
+  close_out oc;
+  Printf.printf "-> BENCH_native.json\n"
+
 let run_obs_bench () =
   section "OBS" "observability overhead on the simulate hot path";
   Printf.printf
@@ -1302,30 +1399,78 @@ let run_scorecard () =
     "S2 fixed = float decisions" "identical";
   Printf.printf "%-44s | %-18s | %.2fx\n" "S4 compacted+pipelined" ">= 2x" piped
 
+(* ------------------------------------------------------------------ *)
+(* Driver: section registry, --only filter, --csv export               *)
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("t1", run_t1);
+    ("t2", run_t2);
+    ("t3", run_t3);
+    ("s1", run_s1);
+    ("s2", run_s2);
+    ("s3", run_s3);
+    ("s4", run_s4);
+    ("s5", run_s5);
+    ("s6", run_s6);
+    ("s7", run_s7);
+    ("s8", run_s8);
+    ("a1", run_a1);
+    ("a2", run_a2);
+    ("b1", run_b1);
+    ("b2", run_b2);
+    ("b3", run_b3);
+    ("r1", run_r1);
+    ("par", run_par);
+    ("native", run_native);
+    ("netlist", run_netlist_bench);
+    ("obs", run_obs_bench);
+    ("micro", run_micro);
+    ("scorecard", run_scorecard);
+  ]
+
+let usage () =
+  Printf.eprintf
+    "usage: bench [--only SECTION[,SECTION...]] [--csv FILE]\n\
+     sections: %s\n"
+    (String.concat " " (List.map fst sections));
+  exit 2
+
 let () =
+  let csv = ref None and only = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--csv" :: path :: rest ->
+        csv := Some path;
+        parse rest
+    | "--only" :: names :: rest ->
+        only :=
+          !only
+          @ List.map String.lowercase_ascii (String.split_on_char ',' names);
+        parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name sections) then begin
+        Printf.eprintf "unknown section %S\n" name;
+        usage ()
+      end)
+    !only;
+  let selected = function
+    | [] -> sections
+    | names -> List.filter (fun (id, _) -> List.mem id names) sections
+  in
   Printf.printf
     "QoS-based function allocation: reproduction harness\n\
      (Ullmann, Jin, Becker - DATE; see EXPERIMENTS.md for the index)\n";
-  run_t1 ();
-  run_t2 ();
-  run_t3 ();
-  run_s1 ();
-  run_s2 ();
-  run_s3 ();
-  run_s4 ();
-  run_s5 ();
-  run_s6 ();
-  run_s7 ();
-  run_s8 ();
-  run_a1 ();
-  run_a2 ();
-  run_b1 ();
-  run_b2 ();
-  run_b3 ();
-  run_r1 ();
-  run_par ();
-  run_netlist_bench ();
-  run_obs_bench ();
-  run_micro ();
-  run_scorecard ();
+  List.iter (fun (_, run) -> run ()) (selected !only);
+  (match !csv with
+  | Some path ->
+      Harness.write_csv path !harness_results;
+      Printf.printf "\n-> %s (%d harness rows)\n" path
+        (List.length !harness_results)
+  | None -> ());
   Printf.printf "\nall sections completed.\n"

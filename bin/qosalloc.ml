@@ -107,32 +107,56 @@ let emit_obs obs ~metrics ~trace_out =
 
 (* --- retrieve ----------------------------------------------------------- *)
 
-type engine = Float_engine | Fixed_engine | Rtl_engine | Sw_engine
+(* Float and fixed keep their pretty ranked output and sw its program
+   result; every other engine goes through the registry uniformly. *)
+type engine = Float_engine | Fixed_engine | Sw_engine | Named_engine of string
 
 let engine_conv =
   let parse = function
     | "float" -> Ok Float_engine
     | "fixed" -> Ok Fixed_engine
-    | "rtl" -> Ok Rtl_engine
     | "sw" -> Ok Sw_engine
-    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+    | name -> (
+        match Engines.of_name name with
+        | Ok _ ->
+            Ok (Named_engine (if name = "rtl" then "rtlsim" else name))
+        | Error _ ->
+            Error
+              (`Msg
+                 (Printf.sprintf "unknown engine %S (expected %s)" name
+                    (String.concat "|" (Engines.names @ [ "sw" ])))))
   in
   let print ppf e =
     Format.pp_print_string ppf
       (match e with
       | Float_engine -> "float"
       | Fixed_engine -> "fixed"
-      | Rtl_engine -> "rtl"
-      | Sw_engine -> "sw")
+      | Sw_engine -> "sw"
+      | Named_engine name -> name)
   in
   Arg.conv (parse, print)
 
 let engine_arg =
   let doc =
     "Engine: $(b,float) (reference), $(b,fixed) (Q15 bit-accurate), \
-     $(b,rtl) (cycle-accurate hardware unit), $(b,sw) (soft-core routine)."
+     $(b,rtlsim) (cycle-accurate hardware unit; alias $(b,rtl)), \
+     $(b,netlist) (elaborated gate-level IR simulation), $(b,native) \
+     (IR-compiled native kernels), $(b,sw) (soft-core routine)."
   in
   Arg.(value & opt engine_conv Float_engine & info [ "e"; "engine" ] ~doc)
+
+let make_engine name cb =
+  or_die (Result.bind (Engines.of_name name) (fun factory -> factory cb))
+
+(* The factory-selecting --engine axis for simulate/faults/profile:
+   carries the canonical registry name. *)
+let factory_conv =
+  let parse name =
+    match Engines.of_name name with
+    | Ok _ -> Ok (if name = "rtl" then "rtlsim" else name)
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Format.pp_print_string)
 
 let n_arg =
   let doc = "Report the $(docv) most similar variants (Sec. 5 extension)." in
@@ -184,17 +208,24 @@ let retrieve_cmd =
               (Fxp.Q15.to_float r.Retrieval.score)
               (Fxp.Q15.to_raw r.Retrieval.score))
           ranked
-    | Rtl_engine ->
-        let o =
+    | Named_engine name -> (
+        let eng = make_engine name cb in
+        let d =
           or_die
-            (Result.map_error Rtlsim.Machine.error_to_string
-               (Rtlsim.Machine.retrieve cb req))
+            (Result.map_error Engine.error_to_string (eng.Engine.retrieve req))
         in
-        Printf.printf "best: impl %d, S = %.4f (raw %d)\n"
-          o.Rtlsim.Machine.best_impl_id
-          (Fxp.Q15.to_float o.Rtlsim.Machine.best_score)
-          (Fxp.Q15.to_raw o.Rtlsim.Machine.best_score);
-        Format.printf "%a@." Rtlsim.Machine.pp_stats o.Rtlsim.Machine.stats
+        Printf.printf "best: impl %d, S = %.4f (raw %d)\n" d.Engine.impl_id
+          (Fxp.Q15.to_float d.Engine.score)
+          (Fxp.Q15.to_raw d.Engine.score);
+        (match d.Engine.cycles with
+        | Some c -> Printf.printf "cycles=%d\n" c
+        | None -> ());
+        match Option.map (fun f -> f req) eng.Engine.phase_cycles with
+        | Some (Ok phases) ->
+            print_string "phases:";
+            List.iter (fun (n, c) -> Printf.printf " %s=%d" n c) phases;
+            print_newline ()
+        | Some (Error _) | None -> ())
     | Sw_engine ->
         let r = or_die (Mblaze.Retrieval_prog.run cb req) in
         Format.printf "%a@." Mblaze.Retrieval_prog.pp_result r
@@ -288,9 +319,8 @@ let trace_cmd =
     in
     let o =
       or_die
-        (Result.map_error Rtlsim.Machine.error_to_string
-           (Rtlsim.Machine.retrieve ~config ~trace:true ~waveform:(vcd <> None)
-              cb req))
+        (Rtlsim.Engine.retrieve_traced ~config ~trace:true
+           ~waveform:(vcd <> None) cb req)
     in
     List.iter print_endline o.Rtlsim.Machine.trace;
     Printf.printf "best: impl %d, S = %.4f\n" o.Rtlsim.Machine.best_impl_id
@@ -378,12 +408,15 @@ let par_request_stream (spec : Desim.Simulate.spec) ~count =
         request = Desim.Apps.instantiate rng template;
       })
 
-let run_par_section ?obs (spec : Desim.Simulate.spec) ~jobs ~batch ~par_out =
+let run_par_section ?obs ?engine (spec : Desim.Simulate.spec) ~jobs ~batch
+    ~par_out =
   let config =
     { Parallel.Frontend.default_config with Parallel.Frontend.jobs; batch }
   in
   let fe =
-    or_die (Parallel.Frontend.create ?obs ~config spec.Desim.Simulate.casebase)
+    or_die
+      (Parallel.Frontend.create ?obs ?engine ~config
+         spec.Desim.Simulate.casebase)
   in
   let report = Parallel.Frontend.run fe (par_request_stream spec ~count:256) in
   Format.printf "@[<v>=== PAR (sharded retrieval front-end) ===@,%a@]@."
@@ -397,13 +430,16 @@ let run_par_section ?obs (spec : Desim.Simulate.spec) ~jobs ~batch ~par_out =
       Format.printf "PAR results -> %s@." path
 
 let simulate_cmd =
-  let run duration_us seed trace_csv metrics trace_out jobs batch par_out =
+  let run duration_us seed trace_csv metrics trace_out jobs batch par_out
+      engine =
+    let retrieval_engine = Option.map (fun n -> or_die (Engines.of_name n)) engine in
     let spec =
       {
         (Desim.Simulate.default_spec ()) with
         Desim.Simulate.duration_us;
         seed;
         collect_trace = trace_csv <> None;
+        retrieval_engine;
       }
     in
     let obs = make_obs ~metrics ~trace_out in
@@ -411,7 +447,7 @@ let simulate_cmd =
     (match (jobs, batch, par_out) with
     | None, None, None -> ()
     | _ ->
-        run_par_section ?obs spec
+        run_par_section ?obs ?engine:retrieval_engine spec
           ~jobs:(Option.value jobs ~default:1)
           ~batch:(Option.value batch ~default:16)
           ~par_out);
@@ -471,11 +507,23 @@ let simulate_cmd =
             "Write the front-end's jobs-invariant result report to $(docv) \
              (byte-identical across --jobs settings).")
   in
+  let engine =
+    Arg.(
+      value
+      & opt (some factory_conv) None
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Retrieval engine backing the manager's latency model and the \
+             sharded front-end: $(b,float), $(b,fixed), $(b,rtlsim) (the \
+             default), $(b,netlist) or $(b,native).  Bit-accurate engines \
+             produce byte-identical front-end results; only modeled cycle \
+             counts differ.")
+  in
   let doc = "simulate the Fig. 1 multi-device system under load" in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       const run $ duration $ seed $ trace_csv $ metrics_arg $ trace_out_arg
-      $ jobs $ batch $ par_out)
+      $ jobs $ batch $ par_out $ engine)
 
 (* --- faults ---------------------------------------------------------------- *)
 
@@ -515,9 +563,15 @@ let parse_device_fault s =
 let faults_cmd =
   let run duration_us seed seu_mean scrub_period reconfig_prob flash_prob
       deadline max_retries backoff_us backoff_factor device_faults format
-      metrics trace_out =
+      metrics trace_out engine =
     let base =
-      { (Desim.Simulate.default_spec ()) with Desim.Simulate.duration_us; seed }
+      {
+        (Desim.Simulate.default_spec ()) with
+        Desim.Simulate.duration_us;
+        seed;
+        retrieval_engine =
+          Option.map (fun n -> or_die (Engines.of_name n)) engine;
+      }
     in
     List.iter
       (fun df ->
@@ -668,16 +722,25 @@ let faults_cmd =
          image).";
     ]
   in
+  let engine =
+    Arg.(
+      value
+      & opt (some factory_conv) None
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Retrieval engine backing the manager's latency model during \
+             the campaign (default $(b,rtlsim)).")
+  in
   Cmd.v (Cmd.info "faults" ~doc ~man)
     Term.(
       const run $ duration $ seed $ seu_mean $ scrub_period $ reconfig_prob
       $ flash_prob $ deadline $ max_retries $ backoff_us $ backoff_factor
-      $ device_faults $ format_arg $ metrics_arg $ trace_out_arg)
+      $ device_faults $ format_arg $ metrics_arg $ trace_out_arg $ engine)
 
 (* --- profile --------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run casebase request compacted restart divider format max_cycles =
+  let run casebase request compacted restart divider format max_cycles engine =
     let cb = or_die (load_casebase casebase) in
     let req = or_die (load_request request) in
     let config =
@@ -689,7 +752,13 @@ let profile_cmd =
         registered_bram = false;
       }
     in
-    let report = or_die (Obs.Profile.run ~config cb req) in
+    let report =
+      match engine with
+      | "rtlsim" ->
+          (* The config toggles only exist on the rtlsim machine. *)
+          or_die (Obs.Profile.run ~config cb req)
+      | name -> or_die (Obs.Profile.run_engine (make_engine name cb) req)
+    in
     (match format with
     | `Json -> print_string (Obs.Profile.report_to_json report)
     | `Text -> Format.printf "@[<v>%a@]@." Obs.Profile.pp_report report);
@@ -751,10 +820,20 @@ let profile_cmd =
          the full retrieval exceeds the budget.";
     ]
   in
+  let engine =
+    Arg.(
+      value
+      & opt factory_conv "rtlsim"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Cycle-reporting engine to profile (default $(b,rtlsim); \
+             $(b,netlist) also reports cycles).  Engines without a timing \
+             model are rejected.")
+  in
   Cmd.v (Cmd.info "profile" ~doc ~man)
     Term.(
       const run $ casebase_arg $ request_arg $ compacted $ restart $ divider
-      $ format_arg $ max_cycles)
+      $ format_arg $ max_cycles $ engine)
 
 (* --- export --------------------------------------------------------------------- *)
 
@@ -969,18 +1048,18 @@ let verify_cmd =
     let image =
       or_die (Memlayout.reconstruct_system ~cb_mem ~req_mem ~supplemental_base)
     in
-    match Rtlsim.Machine.run image with
+    match Rtlsim.Engine.run_image image with
     | Error e ->
-        prerr_endline ("qosalloc: retrieval failed: " ^ Rtlsim.Machine.error_to_string e);
+        prerr_endline ("qosalloc: retrieval failed: " ^ e);
         exit 1
-    | Ok o ->
-        let got_impl = o.Rtlsim.Machine.best_impl_id in
-        let got_score = Fxp.Q15.to_raw o.Rtlsim.Machine.best_score in
+    | Ok d ->
+        let got_impl = d.Engine.impl_id in
+        let got_score = Fxp.Q15.to_raw d.Engine.score in
         Printf.printf
           "reconstructed image: %d CB words, %d request words\n\
            hardware model: impl %d, raw score %d (%d cycles)\n"
           (Array.length cb_mem) (Array.length req_mem) got_impl got_score
-          o.Rtlsim.Machine.stats.Rtlsim.Machine.cycles;
+          (Option.value d.Engine.cycles ~default:0);
         if got_impl = expected_impl && got_score = expected_score then
           print_endline "VERIFY: PASS (matches the exported expectations)"
         else begin
@@ -1025,20 +1104,30 @@ let difftest_cmd =
             value_slack = 0.15;
           }
       in
+      let via name =
+        match Engines.of_name name with
+        | Error e -> Error (Engine.Engine_failure e)
+        | Ok factory -> (
+            match factory cb with
+            | Error e -> Error (Engine.Engine_failure e)
+            | Ok eng -> eng.Engine.retrieve req)
+      in
       let fixed = Engine_fixed.best cb req in
-      let rtl = Rtlsim.Machine.retrieve cb req in
+      let rtl = via "rtlsim" in
+      let native = via "native" in
       let sw = Mblaze.Retrieval_prog.run cb req in
       let agree =
-        match (fixed, rtl, sw) with
-        | Ok f, Ok o, Ok r ->
-            f.Retrieval.impl.Impl.id = o.Rtlsim.Machine.best_impl_id
-            && o.Rtlsim.Machine.best_impl_id
-               = r.Mblaze.Retrieval_prog.best_impl_id
-            && Fxp.Q15.equal f.Retrieval.score o.Rtlsim.Machine.best_score
+        match (fixed, rtl, native, sw) with
+        | Ok f, Ok o, Ok nd, Ok r ->
+            f.Retrieval.impl.Impl.id = o.Engine.impl_id
+            && o.Engine.impl_id = r.Mblaze.Retrieval_prog.best_impl_id
+            && o.Engine.impl_id = nd.Engine.impl_id
+            && Fxp.Q15.equal f.Retrieval.score o.Engine.score
+            && Fxp.Q15.equal o.Engine.score nd.Engine.score
             && Fxp.Q15.equal f.Retrieval.score
                  r.Mblaze.Retrieval_prog.best_score
             && Engine_fixed.agrees_with_float cb req
-        | Error _, Error _, Ok r ->
+        | Error _, Error _, Error _, Ok r ->
             r.Mblaze.Retrieval_prog.status <> Mblaze.Retrieval_prog.Found
         | _ -> false
       in

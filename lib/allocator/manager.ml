@@ -140,6 +140,9 @@ type t = {
       (** Present only when fragmentation modelling is on: one column
           map per FPGA-class device. *)
   placement_policy : Placement.policy option;
+  retrieval_engine : Engine.t option;
+      (** Built at {!create} when a retrieval clock is configured;
+          models the per-grant retrieval latency. *)
   mutable running : task list;
   mutable next_task_id : int;
   mutable rev_events : event list;
@@ -149,8 +152,14 @@ type t = {
 }
 
 let create ~casebase ~devices ~catalog ?(policy = default_policy)
-    ?placement_policy ?obs () =
+    ?placement_policy ?obs ?(retrieval_engine = Rtlsim.Engine.factory) () =
   let column_maps = Hashtbl.create 4 in
+  (* Only instantiate the engine when its latency model is consulted. *)
+  let engine =
+    match policy.retrieval_clock_mhz with
+    | None -> None
+    | Some _ -> Result.to_option (retrieval_engine casebase)
+  in
   (match placement_policy with
   | None -> ()
   | Some _ ->
@@ -171,6 +180,7 @@ let create ~casebase ~devices ~catalog ?(policy = default_policy)
     bypass = Bypass.create ();
     column_maps;
     placement_policy;
+    retrieval_engine = engine;
     running = [];
     next_task_id = 1;
     rev_events = [];
@@ -440,13 +450,12 @@ let allocate_impl t ~app_id ~priority (request : Request.t) =
       (* The retrieval itself costs time on the hardware unit; model it
          once per (non-bypass) request when a clock is configured. *)
       let retrieval_us =
-        match t.policy.retrieval_clock_mhz with
-        | None -> 0.0
-        | Some mhz -> (
-            match Rtlsim.Machine.retrieve t.casebase request with
-            | Ok o ->
-                float_of_int o.Rtlsim.Machine.stats.Rtlsim.Machine.cycles /. mhz
-            | Error _ -> 0.0)
+        match (t.policy.retrieval_clock_mhz, t.retrieval_engine) with
+        | Some mhz, Some eng -> (
+            match eng.Engine.retrieve request with
+            | Ok { Engine.cycles = Some c; _ } -> float_of_int c /. mhz
+            | Ok _ | Error _ -> 0.0)
+        | _ -> 0.0
       in
       (match t.instr with
       | Some i when retrieval_us > 0.0 ->

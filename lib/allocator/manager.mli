@@ -111,6 +111,7 @@ val create :
   ?policy:policy ->
   ?placement_policy:Placement.policy ->
   ?obs:Obs.Ctx.t ->
+  ?retrieval_engine:Qos_core.Engine.factory ->
   unit ->
   t
 (** With [placement_policy] set, every FPGA-class device is modelled as
@@ -118,6 +119,11 @@ val create :
     gap, preemption evicts until one appears, and tasks carry their
     column extent.  Without it (the default) devices are simple
     capacity counters.
+
+    [retrieval_engine] (default [Rtlsim.Engine.factory]) supplies the
+    engine that models per-grant retrieval latency; it is only
+    instantiated when [policy.retrieval_clock_mhz] is set, and an
+    engine that reports no cycle counts contributes zero latency.
 
     With [obs] set, the manager resolves its metric handles once
     (allocation-event counters fed from the event stream, setup-time

@@ -57,6 +57,22 @@ let above_threshold ~threshold casebase request =
     (List.filter (fun r -> Q.compare r.Retrieval.score threshold >= 0))
     (rank_all casebase request)
 
+(* Worst-case Q15 error of [score_impl] against the float reference.
+   The precomputed reciprocal carries up to 0.5 ulp of rounding error
+   which the datapath multiplies by a distance of at most dmax (the
+   paper accepts this; it is what the silicon computes), and each
+   constraint adds ~2 ulp of weight-quantization and product
+   rounding. *)
+let score_error_bound schema request =
+  let max_dmax =
+    List.fold_left
+      (fun acc d -> max acc (Attr.dmax d))
+      0
+      (Attr.Schema.descriptors schema)
+  in
+  let n = List.length (Request.normalized_weights request) in
+  ((0.5 *. float_of_int max_dmax) +. (2.0 *. float_of_int n)) *. Q.ulp
+
 let agrees_with_float casebase request =
   match (best casebase request, Engine_float.rank_all casebase request) with
   | Error _, Error _ -> true
@@ -65,11 +81,17 @@ let agrees_with_float casebase request =
       match float_ranked with
       | [] -> false
       | top :: _ ->
-          (* The float top group within one Q15 ulp is an acceptable pick:
-             scores that close are indistinguishable at 16-bit precision. *)
+          (* Any variant inside the float top group is an acceptable
+             pick.  Two Q15 scores can each err by [score_error_bound]
+             in opposite directions, so float gaps up to twice that
+             bound are indistinguishable to the 16-bit datapath. *)
+          let window =
+            Float.max Q.ulp
+              (2.0 *. score_error_bound casebase.Casebase.schema request)
+          in
           let tied =
             List.filter
-              (fun r -> top.Retrieval.score -. r.Retrieval.score <= Q.ulp)
+              (fun r -> top.Retrieval.score -. r.Retrieval.score <= window)
               float_ranked
           in
           List.exists

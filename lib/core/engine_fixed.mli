@@ -43,6 +43,9 @@ val above_threshold :
 
 val agrees_with_float : Casebase.t -> Request.t -> bool
 (** [true] when this engine and {!Engine_float} pick the same best
-    implementation ID, or when the float engine's top group is tied
-    within one Q15 ulp and the fixed pick belongs to that group — the
-    "identical retrieval results" experiment (S2). *)
+    implementation ID, or when the fixed pick belongs to the float
+    top group — variants whose float scores sit within twice the
+    datapath's worst-case Q15 rounding error (reciprocal rounding
+    scaled by the schema's largest dmax, plus per-constraint weight
+    and product rounding), which the 16-bit silicon cannot tell
+    apart — the "identical retrieval results" experiment (S2). *)

@@ -11,6 +11,7 @@ type spec = {
   casebase : Qos_core.Casebase.t;
   apps : Apps.profile list;
   max_negotiation_rounds : int;
+  retrieval_engine : Qos_core.Engine.factory option;
 }
 
 let default_spec () =
@@ -27,6 +28,7 @@ let default_spec () =
     casebase = Apps.reference_casebase;
     apps = Apps.standard_apps;
     max_negotiation_rounds = 3;
+    retrieval_engine = None;
   }
 
 type app_metrics = {
@@ -95,7 +97,8 @@ let run ?obs spec =
   let manager =
     Manager.create ~casebase:spec.casebase ~devices:spec.devices
       ~catalog:(Catalog.of_casebase_default spec.casebase)
-      ~policy:spec.policy ?placement_policy:spec.placement ?obs ()
+      ~policy:spec.policy ?placement_policy:spec.placement ?obs
+      ?retrieval_engine:spec.retrieval_engine ()
   in
   let root_rng = Workload.Prng.create ~seed:spec.seed in
   let states =

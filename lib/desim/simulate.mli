@@ -15,6 +15,9 @@ type spec = {
   casebase : Qos_core.Casebase.t;
   apps : Apps.profile list;
   max_negotiation_rounds : int;
+  retrieval_engine : Qos_core.Engine.factory option;
+      (** Engine that models per-grant retrieval latency; [None] (the
+          default) leaves the manager on [Rtlsim.Engine.factory]. *)
 }
 
 val default_spec : unit -> spec

@@ -1,0 +1,21 @@
+let all =
+  [
+    ("float", Qos_core.Engine.float_engine);
+    ("fixed", Qos_core.Engine.fixed_engine);
+    ("rtlsim", Rtlsim.Engine.factory);
+    ("netlist", Netlist.Engine.factory);
+    ("native", Netlist.Compile.factory);
+  ]
+
+let names = List.map fst all
+
+let of_name name =
+  let name = if String.equal name "rtl" then "rtlsim" else name in
+  match List.assoc_opt name all with
+  | Some f -> Ok f
+  | None ->
+      Error
+        (Printf.sprintf "unknown engine %S (expected %s)" name
+           (String.concat "|" names))
+
+let bit_accurate = List.filter (fun (n, _) -> n <> "float") all

@@ -1,0 +1,19 @@
+(** Registry of every [Qos_core.Engine] instance under its CLI name.
+
+    [qos_core] cannot depend on the hardware-flavoured engines (the
+    dependency would be circular), so this hub library collects all
+    five factories for the consumers that select an engine by name —
+    the [qosalloc] CLI's [--engine] axis, the bench harness and the
+    cross-engine test suites. *)
+
+val all : (string * Qos_core.Engine.factory) list
+(** [float], [fixed], [rtlsim], [netlist], [native] — in that order. *)
+
+val names : string list
+
+val of_name : string -> (Qos_core.Engine.factory, string) result
+(** Accepts [rtl] as an alias for [rtlsim]. *)
+
+val bit_accurate : (string * Qos_core.Engine.factory) list
+(** The engines held bit-identical to [Engine_fixed]: everything but
+    [float]. *)

@@ -163,7 +163,7 @@ let run ?obs spec =
       ~devices:base.Simulate.devices
       ~catalog:(Allocator.Catalog.of_casebase_default base.Simulate.casebase)
       ~policy:base.Simulate.policy ?placement_policy:base.Simulate.placement
-      ?obs ()
+      ?obs ?retrieval_engine:base.Simulate.retrieval_engine ()
   in
   let root_rng = Workload.Prng.create ~seed:base.Simulate.seed in
   (* App streams split first, in apps order — identical to

@@ -1,11 +1,6 @@
 open Ir
 
-type outcome = {
-  cycles : int;
-  best_impl_id : int;
-  best_score_raw : int;
-  not_found : bool;
-}
+type outcome = { cycles : int; decision : Qos_core.Engine.decision option }
 
 exception Sim_error of string
 
@@ -385,9 +380,15 @@ let run ?(max_cycles = 5_000_000) design =
       if out "done" = 1 then
         {
           cycles = !cycles;
-          best_impl_id = out "best_id";
-          best_score_raw = out "best_score";
-          not_found = out "not_found" = 1;
+          decision =
+            (if out "not_found" = 1 then None
+             else
+               Some
+                 {
+                   Qos_core.Engine.impl_id = out "best_id";
+                   score = Fxp.Q15.of_raw_exn (out "best_score");
+                   cycles = Some !cycles;
+                 });
         }
       else begin
         if List.exists (working flat values) flat.fsms then incr cycles;
@@ -408,29 +409,32 @@ let crosscheck image =
       | Error e -> Error ("netlist sim: " ^ e)
       | Ok sim -> (
           match Rtlsim.Machine.run image with
-          | Ok o ->
+          | Ok o -> (
               let mcycles = o.Rtlsim.Machine.stats.Rtlsim.Machine.cycles in
               let mid = o.Rtlsim.Machine.best_impl_id in
               let mscore = Fxp.Q15.to_raw o.Rtlsim.Machine.best_score in
-              if sim.not_found then
-                Error "netlist raised not_found; machine found a winner"
-              else if sim.best_impl_id <> mid then
-                Error
-                  (Printf.sprintf "decision mismatch: netlist impl %d, machine %d"
-                     sim.best_impl_id mid)
-              else if sim.best_score_raw <> mscore then
-                Error
-                  (Printf.sprintf "score mismatch: netlist %d, machine %d"
-                     sim.best_score_raw mscore)
-              else if sim.cycles <> mcycles then
-                Error
-                  (Printf.sprintf "cycle mismatch: netlist %d, machine %d"
-                     sim.cycles mcycles)
-              else Ok sim
+              match sim.decision with
+              | None -> Error "netlist raised not_found; machine found a winner"
+              | Some d ->
+                  if d.Qos_core.Engine.impl_id <> mid then
+                    Error
+                      (Printf.sprintf
+                         "decision mismatch: netlist impl %d, machine %d"
+                         d.Qos_core.Engine.impl_id mid)
+                  else if Fxp.Q15.to_raw d.Qos_core.Engine.score <> mscore then
+                    Error
+                      (Printf.sprintf "score mismatch: netlist %d, machine %d"
+                         (Fxp.Q15.to_raw d.Qos_core.Engine.score)
+                         mscore)
+                  else if sim.cycles <> mcycles then
+                    Error
+                      (Printf.sprintf "cycle mismatch: netlist %d, machine %d"
+                         sim.cycles mcycles)
+                  else Ok sim)
           | Error
               ( Rtlsim.Machine.Type_not_found _
               | Rtlsim.Machine.No_implementations _ ) ->
-              if sim.not_found then Ok sim
+              if sim.decision = None then Ok sim
               else
                 Error "machine reported not-found; netlist delivered a result"
           | Error (Rtlsim.Machine.Malformed_image m) ->

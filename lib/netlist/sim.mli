@@ -16,9 +16,9 @@
 
 type outcome = {
   cycles : int;
-  best_impl_id : int;
-  best_score_raw : int;  (** Q15 raw *)
-  not_found : bool;
+  decision : Qos_core.Engine.decision option;
+      (** [None] when the unit raised [not_found]; otherwise the
+          standard engine decision record with [cycles] filled in. *)
 }
 
 val run : ?max_cycles:int -> Ir.design -> (outcome, string) result

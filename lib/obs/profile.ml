@@ -50,13 +50,60 @@ let prefix_request (r : Request.t) k =
   in
   Request.make ~type_id:r.type_id constrs
 
+let run_engine (eng : Qos_core.Engine.t) request =
+  let module E = Qos_core.Engine in
+  let ( let* ) = Result.bind in
+  if not eng.E.caps.E.reports_cycles then
+    Error (Printf.sprintf "engine %s reports no cycle counts" eng.E.name)
+  else
+    let retrieve req =
+      match eng.E.retrieve req with
+      | Ok ({ E.cycles = Some _; _ } as d) -> Ok d
+      | Ok _ ->
+          Error
+            (Printf.sprintf "engine %s returned a decision without cycles"
+               eng.E.name)
+      | Error e -> Error (E.error_to_string e)
+    in
+    let* full = retrieve request in
+    let total = Option.get full.E.cycles in
+    let* phase_cycles =
+      match eng.E.phase_cycles with
+      | None -> Ok []
+      | Some phases ->
+          Result.map_error E.error_to_string (phases request)
+    in
+    (* Engines without phase attribution report an empty (vacuously
+       consistent) breakdown rather than a fake one. *)
+    let consistent =
+      match phase_cycles with
+      | [] -> true
+      | l -> List.fold_left (fun acc (_, n) -> acc + n) 0 l = total
+    in
+    let n = Request.constraint_count request in
+    let rec ladder k acc =
+      if k > n then Ok (List.rev acc)
+      else
+        let* req = prefix_request request k in
+        let* d = retrieve req in
+        ladder (k + 1) ((k, Option.get d.E.cycles) :: acc)
+    in
+    let* points = ladder 0 [] in
+    let rec deltas = function
+      | (_, a) :: ((_, b) :: _ as rest) -> (b - a) :: deltas rest
+      | _ -> []
+    in
+    let increments = deltas points in
+    Ok
+      {
+        breakdown = { total_cycles = total; phase_cycles; consistent };
+        linearity = { points; increments; linear = judge_linear increments };
+        best_impl_id = full.E.impl_id;
+      }
+
 let run ?config casebase request =
   let ( let* ) = Result.bind in
-  let retrieve req =
-    match Machine.retrieve ?config casebase req with
-    | Ok outcome -> Ok outcome
-    | Error e -> Error (Machine.error_to_string e)
-  in
+  let retrieve req = Rtlsim.Engine.retrieve_traced ?config casebase req in
   let* full = retrieve request in
   let n = Request.constraint_count request in
   let rec ladder k acc =

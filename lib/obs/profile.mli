@@ -44,5 +44,12 @@ val run :
 (** Profile one retrieval: full-request breakdown plus the
     prefix-ladder linearity check (one extra retrieval per prefix). *)
 
+val run_engine :
+  Qos_core.Engine.t -> Qos_core.Request.t -> (report, string) result
+(** The same profile against any cycle-reporting engine.  Errors when
+    the engine's capabilities say it reports no cycles.  Phase
+    attribution comes from the engine's [phase_cycles] hook; engines
+    without one get an empty, vacuously consistent breakdown. *)
+
 val pp_report : Format.formatter -> report -> unit
 val report_to_json : report -> string

@@ -1,6 +1,5 @@
 open Qos_core
 module Bypass = Allocator.Bypass
-module Machine = Rtlsim.Machine
 
 type config = { jobs : int; batch : int; queue_depth : int; high_water : int }
 
@@ -14,7 +13,7 @@ let clock_mhz = 75.0
 type job = { app_id : string; request : Request.t }
 
 type outcome =
-  | Retrieved of { impl_id : int; score : Fxp.Q15.t; via_bypass : bool }
+  | Retrieved of { decision : Engine.decision; via_bypass : bool }
   | Failed of string
   | Shed of { stale_impl : int option }
 
@@ -53,7 +52,7 @@ type t = {
 let config t = t.cfg
 let shard_count t = Array.length t.shards
 
-let create ?obs ?(config = default_config) cb =
+let create ?obs ?engine ?(config = default_config) cb =
   if config.jobs < 1 then Error "jobs must be >= 1"
   else if config.batch < 1 then Error "batch must be >= 1"
   else if config.queue_depth < 1 then Error "queue_depth must be >= 1"
@@ -68,7 +67,7 @@ let create ?obs ?(config = default_config) cb =
               s.type_ids)
           shards;
         { cfg = config; shards; route; obs })
-      (Shard.partition cb ~shards:config.jobs)
+      (Shard.partition ?engine cb ~shards:config.jobs)
 
 (* Split [items] into chunks of [size], preserving order. *)
 let chunk size items =
@@ -101,24 +100,20 @@ let serve (shard : Shard.t) (j : job) =
             let score =
               Engine_fixed.score_impl shard.casebase.schema j.request impl
             in
-            (Retrieved { impl_id; score; via_bypass = true }, bypass_hit_cycles))
+            let decision = { Engine.impl_id; score; cycles = None } in
+            (Retrieved { decision; via_bypass = true }, bypass_hit_cycles))
           (Casebase.find_impl shard.casebase ~type_id:j.request.type_id
              ~impl_id)
   in
   match bypassed with
   | Some r -> r
   | None -> (
-      match Machine.retrieve shard.casebase j.request with
-      | Ok o ->
-          Bypass.remember shard.bypass key ~impl_id:o.best_impl_id;
-          ( Retrieved
-              {
-                impl_id = o.best_impl_id;
-                score = o.best_score;
-                via_bypass = false;
-              },
-            o.stats.cycles )
-      | Error e -> (Failed (Machine.error_to_string e), 0))
+      match shard.engine.Engine.retrieve j.request with
+      | Ok d ->
+          Bypass.remember shard.bypass key ~impl_id:d.Engine.impl_id;
+          ( Retrieved { decision = d; via_bypass = false },
+            Option.value d.Engine.cycles ~default:0 )
+      | Error e -> (Failed (Engine.error_to_string e), 0))
 
 let worker (shard : Shard.t) queue (outcomes : outcome array) =
   let processed = ref 0 and batches = ref 0 and busy = ref 0 in
@@ -223,7 +218,7 @@ let run t jobs =
       | Some sid -> work.(sid) <- (idx, j) :: work.(sid)
       | None ->
           outcomes.(idx) <-
-            Failed (Machine.error_to_string (Type_not_found j.request.type_id)))
+            Failed (Engine.error_to_string (Engine.Unknown_type j.request.type_id)))
     admitted;
   let batches = Array.map (fun l -> chunk t.cfg.batch (List.rev l)) work in
   let queues =
@@ -321,10 +316,10 @@ let results_to_string (r : report) =
       let app, tid = r.requests.(i) in
       Buffer.add_string buf (Printf.sprintf "%4d app=%s type=%d " i app tid);
       (match o with
-      | Retrieved { impl_id; score; via_bypass } ->
+      | Retrieved { decision; via_bypass } ->
           Buffer.add_string buf
-            (Printf.sprintf "impl=%d score=%d via=%s" impl_id
-               (Fxp.Q15.to_raw score)
+            (Printf.sprintf "impl=%d score=%d via=%s" decision.Engine.impl_id
+               (Fxp.Q15.to_raw decision.Engine.score)
                (if via_bypass then "bypass" else "retrieval"))
       | Failed msg -> Buffer.add_string buf ("failed: " ^ msg)
       | Shed { stale_impl } ->

@@ -17,10 +17,11 @@
     chunked into batches of [batch] requests, and pushed through a
     bounded {!Bqueue} (capacity [queue_depth] batches) to one worker
     domain per shard.  Each worker consults its private bypass table
-    (hit: {!bypass_hit_cycles}; miss: a full [Rtlsim.Machine] retrieval
-    whose cycle count is charged to the shard's modeled retrieval
-    unit), and writes its outcome into the submission-indexed result
-    slot.
+    (hit: {!bypass_hit_cycles}; miss: a full retrieval on the shard's
+    {!Qos_core.Engine.t}, whose reported cycle count — zero for
+    engines without a timing model — is charged to the shard's modeled
+    retrieval unit), and writes its outcome into the submission-indexed
+    result slot.
 
     {2 Determinism}
 
@@ -29,9 +30,11 @@
     [jobs] value: admission is positional, the type-disjoint partition
     pins every token to one shard, and results are merged by submission
     index.  {!results_to_string}/{!results_digest} expose exactly that
-    invariant surface.  Per-shard {e performance} (cycles, makespan,
-    queue depths) legitimately varies with [jobs] and is reported
-    separately ({!pp_perf}). *)
+    invariant surface; because every bit-accurate engine makes the same
+    decisions, that surface is also byte-identical {e across engines}.
+    Per-shard {e performance} (cycles, makespan, queue depths)
+    legitimately varies with [jobs] and the engine's timing model and
+    is reported separately ({!pp_perf}). *)
 
 type config = {
   jobs : int;  (** Worker domains requested; effective count is
@@ -52,7 +55,9 @@ val bypass_hit_cycles : int
 type job = { app_id : string; request : Qos_core.Request.t }
 
 type outcome =
-  | Retrieved of { impl_id : int; score : Fxp.Q15.t; via_bypass : bool }
+  | Retrieved of { decision : Qos_core.Engine.decision; via_bypass : bool }
+      (** [decision.cycles] is [None] on a bypass hit (no retrieval
+          ran) and on engines without a timing model. *)
   | Failed of string  (** Retrieval error, e.g. an unknown type. *)
   | Shed of { stale_impl : int option }
       (** Rejected at admission; [stale_impl] is the advisory bypass
@@ -89,11 +94,14 @@ type t
 
 val create :
   ?obs:Obs.Ctx.t ->
+  ?engine:Qos_core.Engine.factory ->
   ?config:config ->
   Qos_core.Casebase.t ->
   (t, string) result
-(** Partitions the case base and builds the type-to-shard route table.
-    Errors on a non-positive config field or an empty case base. *)
+(** Partitions the case base, instantiates [engine] (default
+    [Rtlsim.Engine.factory]) per shard and builds the type-to-shard
+    route table.  Errors on a non-positive config field, an empty case
+    base, or a factory failure. *)
 
 val config : t -> config
 val shard_count : t -> int

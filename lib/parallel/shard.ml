@@ -5,9 +5,10 @@ type t = {
   casebase : Casebase.t;
   type_ids : int list;
   bypass : Allocator.Bypass.t;
+  engine : Engine.t;
 }
 
-let partition (cb : Casebase.t) ~shards =
+let partition ?(engine = Rtlsim.Engine.factory) (cb : Casebase.t) ~shards =
   if shards < 1 then Error "shards must be >= 1"
   else
     let ftypes = cb.ftypes in
@@ -21,17 +22,21 @@ let partition (cb : Casebase.t) ~shards =
         ftypes;
       let build shard_id bucket =
         let fts = List.rev bucket in
-        Result.map
-          (fun casebase ->
-            {
-              shard_id;
-              casebase;
-              type_ids = List.map (fun (ft : Ftype.t) -> ft.Ftype.id) fts;
-              bypass = Allocator.Bypass.create ();
-            })
+        Result.bind
           (Casebase.make
              ~name:(Printf.sprintf "%s#%d" cb.name shard_id)
              ~schema:cb.schema fts)
+          (fun casebase ->
+            Result.map
+              (fun eng ->
+                {
+                  shard_id;
+                  casebase;
+                  type_ids = List.map (fun (ft : Ftype.t) -> ft.Ftype.id) fts;
+                  bypass = Allocator.Bypass.create ();
+                  engine = eng;
+                })
+              (engine casebase))
       in
       let rec collect i acc =
         if i < 0 then Ok (Array.of_list acc)

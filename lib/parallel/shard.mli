@@ -6,16 +6,25 @@
     {!Allocator.Bypass} token table — the type-disjoint partition means
     a token can only ever be created and hit inside one shard, so the
     hit path needs no cross-domain lock and the union of the per-shard
-    tables equals the table a sequential run would build. *)
+    tables equals the table a sequential run would build — and its own
+    retrieval {!Qos_core.Engine.t}, built from the shard's sub-case-base
+    by the factory given to {!partition}. *)
 
 type t = {
   shard_id : int;
   casebase : Qos_core.Casebase.t;  (** Only this shard's function types. *)
   type_ids : int list;  (** Sorted; never empty. *)
   bypass : Allocator.Bypass.t;
+  engine : Qos_core.Engine.t;  (** This shard's modeled retrieval unit. *)
 }
 
-val partition : Qos_core.Casebase.t -> shards:int -> (t array, string) result
+val partition :
+  ?engine:Qos_core.Engine.factory ->
+  Qos_core.Casebase.t ->
+  shards:int ->
+  (t array, string) result
 (** Split into [min shards type_count] non-empty shards (type [k] in
-    ID order goes to shard [k mod n]).  Errors when [shards < 1] or the
-    case base has no function types. *)
+    ID order goes to shard [k mod n]), instantiating [engine] (default
+    [Rtlsim.Engine.factory]) on each shard's sub-case-base.  Errors
+    when [shards < 1], the case base has no function types, or the
+    factory rejects a shard. *)

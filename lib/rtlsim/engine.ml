@@ -1,0 +1,57 @@
+module E = Qos_core.Engine
+
+let decision_of_outcome (o : Machine.outcome) =
+  {
+    E.impl_id = o.Machine.best_impl_id;
+    score = o.Machine.best_score;
+    cycles = Some o.Machine.stats.Machine.cycles;
+  }
+
+let error_of_machine = function
+  | Machine.Type_not_found id -> E.Unknown_type id
+  | Machine.No_implementations id -> E.No_implementations id
+  | Machine.Malformed_image m ->
+      E.Engine_failure ("malformed RAM image: " ^ m)
+
+let create ?(config = Machine.paper_config) cb =
+  match Memlayout.encode_cb cb with
+  | Error e -> Error e
+  | Ok image ->
+      let run_outcome request =
+        match Memlayout.attach_request image request with
+        | Error m -> Error (E.Engine_failure m)
+        | Ok sys -> (
+            match Machine.run ~config sys with
+            | Ok o -> Ok o
+            | Error e -> Error (error_of_machine e))
+      in
+      let retrieve request = Result.map decision_of_outcome (run_outcome request) in
+      let phase_cycles request =
+        Result.map
+          (fun (o : Machine.outcome) ->
+            List.map
+              (fun p ->
+                ( Machine.phase_name p,
+                  Machine.phase_cycles_get p o.Machine.stats.Machine.phases ))
+              Machine.all_phases)
+          (run_outcome request)
+      in
+      Ok
+        {
+          E.name = "rtlsim";
+          caps = { E.bit_accurate = true; reports_cycles = true };
+          retrieve;
+          retrieve_batch = E.batch_of_single retrieve;
+          phase_cycles = Some phase_cycles;
+        }
+
+let factory cb = create cb
+
+let run_image ?config image =
+  match Machine.run ?config image with
+  | Ok o -> Ok (decision_of_outcome o)
+  | Error e -> Error (Machine.error_to_string e)
+
+let retrieve_traced ?config ?trace ?waveform cb request =
+  Result.map_error Machine.error_to_string
+    (Machine.retrieve ?config ?trace ?waveform cb request)

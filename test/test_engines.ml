@@ -203,10 +203,121 @@ let test_relaxed_request_scenario () =
   check_bool "GPP acceptable after relaxation" true
     (List.exists (fun r -> r.Retrieval.impl.Impl.id = 3) relaxed)
 
+(* --- Cross-engine equivalence (the Engine seam) --------------------------- *)
+
+module E = Engine
+
+let engine_of name c =
+  match Result.bind (Engines.of_name name) (fun f -> f c) with
+  | Ok e -> e
+  | Error m -> Alcotest.fail m
+
+let test_engine_registry () =
+  Alcotest.(check (list string))
+    "registry names"
+    [ "float"; "fixed"; "rtlsim"; "netlist"; "native" ]
+    Engines.names;
+  check_bool "rtl alias accepted" true (Result.is_ok (Engines.of_name "rtl"));
+  check_bool "unknown name rejected" true
+    (Result.is_error (Engines.of_name "vhdl"));
+  List.iter
+    (fun (name, factory) ->
+      let e = get (factory cb) in
+      Alcotest.(check string) "engine self-names its registry entry" name
+        e.E.name;
+      check_bool (name ^ " caps match the contract") true
+        (e.E.caps.E.bit_accurate = (name <> "float")))
+    Engines.all
+
+let cross_scenarios () =
+  let generated =
+    List.map
+      (fun seed ->
+        let c =
+          Workload.Generator.sized_casebase ~seed ~types:3 ~impls:3 ~attrs:4
+        in
+        (c, Workload.Generator.sized_request ~seed c))
+      [ 1; 7; 42; 1234; 9001 ]
+  in
+  (cb, request) :: generated
+
+(* The acceptance contract: every bit-accurate engine returns the
+   Engine_fixed winner with the identical raw Q15 score on all golden
+   workloads. *)
+let test_bit_accurate_engines_match_fixed () =
+  List.iter
+    (fun (c, req) ->
+      let expect = getr (Engine_fixed.best c req) in
+      List.iter
+        (fun (name, factory) ->
+          let eng = get (factory c) in
+          match eng.E.retrieve req with
+          | Error e -> Alcotest.fail (name ^ ": " ^ E.error_to_string e)
+          | Ok d ->
+              check_int (name ^ " variant") expect.Retrieval.impl.Impl.id
+                d.E.impl_id;
+              check_int
+                (name ^ " raw Q15 score")
+                (Fxp.Q15.to_raw expect.Retrieval.score)
+                (Fxp.Q15.to_raw d.E.score))
+        Engines.bit_accurate)
+    (cross_scenarios ())
+
+let test_cycle_reporting_engines_agree () =
+  List.iter
+    (fun (c, req) ->
+      let cycles_of name =
+        match (engine_of name c).E.retrieve req with
+        | Ok { E.cycles = Some n; _ } -> n
+        | Ok _ -> Alcotest.fail (name ^ " reported no cycles")
+        | Error e -> Alcotest.fail (name ^ ": " ^ E.error_to_string e)
+      in
+      check_int "netlist cycles = rtlsim cycles" (cycles_of "rtlsim")
+        (cycles_of "netlist"))
+    (cross_scenarios ())
+
+let test_native_rom_is_the_encoded_image () =
+  (* The native kernels must be compiled from the exact Fig. 4/5 BRAM
+     image — the same words Memlayout encodes and Rtlgen prints. *)
+  let compiled = get (Netlist.Compile.of_casebase cb) in
+  let image = get (Memlayout.encode_cb cb) in
+  check_bool "BRAM image identical to the Memlayout encoding" true
+    (Netlist.Compile.bram_image compiled = image.Memlayout.cb_words)
+
+let test_engine_errors_classified () =
+  let missing = get (Request.make ~type_id:77 [ (1, 16, 1.0) ]) in
+  List.iter
+    (fun (name, _) ->
+      match (engine_of name cb).E.retrieve missing with
+      | Error (E.Unknown_type 77) -> ()
+      | Ok _ | Error _ -> Alcotest.fail (name ^ ": expected Unknown_type 77"))
+    Engines.all
+
+let test_batch_matches_single () =
+  let reqs = [ request; Scenario_audio.relaxed_request; request ] in
+  List.iter
+    (fun (name, factory) ->
+      let eng = get (factory cb) in
+      let batch = eng.E.retrieve_batch reqs in
+      check_int (name ^ " batch size") (List.length reqs) (List.length batch);
+      List.iter2
+        (fun req b ->
+          match (b, eng.E.retrieve req) with
+          | Ok bd, Ok sd ->
+              check_bool (name ^ " batch = single") true
+                (E.equal_decision bd sd)
+          | Error _, Error _ -> ()
+          | _ -> Alcotest.fail (name ^ ": batch/single disagree on success"))
+        reqs batch)
+    Engines.all
+
 (* --- Properties over generated case bases -------------------------------- *)
 
 let prop name gen f =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let prop_n count name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
 
 let scenario_of_seed seed =
   let rng = Workload.Prng.create ~seed in
@@ -293,6 +404,60 @@ let props =
                 <= tolerance)
               fs
         | _ -> true);
+    prop "fixed, rtlsim and native are decision-identical" seed_gen
+      (fun seed ->
+        let c, req = scenario_of_seed seed in
+        let via name =
+          match Result.bind (Engines.of_name name) (fun f -> f c) with
+          | Error m -> Error (E.Engine_failure m)
+          | Ok e -> e.E.retrieve req
+        in
+        match (via "fixed", via "rtlsim", via "native") with
+        | Ok a, Ok b, Ok c ->
+            a.E.impl_id = b.E.impl_id
+            && b.E.impl_id = c.E.impl_id
+            && Fxp.Q15.equal a.E.score b.E.score
+            && Fxp.Q15.equal b.E.score c.E.score
+        | Error _, Error _, Error _ -> true
+        | _ -> false);
+    prop_n 40 "all five engines agree on small random scenarios" seed_gen
+      (fun seed ->
+        (* Small sizes keep the gate-level netlist simulation cheap. *)
+        let c =
+          Workload.Generator.sized_casebase ~seed ~types:2 ~impls:3 ~attrs:3
+        in
+        let req = Workload.Generator.sized_request ~seed c in
+        let via name =
+          match Result.bind (Engines.of_name name) (fun f -> f c) with
+          | Error m -> Error (E.Engine_failure m)
+          | Ok e -> e.E.retrieve req
+        in
+        match Engine_fixed.best c req with
+        | Error _ ->
+            List.for_all
+              (fun (name, _) -> Result.is_error (via name))
+              Engines.bit_accurate
+        | Ok expect ->
+            let cycles =
+              List.filter_map
+                (fun (name, _) ->
+                  match via name with
+                  | Ok { E.cycles = Some n; _ } -> Some n
+                  | _ -> None)
+                Engines.bit_accurate
+            in
+            Engine_fixed.agrees_with_float c req
+            && List.for_all
+                 (fun (name, _) ->
+                   match via name with
+                   | Ok d ->
+                       d.E.impl_id = expect.Retrieval.impl.Impl.id
+                       && Fxp.Q15.equal d.E.score expect.Retrieval.score
+                   | Error _ -> false)
+                 Engines.bit_accurate
+            && (match cycles with
+               | [] -> false (* rtlsim and netlist must both report *)
+               | h :: t -> List.for_all (fun n -> n = h) t));
     prop "n_best is a prefix of rank_all" seed_gen (fun seed ->
         let cb, req = scenario_of_seed seed in
         match (Engine_float.rank_all cb req, Engine_float.n_best ~n:3 cb req) with
@@ -335,6 +500,20 @@ let () =
             test_amalgamation_selection;
           Alcotest.test_case "relaxation scenario" `Quick
             test_relaxed_request_scenario;
+        ] );
+      ( "cross-engine",
+        [
+          Alcotest.test_case "registry" `Quick test_engine_registry;
+          Alcotest.test_case "bit-accurate engines match fixed" `Quick
+            test_bit_accurate_engines_match_fixed;
+          Alcotest.test_case "cycle-reporting engines agree" `Quick
+            test_cycle_reporting_engines_agree;
+          Alcotest.test_case "native ROM is the encoded image" `Quick
+            test_native_rom_is_the_encoded_image;
+          Alcotest.test_case "errors classified" `Quick
+            test_engine_errors_classified;
+          Alcotest.test_case "batch matches single" `Quick
+            test_batch_matches_single;
         ] );
       ("properties", props);
     ]

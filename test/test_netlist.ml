@@ -63,15 +63,20 @@ let test_sim_matches_machine_audio () =
   let sim = get (Sim.crosscheck image) in
   (* The paper scenario's pinned figures: impl 2, raw score 31588, and
      the cycle count the profiler reports. *)
-  check_int "impl" 2 sim.Sim.best_impl_id;
-  check_int "score" 31588 sim.Sim.best_score_raw;
+  (match sim.Sim.decision with
+  | Some d ->
+      check_int "impl" 2 d.Qos_core.Engine.impl_id;
+      check_int "score" 31588 (Fxp.Q15.to_raw d.Qos_core.Engine.score);
+      check_bool "decision carries the cycle count" true
+        (d.Qos_core.Engine.cycles = Some sim.Sim.cycles)
+  | None -> Alcotest.fail "expected a decision");
   check_int "cycles" (machine_cycles image) sim.Sim.cycles
 
 let test_sim_not_found () =
   let missing = get (Request.make ~type_id:42 [ (1, 16, 1.0) ]) in
   let image = get (Memlayout.build_system cb missing) in
   let sim = get (Sim.crosscheck image) in
-  check_bool "not_found" true sim.Sim.not_found
+  check_bool "not_found" true (sim.Sim.decision = None)
 
 let golden_scenarios () =
   let builtin = [ (cb, request) ] in

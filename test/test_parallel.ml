@@ -40,9 +40,9 @@ let jobs ?(seed = 72) ~unique ~rounds () =
   in
   List.concat (List.init rounds (fun _ -> base))
 
-let run_with ~jobs:n ?(batch = 8) ?(high_water = 4096) stream =
+let run_with ~jobs:n ?engine ?(batch = 8) ?(high_water = 4096) stream =
   let config = { F.default_config with jobs = n; batch; high_water } in
-  let fe = get (F.create ~config casebase) in
+  let fe = get (F.create ?engine ~config casebase) in
   F.run fe stream
 
 (* --- Bqueue --------------------------------------------------------------- *)
@@ -122,12 +122,12 @@ let test_results_match_sequential_engine () =
   List.iteri
     (fun i (j : F.job) ->
       match (r.F.outcomes.(i), Engine_fixed.best casebase j.F.request) with
-      | F.Retrieved { impl_id; score; _ }, Ok ranked ->
+      | F.Retrieved { decision; _ }, Ok ranked ->
           check_int "same variant as the sequential engine"
-            ranked.Retrieval.impl.Impl.id impl_id;
+            ranked.Retrieval.impl.Impl.id decision.Engine.impl_id;
           check_int "same Q15 score"
             (Fxp.Q15.to_raw ranked.Retrieval.score)
-            (Fxp.Q15.to_raw score)
+            (Fxp.Q15.to_raw decision.Engine.score)
       | _ -> Alcotest.fail "expected Retrieved + sequential Ok")
     stream
 
@@ -176,8 +176,9 @@ let test_shedding () =
     match r.F.outcomes.(i) with
     | F.Shed { stale_impl = Some impl } -> (
         match r.F.outcomes.(i - 10) with
-        | F.Retrieved { impl_id; _ } ->
-            check_int "stale token matches first-round variant" impl_id impl
+        | F.Retrieved { decision; _ } ->
+            check_int "stale token matches first-round variant"
+              decision.Engine.impl_id impl
         | _ -> Alcotest.fail "first round should have retrieved")
     | _ -> Alcotest.fail "expected shed with a stale token"
   done;
@@ -217,6 +218,23 @@ let test_perf_accounting () =
     Array.fold_left (fun a (l : F.shard_load) -> a + l.F.processed) 0 r.F.loads
   in
   check_int "every admitted job processed" r.F.admitted processed
+
+(* Satellite contract: every bit-accurate engine produces the exact
+   same merged result report at any shard count. *)
+let test_engine_invariant_merge () =
+  let stream = jobs ~unique:30 ~rounds:2 () in
+  let reference = F.results_to_string (run_with ~jobs:1 stream) in
+  List.iter
+    (fun (name, factory) ->
+      List.iter
+        (fun n ->
+          let r = run_with ~jobs:n ~engine:factory stream in
+          check_string
+            (Printf.sprintf "%s engine at jobs %d matches the reference" name n)
+            reference
+            (F.results_to_string r))
+        [ 1; 3 ])
+    Engines.bit_accurate
 
 let test_obs_instrumentation () =
   let obs = Obs.Ctx.create () in
@@ -266,6 +284,8 @@ let () =
           Alcotest.test_case "unknown type" `Quick
             test_unknown_type_fails_cleanly;
           Alcotest.test_case "perf accounting" `Quick test_perf_accounting;
+          Alcotest.test_case "engine-invariant merge" `Quick
+            test_engine_invariant_merge;
           Alcotest.test_case "obs instrumentation" `Quick
             test_obs_instrumentation;
         ]
