@@ -562,8 +562,8 @@ let parse_device_fault s =
 
 let faults_cmd =
   let run duration_us seed seu_mean scrub_period reconfig_prob flash_prob
-      deadline max_retries backoff_us backoff_factor device_faults format
-      metrics trace_out engine =
+      deadline max_retries backoff_us backoff_factor backoff_cap_us
+      backoff_jitter device_faults format metrics trace_out engine =
     let base =
       {
         (Desim.Simulate.default_spec ()) with
@@ -597,6 +597,8 @@ let faults_cmd =
             Faults.Campaign.max_retries;
             backoff_base_us = backoff_us;
             backoff_factor;
+            backoff_cap_us;
+            backoff_jitter;
           };
         device_faults;
       }
@@ -669,6 +671,20 @@ let faults_cmd =
       & info [ "backoff-factor" ] ~docv:"F"
           ~doc:"Exponential backoff multiplier.")
   in
+  let backoff_cap_us =
+    Arg.(
+      value & opt float 5_000.0
+      & info [ "backoff-cap-us" ] ~docv:"US"
+          ~doc:"Ceiling on a single retry backoff before jitter.")
+  in
+  let backoff_jitter =
+    Arg.(
+      value & opt float 0.1
+      & info [ "backoff-jitter" ] ~docv:"J"
+          ~doc:
+            "Relative backoff jitter half-width in [0,1); 0 disables \
+             jitter and consumes no randomness.")
+  in
   let fault_conv =
     Arg.conv
       ( parse_device_fault,
@@ -735,7 +751,195 @@ let faults_cmd =
     Term.(
       const run $ duration $ seed $ seu_mean $ scrub_period $ reconfig_prob
       $ flash_prob $ deadline $ max_retries $ backoff_us $ backoff_factor
-      $ device_faults $ format_arg $ metrics_arg $ trace_out_arg $ engine)
+      $ backoff_cap_us $ backoff_jitter $ device_faults $ format_arg
+      $ metrics_arg $ trace_out_arg $ engine)
+
+(* --- serve ----------------------------------------------------------------- *)
+
+let serve_cmd =
+  let run duration_us seed nodes replication fault_domains jobs engine_name
+      kill_frac bounce_mean bounce_down retries backoff_us backoff_factor
+      backoff_cap_us backoff_jitter min_availability out metrics trace_out =
+    let engine = or_die (Engines.of_name engine_name) in
+    let d = Cluster.Serve.default_spec () in
+    let spec =
+      {
+        d with
+        Cluster.Serve.duration_us;
+        seed;
+        nodes;
+        replication;
+        fault_domains;
+        jobs;
+        engine_name;
+        engine;
+        outage =
+          {
+            Faults.Outages.permanent_frac = kill_frac;
+            permanent_window = (0.2, 0.7);
+            transient_mean_us = bounce_mean;
+            transient_down_us = bounce_down;
+          };
+        backoff =
+          {
+            Faults.Backoff.base_us = backoff_us;
+            factor = backoff_factor;
+            cap_us = backoff_cap_us;
+            jitter = backoff_jitter;
+          };
+        max_retries = retries;
+        min_availability;
+      }
+    in
+    let obs = make_obs ~metrics ~trace_out in
+    let report = or_die (Cluster.Serve.run ?obs spec) in
+    emit_obs obs ~metrics ~trace_out;
+    (match out with
+    | None -> ()
+    | Some path -> write_file path (Cluster.Serve.results_to_string report));
+    Format.printf "@[<v>%a@]@." Cluster.Serve.pp report;
+    exit (Cluster.Serve.exit_code ~min_availability report)
+  in
+  let duration =
+    Arg.(
+      value
+      & opt float 200_000.0
+      & info [ "duration-us" ] ~docv:"US" ~doc:"Simulated time in microseconds.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+  in
+  let nodes =
+    Arg.(
+      value & opt int 6
+      & info [ "nodes" ] ~docv:"N" ~doc:"Cluster membership size.")
+  in
+  let replication =
+    Arg.(
+      value & opt int 3
+      & info [ "replication" ] ~docv:"N"
+          ~doc:"Replicas per function type (clamped to the node count).")
+  in
+  let fault_domains =
+    Arg.(
+      value & opt int 3
+      & info [ "fault-domains" ] ~docv:"N"
+          ~doc:
+            "Failure-correlation domains; replica walks prefer distinct \
+             domains first.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the decision phase.  The end-of-run report \
+             is byte-identical at any value.")
+  in
+  let engine =
+    Arg.(
+      value
+      & opt factory_conv "native"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:"Per-node retrieval engine (default $(b,native)).")
+  in
+  let kill_frac =
+    Arg.(
+      value & opt float 0.0
+      & info [ "kill-frac" ] ~docv:"F"
+          ~doc:
+            "Fraction of nodes killed permanently during the run (seeded \
+             victims and times).")
+  in
+  let bounce_mean =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "bounce-mean-us" ] ~docv:"US"
+          ~doc:
+            "Mean interval of per-node transient outages (Poisson); off by \
+             default.")
+  in
+  let bounce_down =
+    Arg.(
+      value
+      & opt (pair ~sep:',' float float) (1_000.0, 5_000.0)
+      & info [ "bounce-down-us" ] ~docv:"LO,HI"
+          ~doc:"Uniform downtime range of one transient outage.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 5
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Backoff rounds before answering degraded.")
+  in
+  let backoff_us =
+    Arg.(
+      value & opt float 200.0
+      & info [ "backoff-us" ] ~docv:"US" ~doc:"Base retry backoff.")
+  in
+  let backoff_factor =
+    Arg.(
+      value & opt float 2.0
+      & info [ "backoff-factor" ] ~docv:"F"
+          ~doc:"Exponential backoff multiplier.")
+  in
+  let backoff_cap_us =
+    Arg.(
+      value & opt float 5_000.0
+      & info [ "backoff-cap-us" ] ~docv:"US"
+          ~doc:"Ceiling on a single retry backoff before jitter.")
+  in
+  let backoff_jitter =
+    Arg.(
+      value & opt float 0.1
+      & info [ "backoff-jitter" ] ~docv:"J"
+          ~doc:
+            "Relative backoff jitter half-width in [0,1); 0 disables jitter \
+             and consumes no randomness.")
+  in
+  let min_availability =
+    Arg.(
+      value & opt float 0.99
+      & info [ "min-availability" ] ~docv:"F"
+          ~doc:
+            "Full-QoS availability floor below which the run classifies as \
+             unrecovered loss (exit 2).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the canonical per-request results report to $(docv) — \
+             byte-identical for a fixed seed at any $(b,--jobs).")
+  in
+  let doc = "serve the workload on a replicated multi-node cluster" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the standard application workload against a cluster of nodes, \
+         each hosting a fault-domain-aware replica slice of the case base \
+         behind its own retrieval engine.  A seeded outage campaign kills \
+         and bounces nodes while requests fail over between replicas, back \
+         off with capped jittered retries, and degrade gracefully (a stale \
+         decision, never a dropped request) when every replica is down, \
+         tripped or saturated.";
+      `P
+        "Exit status: 0 when every request was answered at full QoS with no \
+         outage activity, 1 when faults occurred but every request was \
+         still answered and availability held above the floor, 2 on any \
+         failed request or availability below $(b,--min-availability).";
+    ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run $ duration $ seed $ nodes $ replication $ fault_domains $ jobs
+      $ engine $ kill_frac $ bounce_mean $ bounce_down $ retries $ backoff_us
+      $ backoff_factor $ backoff_cap_us $ backoff_jitter $ min_availability
+      $ out $ metrics_arg $ trace_out_arg)
 
 (* --- profile --------------------------------------------------------------- *)
 
@@ -1211,6 +1415,7 @@ let () =
             resources_cmd;
             simulate_cmd;
             faults_cmd;
+            serve_cmd;
             profile_cmd;
             export_cmd;
             lint_cmd;

@@ -1,0 +1,62 @@
+type config = { failure_threshold : int; cooldown_us : float }
+
+let default_config = { failure_threshold = 3; cooldown_us = 2_000.0 }
+
+type state = Closed | Open | Half_open
+
+type t = {
+  config : config;
+  mutable failures : int;  (** Consecutive, while closed. *)
+  mutable open_until : float option;  (** Set while open / half-open. *)
+  mutable probing : bool;  (** Half-open probe in flight. *)
+  mutable opens : int;
+}
+
+let create ?(config = default_config) () =
+  if config.failure_threshold < 1 then
+    invalid_arg "Breaker.create: failure_threshold must be >= 1";
+  if config.cooldown_us <= 0.0 then
+    invalid_arg "Breaker.create: cooldown must be > 0";
+  { config; failures = 0; open_until = None; probing = false; opens = 0 }
+
+let state t ~at =
+  match t.open_until with
+  | None -> Closed
+  | Some until -> if at >= until then Half_open else Open
+
+let allows t ~at =
+  match state t ~at with
+  | Closed -> true
+  | Open -> false
+  | Half_open -> not t.probing
+
+let mark_probe t = if t.open_until <> None then t.probing <- true
+
+let trip t ~at =
+  t.open_until <- Some (at +. t.config.cooldown_us);
+  t.probing <- false;
+  t.opens <- t.opens + 1
+
+let record_success t ~at =
+  ignore (state t ~at);
+  t.failures <- 0;
+  t.open_until <- None;
+  t.probing <- false
+
+let record_failure t ~at =
+  match state t ~at with
+  | Half_open -> trip t ~at (* the probe failed: fresh cooldown *)
+  | Open -> ()
+  | Closed ->
+      t.failures <- t.failures + 1;
+      if t.failures >= t.config.failure_threshold then begin
+        t.failures <- 0;
+        trip t ~at
+      end
+
+let opens t = t.opens
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"

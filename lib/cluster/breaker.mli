@@ -1,0 +1,43 @@
+(** Per-node circuit breaker.
+
+    Closed counts consecutive failures; at [failure_threshold] the
+    breaker opens and the node is shed from routing for [cooldown_us].
+    When the cooldown expires the breaker goes half-open: exactly one
+    probe request is let through — success closes it, failure re-opens
+    it for a fresh cooldown.  All transitions are driven by the
+    caller's clock, so breaker behaviour is deterministic for a given
+    event order. *)
+
+type config = { failure_threshold : int; cooldown_us : float }
+
+val default_config : config
+(** 3 consecutive failures, 2000 us cooldown. *)
+
+type state = Closed | Open | Half_open
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val state : t -> at:float -> state
+
+val allows : t -> at:float -> bool
+(** Whether a request may be routed through right now.  [true] when
+    closed, or when half-open and the single probe slot is free. *)
+
+val mark_probe : t -> unit
+(** Claim the half-open probe slot (the caller is routing a request
+    through); until the matching [record_*] lands, [allows] is false.
+    No-op unless half-open. *)
+
+val record_success : t -> at:float -> unit
+(** Resets the failure count; closes a half-open breaker. *)
+
+val record_failure : t -> at:float -> unit
+(** Counts towards the threshold; re-opens a half-open breaker. *)
+
+val opens : t -> int
+(** How many times the breaker has tripped (monotone). *)
+
+val state_to_string : state -> string
+(** "closed", "open", "half-open". *)

@@ -1,0 +1,100 @@
+type point = { hash : int64; node : int }
+type t = { points : point array; members : (int * int) list (* id, domain *) }
+
+(* splitmix64 finalizer: a fixed, platform-independent mixer so ring
+   placement never depends on [Hashtbl.hash] internals. *)
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let hash2 a b =
+  mix (Int64.add (mix (Int64.of_int a)) (Int64.mul 0x9e3779b97f4a7c15L (Int64.of_int b)))
+
+(* Unsigned 64-bit order, so the ring wraps where the hashes do. *)
+let ucompare a b = Int64.unsigned_compare a b
+
+let create ?(vnodes = 64) ~nodes () =
+  if nodes = [] then Error "Ring.create: no nodes"
+  else if vnodes < 1 then Error "Ring.create: vnodes must be >= 1"
+  else
+    let ids = List.map fst nodes in
+    let sorted = List.sort_uniq compare ids in
+    if List.length sorted <> List.length ids then
+      Error "Ring.create: duplicate node id"
+    else
+      let points =
+        List.concat_map
+          (fun (id, _domain) ->
+            List.init vnodes (fun v -> { hash = hash2 id v; node = id }))
+          nodes
+      in
+      let points = Array.of_list points in
+      Array.sort
+        (fun a b ->
+          match ucompare a.hash b.hash with
+          | 0 -> compare a.node b.node
+          | c -> c)
+        points;
+      Ok { points; members = List.sort compare nodes }
+
+let node_ids t = List.map fst t.members
+let domain_of t id = List.assoc_opt id t.members
+
+(* First ring point at or after [h] (wrapping): binary search over the
+   sorted point array. *)
+let start_index t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if ucompare t.points.(mid).hash h < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let walk t ~key =
+  let n = Array.length t.points in
+  let s = start_index t (hash2 key 0x5eed) in
+  (* Distinct nodes in first-encounter order around the ring. *)
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    let p = t.points.((s + i) mod n) in
+    if not (Hashtbl.mem seen p.node) then begin
+      Hashtbl.add seen p.node ();
+      acc := p.node :: !acc
+    end
+  done;
+  List.rev !acc
+
+let route t ~key ~replicas =
+  if replicas < 1 then invalid_arg "Ring.route: replicas must be >= 1";
+  let order = walk t ~key in
+  (* Fault-domain-diverse prefix: take a node only if its domain is new,
+     parking the rest; then fill from the parked nodes in ring order. *)
+  let domains = Hashtbl.create 8 in
+  let preferred, parked =
+    List.fold_left
+      (fun (pref, park) node ->
+        let d = Option.value (domain_of t node) ~default:node in
+        if Hashtbl.mem domains d then (pref, node :: park)
+        else begin
+          Hashtbl.add domains d ();
+          (node :: pref, park)
+        end)
+      ([], []) order
+  in
+  let ranked = List.rev preferred @ List.rev parked in
+  List.filteri (fun i _ -> i < replicas) ranked
+
+let spread t ~keys ~replicas =
+  let counts = Hashtbl.create 16 in
+  List.iter (fun (id, _) -> Hashtbl.add counts id 0) t.members;
+  List.iter
+    (fun key ->
+      List.iter
+        (fun node -> Hashtbl.replace counts node (Hashtbl.find counts node + 1))
+        (route t ~key ~replicas))
+    keys;
+  List.map (fun (id, _) -> (id, Hashtbl.find counts id)) t.members

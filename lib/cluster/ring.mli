@@ -1,0 +1,38 @@
+(** Consistent-hash ring with virtual nodes and fault-domain-aware
+    replica placement.
+
+    Function types are the routing keys: each type ID hashes to a point
+    on the ring and its replica set is the walk clockwise from that
+    point.  Every physical node contributes [vnodes] points so load
+    spreads evenly, and the replica walk prefers nodes in {e distinct}
+    fault domains before reusing a domain — a whole-domain outage then
+    never takes out every replica of a type (as long as there are at
+    least as many domains as replicas).
+
+    The ring is a pure value: same nodes, same vnodes, same routes, on
+    every run and every machine (the hash is a fixed splitmix64-style
+    mixer, not [Hashtbl.hash]). *)
+
+type t
+
+val create :
+  ?vnodes:int -> nodes:(int * int) list -> unit -> (t, string) result
+(** [create ~nodes ()] builds the ring over [(node_id, fault_domain)]
+    pairs.  [vnodes] defaults to 64 points per node.  Rejects an empty
+    node list, duplicate node IDs and non-positive [vnodes]. *)
+
+val node_ids : t -> int list
+(** Ascending. *)
+
+val domain_of : t -> int -> int option
+(** Fault domain of a member node. *)
+
+val route : t -> key:int -> replicas:int -> int list
+(** The replica set for [key]: up to [replicas] distinct nodes in walk
+    order, fault-domain-diverse first.  The head is the primary.
+    Returns every node (in walk order) when [replicas] exceeds the
+    membership.  @raise Invalid_argument when [replicas < 1]. *)
+
+val spread : t -> keys:int list -> replicas:int -> (int * int) list
+(** Placement census: [(node_id, keys_hosted)] for every member node
+    (ascending node ID), counting each key once per replica. *)

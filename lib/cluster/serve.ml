@@ -1,0 +1,692 @@
+open Qos_core
+
+type spec = {
+  duration_us : float;
+  seed : int;
+  nodes : int;
+  replication : int;
+  fault_domains : int;
+  vnodes : int;
+  jobs : int;
+  engine_name : string;
+  engine : Engine.factory;
+  apps : Desim.Apps.profile list;
+  casebase : Casebase.t;
+  outage : Faults.Outages.spec;
+  backoff : Faults.Backoff.policy;
+  max_retries : int;
+  heartbeat_period_us : float;
+  suspect_phi : float;
+  down_phi : float;
+  breaker : Breaker.config;
+  connect_timeout_us : float;
+  min_service_us : float;
+  resync_rate : float;
+  min_availability : float;
+}
+
+let clock_mhz = 75.0
+
+let default_spec () =
+  let engine =
+    match Engines.of_name "native" with
+    | Ok f -> f
+    | Error e -> failwith e (* the registry always has native *)
+  in
+  {
+    duration_us = 200_000.0;
+    seed = 42;
+    nodes = 6;
+    replication = 3;
+    fault_domains = 3;
+    vnodes = 64;
+    jobs = 1;
+    engine_name = "native";
+    engine;
+    apps = Desim.Apps.standard_apps;
+    casebase = Desim.Apps.reference_casebase;
+    outage = Faults.Outages.default_spec;
+    backoff = Faults.Backoff.default;
+    (* Five rounds at the default policy is a ~6 ms envelope — enough
+       to outlast a typical transient bounce plus the detector beat and
+       the rejoin re-replication before answering degraded. *)
+    max_retries = 5;
+    heartbeat_period_us = 500.0;
+    suspect_phi = 1.0;
+    down_phi = 3.0;
+    breaker = Breaker.default_config;
+    connect_timeout_us = 100.0;
+    min_service_us = 40.0;
+    resync_rate = 0.01;
+    min_availability = 0.99;
+  }
+
+type reason = Breaker_open | All_replicas_down | Saturated | Retries_exhausted
+
+let reason_to_string = function
+  | Breaker_open -> "breaker-open"
+  | All_replicas_down -> "all-replicas-down"
+  | Saturated -> "saturated"
+  | Retries_exhausted -> "retries-exhausted"
+
+type response =
+  | Full of { node : int; decision : Engine.decision }
+  | Degraded of { stale_impl : int option; reason : reason }
+  | Failed of string
+
+type node_stats = {
+  ns_node : int;
+  ns_domain : int;
+  ns_types : int;
+  ns_entries : int;
+  ns_slots : int;
+  ns_served : int;
+  ns_shed : int;
+  ns_peak_inflight : int;
+  ns_breaker_opens : int;
+  ns_downtime_us : float;
+  ns_resyncs : int;
+  ns_end_status : Health.status;
+}
+
+type report = {
+  seed : int;
+  duration_us : float;
+  nodes : int;
+  replication : int;
+  fault_domains : int;
+  jobs : int;
+  engine_name : string;
+  requests : int;
+  full : int;
+  degraded : int;
+  failed : int;
+  availability : float;
+  failovers : int;
+  retries : int;
+  sheds : int;
+  outage_events : int;
+  heartbeats : int;
+  degraded_reasons : (string * int) list;
+  per_node : node_stats list;
+  mean_latency_us : float;
+  max_latency_us : float;
+  outcomes : response array;
+  request_meta : (string * int * float) array;
+}
+
+type verdict = Clean | Degraded_recovered | Unrecovered_loss
+
+let verdict_to_string = function
+  | Clean -> "clean"
+  | Degraded_recovered -> "degraded-recovered"
+  | Unrecovered_loss -> "unrecovered-loss"
+
+let classify ~min_availability r =
+  if r.failed > 0 || r.availability < min_availability then Unrecovered_loss
+  else if
+    r.degraded > 0 || r.failovers > 0 || r.sheds > 0 || r.retries > 0
+    || r.outage_events > 0
+  then Degraded_recovered
+  else Clean
+
+let exit_code ~min_availability r =
+  match classify ~min_availability r with
+  | Clean -> 0
+  | Degraded_recovered -> 1
+  | Unrecovered_loss -> 2
+
+(* --- workload generation ---------------------------------------------------- *)
+
+type arrival = {
+  a_app : string;
+  a_at_us : float;
+  a_request : Request.t;
+  a_order : int * int;  (** (app index, per-app sequence) tie-break. *)
+}
+
+type app_state = {
+  profile : Desim.Apps.profile;
+  rng : Workload.Prng.t;
+  mutable cursor : int;
+}
+
+let next_template st =
+  let templates = st.profile.Desim.Apps.templates in
+  let t = List.nth templates st.cursor in
+  st.cursor <- (st.cursor + 1) mod List.length templates;
+  t
+
+let inter_arrival st =
+  match st.profile.Desim.Apps.arrival with
+  | Desim.Apps.Periodic -> st.profile.Desim.Apps.period_us
+  | Desim.Apps.Poisson ->
+      Workload.Prng.exponential st.rng ~mean:st.profile.Desim.Apps.period_us
+
+(* Expand the seed into the complete request trace plus the two
+   injector seeds.  App streams split first, in apps order — the same
+   discipline as [Faults.Campaign] — then outages, then retry jitter. *)
+let generate_workload (spec : spec) =
+  let root = Workload.Prng.create ~seed:spec.seed in
+  let states =
+    List.map
+      (fun profile -> { profile; rng = Workload.Prng.split root; cursor = 0 })
+      spec.apps
+  in
+  let outage_seed = Workload.Prng.int root ~bound:0x3FFFFFFF in
+  let retry_seed = Workload.Prng.int root ~bound:0x3FFFFFFF in
+  let arrivals =
+    List.concat
+      (List.mapi
+         (fun app_idx st ->
+           let rec go t seq acc =
+             let t = t +. inter_arrival st in
+             if t >= spec.duration_us then List.rev acc
+             else
+               let template = next_template st in
+               let request = Desim.Apps.instantiate st.rng template in
+               go t (seq + 1)
+                 ({
+                    a_app = st.profile.Desim.Apps.app_id;
+                    a_at_us = t;
+                    a_request = request;
+                    a_order = (app_idx, seq);
+                  }
+                 :: acc)
+           in
+           go 0.0 0 [])
+         states)
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare a.a_at_us b.a_at_us with
+        | 0 -> compare a.a_order b.a_order
+        | c -> c)
+      arrivals
+  in
+  (Array.of_list sorted, outage_seed, retry_seed)
+
+let workload spec =
+  let arrivals, _, _ = generate_workload spec in
+  Array.map (fun a -> (a.a_app, a.a_at_us, a.a_request)) arrivals
+
+(* --- parallel decision phase ------------------------------------------------ *)
+
+(* Every request is retrieved on its primary replica's engine.  Node
+   [n] is owned by worker [n mod jobs], so an engine instance is only
+   ever driven from one domain; workers write disjoint indices of the
+   shared decision array.  The decision for an index is a pure function
+   of (node engine, request) — independent of [jobs]. *)
+let compute_decisions (sub : Substrate.t) (arrivals : arrival array) ~jobs =
+  let n = Array.length arrivals in
+  let decisions = Array.make n (Error (Engine.Engine_failure "unserved")) in
+  let primary =
+    Array.map
+      (fun a ->
+        match Substrate.replicas_for sub ~type_id:a.a_request.Request.type_id with
+        | p :: _ -> p
+        | [] -> 0 (* unreachable: route always returns members *))
+      arrivals
+  in
+  let jobs = max 1 jobs in
+  let queues = Array.init jobs (fun _ -> Parallel.Bqueue.create ~capacity:64) in
+  let workers =
+    Array.init jobs (fun w ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Parallel.Bqueue.pop queues.(w) with
+              | None -> ()
+              | Some batch ->
+                  List.iter
+                    (fun (idx, node_id, request) ->
+                      let node = Substrate.node sub node_id in
+                      decisions.(idx) <-
+                        (match node.Substrate.engine with
+                        | None ->
+                            Error (Engine.Engine_failure "node hosts no types")
+                        | Some e -> e.Engine.retrieve request))
+                    batch;
+                  loop ()
+            in
+            loop ()))
+  in
+  let bufs = Array.make jobs [] in
+  let fills = Array.make jobs 0 in
+  let flush w =
+    if bufs.(w) <> [] then begin
+      ignore (Parallel.Bqueue.push queues.(w) (List.rev bufs.(w)));
+      bufs.(w) <- [];
+      fills.(w) <- 0
+    end
+  in
+  Array.iteri
+    (fun idx a ->
+      let w = primary.(idx) mod jobs in
+      bufs.(w) <- (idx, primary.(idx), a.a_request) :: bufs.(w);
+      fills.(w) <- fills.(w) + 1;
+      if fills.(w) >= 32 then flush w)
+    arrivals;
+  Array.iteri (fun w _ -> flush w) bufs;
+  Array.iter Parallel.Bqueue.close queues;
+  Array.iter Domain.join workers;
+  decisions
+
+(* --- sequential control phase ----------------------------------------------- *)
+
+let service_us (spec : spec) (d : Engine.decision) =
+  match d.Engine.cycles with
+  | Some c -> Float.max spec.min_service_us (float_of_int c /. clock_mhz)
+  | None -> spec.min_service_us
+
+let run ?obs (spec : spec) =
+  let ( let* ) = Result.bind in
+  let* sub =
+    Substrate.create ~vnodes:spec.vnodes ~fault_domains:spec.fault_domains
+      ~nodes:spec.nodes ~replication:spec.replication ~engine:spec.engine
+      spec.casebase
+  in
+  let arrivals, outage_seed, retry_seed = generate_workload spec in
+  let n_req = Array.length arrivals in
+  let outage_inj = Faults.Injector.create ~seed:outage_seed in
+  let retry_inj = Faults.Injector.create ~seed:retry_seed in
+  let events =
+    Faults.Outages.generate outage_inj ~nodes:spec.nodes
+      ~duration_us:spec.duration_us spec.outage
+  in
+  let decisions = compute_decisions sub arrivals ~jobs:spec.jobs in
+  (* Ground-truth outage intervals; permanent kills never end, so the
+     retry tail past the workload horizon still sees them down. *)
+  let down =
+    Array.init spec.nodes (fun node ->
+        Faults.Outages.down_intervals events ~duration_us:Float.infinity ~node)
+  in
+  let is_down node t =
+    List.exists (fun (lo, hi) -> lo <= t && t < hi) down.(node)
+  in
+  let next_failure node t s =
+    if is_down node t then Some (t +. spec.connect_timeout_us)
+    else
+      List.find_map
+        (fun (lo, _) -> if t < lo && lo <= t +. s then Some lo else None)
+        down.(node)
+  in
+  let sim = Desim.Engine.create () in
+  (match obs with
+  | Some o -> Obs.Ctx.set_clock o (fun () -> Desim.Engine.now sim)
+  | None -> ());
+  let detector =
+    Health.create ~period_us:spec.heartbeat_period_us
+      ~suspect_phi:spec.suspect_phi ~down_phi:spec.down_phi ~nodes:spec.nodes
+      ()
+  in
+  let breakers =
+    Array.init spec.nodes (fun _ -> Breaker.create ~config:spec.breaker ())
+  in
+  let inflight = Array.make spec.nodes 0 in
+  let peak_inflight = Array.make spec.nodes 0 in
+  let served = Array.make spec.nodes 0 in
+  let shed = Array.make spec.nodes 0 in
+  let resync_until = Array.make spec.nodes 0.0 in
+  let resyncs = Array.make spec.nodes 0 in
+  let resync_lags = ref [] in
+  let heartbeats = ref 0 in
+  let failovers = ref 0 in
+  let retries = ref 0 in
+  let outcomes = Array.make n_req None in
+  let finished = Array.make n_req 0.0 in
+  (* The detector has nothing new to say after the last scheduled
+     heartbeat scan, so queries from the retry tail clamp to the
+     horizon instead of decaying every node to Down. *)
+  let query_time t = Float.min t spec.duration_us in
+  (* Heartbeat scans: every live node beats; dead nodes miss and their
+     phi accrues. *)
+  let rec scan k _e =
+    let t = float_of_int k *. spec.heartbeat_period_us in
+    Array.iteri
+      (fun node _ ->
+        if not (is_down node t) then begin
+          Health.beat detector ~node ~at:t;
+          incr heartbeats
+        end)
+      inflight;
+    let next = float_of_int (k + 1) *. spec.heartbeat_period_us in
+    if next <= spec.duration_us then Desim.Engine.schedule_at sim ~time:next (scan (k + 1))
+  in
+  if spec.heartbeat_period_us <= spec.duration_us then
+    Desim.Engine.schedule_at sim ~time:spec.heartbeat_period_us (scan 1);
+  (* Rejoin after a transient outage: the node re-replicates what it
+     missed before taking traffic again. *)
+  Array.iteri
+    (fun node intervals ->
+      List.iter
+        (fun (_, hi) ->
+          if Float.is_finite hi then
+            Desim.Engine.schedule_at sim ~time:hi (fun _ ->
+                let entries = (Substrate.node sub node).Substrate.entries in
+                let lag = float_of_int entries /. spec.resync_rate in
+                resync_until.(node) <- hi +. lag;
+                resyncs.(node) <- resyncs.(node) + 1;
+                resync_lags := lag :: !resync_lags))
+        intervals)
+    down;
+  (* Per-request degradation ladder. *)
+  let start_request idx (a : arrival) =
+    match decisions.(idx) with
+    | Error e ->
+        outcomes.(idx) <- Some (Failed (Engine.error_to_string e));
+        finished.(idx) <- a.a_at_us
+    | Ok decision ->
+        let replicas =
+          Substrate.replicas_for sub ~type_id:a.a_request.Request.type_id
+        in
+        let respond r =
+          outcomes.(idx) <- Some r;
+          finished.(idx) <- Desim.Engine.now sim
+        in
+        let rec round attempt _e =
+          let now = Desim.Engine.now sim in
+          let tq = query_time now in
+          let saw_breaker = ref false in
+          let saw_down = ref false in
+          let saw_saturated = ref false in
+          (* Skip detector-down / re-syncing / breaker-open replicas;
+             suspects stay eligible but go to the back of the line. *)
+          let ups, suspects =
+            List.fold_left
+              (fun (ups, sus) node ->
+                match Health.status detector ~node ~at:tq with
+                | Health.Down ->
+                    saw_down := true;
+                    (ups, sus)
+                | _ when now < resync_until.(node) ->
+                    saw_down := true;
+                    (ups, sus)
+                | _ when not (Breaker.allows breakers.(node) ~at:now) ->
+                    saw_breaker := true;
+                    (ups, sus)
+                | Health.Suspect -> (ups, node :: sus)
+                | Health.Up -> (node :: ups, sus))
+              ([], []) replicas
+          in
+          let candidates = List.rev ups @ List.rev suspects in
+          let rec try_candidates = function
+            | [] ->
+                if attempt < spec.max_retries then begin
+                  incr retries;
+                  let u =
+                    if spec.backoff.Faults.Backoff.jitter > 0.0 then
+                      Faults.Injector.uniform retry_inj
+                    else 0.5
+                  in
+                  let delay = Faults.Backoff.delay spec.backoff ~attempt ~u in
+                  Desim.Engine.schedule sim ~delay (round (attempt + 1))
+                end
+                else
+                  let reason =
+                    if !saw_saturated then Saturated
+                    else if !saw_breaker then Breaker_open
+                    else if !saw_down then All_replicas_down
+                    else Retries_exhausted
+                  in
+                  respond
+                    (Degraded
+                       { stale_impl = Some decision.Engine.impl_id; reason })
+            | node :: rest ->
+                let now = Desim.Engine.now sim in
+                let slots = (Substrate.node sub node).Substrate.slots in
+                if inflight.(node) >= slots then begin
+                  (* Saturated: shed towards the next replica, the
+                     [Parallel.Bqueue] contract at cluster scope. *)
+                  saw_saturated := true;
+                  shed.(node) <- shed.(node) + 1;
+                  try_candidates rest
+                end
+                else begin
+                  (match Breaker.state breakers.(node) ~at:now with
+                  | Breaker.Half_open -> Breaker.mark_probe breakers.(node)
+                  | _ -> ());
+                  inflight.(node) <- inflight.(node) + 1;
+                  if inflight.(node) > peak_inflight.(node) then
+                    peak_inflight.(node) <- inflight.(node);
+                  let s = service_us spec decision in
+                  match next_failure node now s with
+                  | None ->
+                      Desim.Engine.schedule sim ~delay:s (fun _ ->
+                          inflight.(node) <- inflight.(node) - 1;
+                          Breaker.record_success breakers.(node)
+                            ~at:(Desim.Engine.now sim);
+                          served.(node) <- served.(node) + 1;
+                          respond (Full { node; decision }))
+                  | Some tf ->
+                      (* The outage kills this attempt in flight: fail
+                         over to the next replica at the failure time. *)
+                      Desim.Engine.schedule_at sim ~time:tf (fun _ ->
+                          inflight.(node) <- inflight.(node) - 1;
+                          Breaker.record_failure breakers.(node) ~at:tf;
+                          incr failovers;
+                          try_candidates rest)
+                end
+          in
+          try_candidates candidates
+        in
+        round 0 sim
+  in
+  Array.iteri
+    (fun idx a ->
+      Desim.Engine.schedule_at sim ~time:a.a_at_us (fun _ ->
+          start_request idx a))
+    arrivals;
+  (* Run to quiescence, not to the horizon: the retry tail of the last
+     arrivals must resolve — every request answers, full or degraded. *)
+  let _fired = Desim.Engine.run sim in
+  let* outcomes =
+    let unresolved = ref 0 in
+    let resolved =
+      Array.map
+        (function
+          | Some r -> r
+          | None ->
+              incr unresolved;
+              Failed "unresolved")
+        outcomes
+    in
+    if !unresolved > 0 then
+      Error (Printf.sprintf "serve: %d requests left unresolved" !unresolved)
+    else Ok resolved
+  in
+  let count p = Array.fold_left (fun a o -> if p o then a + 1 else a) 0 outcomes in
+  let full = count (function Full _ -> true | _ -> false) in
+  let degraded = count (function Degraded _ -> true | _ -> false) in
+  let failed = count (function Failed _ -> true | _ -> false) in
+  let reason_count r =
+    count (function Degraded d -> d.reason = r | _ -> false)
+  in
+  let downtime node =
+    List.fold_left
+      (fun a (lo, hi) ->
+        a
+        +. Float.max 0.0
+             (Float.min spec.duration_us hi -. Float.min spec.duration_us lo))
+      0.0 down.(node)
+  in
+  let per_node =
+    List.init spec.nodes (fun i ->
+        let node = Substrate.node sub i in
+        {
+          ns_node = i;
+          ns_domain = node.Substrate.fault_domain;
+          ns_types = List.length node.Substrate.hosted_types;
+          ns_entries = node.Substrate.entries;
+          ns_slots = node.Substrate.slots;
+          ns_served = served.(i);
+          ns_shed = shed.(i);
+          ns_peak_inflight = peak_inflight.(i);
+          ns_breaker_opens = Breaker.opens breakers.(i);
+          ns_downtime_us = downtime i;
+          ns_resyncs = resyncs.(i);
+          ns_end_status =
+            Health.status detector ~node:i ~at:spec.duration_us;
+        })
+  in
+  let latencies =
+    Array.mapi (fun i a -> finished.(i) -. a.a_at_us) arrivals
+  in
+  let mean_latency =
+    if n_req = 0 then 0.0
+    else Array.fold_left ( +. ) 0.0 latencies /. float_of_int n_req
+  in
+  let max_latency = Array.fold_left Float.max 0.0 latencies in
+  let report =
+    {
+      seed = spec.seed;
+      duration_us = spec.duration_us;
+      nodes = spec.nodes;
+      replication = sub.Substrate.replication;
+      fault_domains = spec.fault_domains;
+      jobs = max 1 spec.jobs;
+      engine_name = spec.engine_name;
+      requests = n_req;
+      full;
+      degraded;
+      failed;
+      availability =
+        (if n_req = 0 then 1.0 else float_of_int full /. float_of_int n_req);
+      failovers = !failovers;
+      retries = !retries;
+      sheds = Array.fold_left ( + ) 0 shed;
+      outage_events = List.length events;
+      heartbeats = !heartbeats;
+      degraded_reasons =
+        List.map
+          (fun r -> (reason_to_string r, reason_count r))
+          [ Breaker_open; All_replicas_down; Saturated; Retries_exhausted ];
+      per_node;
+      mean_latency_us = mean_latency;
+      max_latency_us = max_latency;
+      outcomes;
+      request_meta =
+        Array.map
+          (fun a -> (a.a_app, a.a_request.Request.type_id, a.a_at_us))
+          arrivals;
+    }
+  in
+  (match obs with
+  | None -> ()
+  | Some o ->
+      let reg = o.Obs.Ctx.registry in
+      let outcome_counter kind =
+        Obs.Metrics.counter reg ~help:"Cluster requests by outcome"
+          ~labels:[ ("outcome", kind) ]
+          "qosalloc_cluster_requests_total"
+      in
+      Obs.Metrics.inc_by (outcome_counter "full") full;
+      Obs.Metrics.inc_by (outcome_counter "degraded") degraded;
+      Obs.Metrics.inc_by (outcome_counter "failed") failed;
+      Obs.Metrics.inc_by
+        (Obs.Metrics.counter reg
+           ~help:"In-flight attempts failed over to a replica"
+           "qosalloc_cluster_failover_total")
+        !failovers;
+      List.iter
+        (fun ns ->
+          let labels = [ ("node", string_of_int ns.ns_node) ] in
+          Obs.Metrics.set
+            (Obs.Metrics.gauge reg
+               ~help:"Peak in-flight service fraction per node" ~labels
+               "qosalloc_cluster_node_saturation")
+            (float_of_int ns.ns_peak_inflight /. float_of_int ns.ns_slots);
+          Obs.Metrics.inc_by
+            (Obs.Metrics.counter reg
+               ~help:"Requests shed from a saturated node" ~labels
+               "qosalloc_cluster_shed_total")
+            ns.ns_shed;
+          Obs.Metrics.inc_by
+            (Obs.Metrics.counter reg ~help:"Requests served at full QoS"
+               ~labels "qosalloc_cluster_served_total")
+            ns.ns_served)
+        per_node;
+      let lag_histo =
+        Obs.Metrics.histogram reg
+          ~help:"Catch-up re-replication lag on rejoin (us)"
+          ~buckets:Obs.Metrics.default_buckets
+          "qosalloc_cluster_replication_lag_us"
+      in
+      List.iter (Obs.Metrics.observe lag_histo) (List.rev !resync_lags);
+      let lat_histo =
+        Obs.Metrics.histogram reg
+          ~help:"Request latency, arrival to response (us)"
+          ~buckets:Obs.Metrics.default_buckets "qosalloc_cluster_latency_us"
+      in
+      Array.iter (Obs.Metrics.observe lat_histo) latencies);
+  Ok report
+
+(* --- rendering -------------------------------------------------------------- *)
+
+(* [jobs] is deliberately absent: the rendering (and so the digest) is
+   the cross-[jobs] determinism contract. *)
+let results_to_string (r : report) =
+  let buf = Buffer.create (96 * (r.requests + 16)) in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "cluster-results v1\n";
+  add "seed=%d duration_us=%.1f nodes=%d replication=%d domains=%d engine=%s\n"
+    r.seed r.duration_us r.nodes r.replication r.fault_domains r.engine_name;
+  add "requests=%d full=%d degraded=%d failed=%d availability=%.6f\n"
+    r.requests r.full r.degraded r.failed r.availability;
+  add "failovers=%d retries=%d sheds=%d outages=%d heartbeats=%d\n" r.failovers
+    r.retries r.sheds r.outage_events r.heartbeats;
+  add "degraded:";
+  List.iter (fun (k, v) -> add " %s=%d" k v) r.degraded_reasons;
+  add "\n";
+  List.iter
+    (fun ns ->
+      add
+        "node %d: domain=%d types=%d entries=%d slots=%d served=%d shed=%d \
+         peak=%d opens=%d downtime_us=%.1f resyncs=%d end=%s\n"
+        ns.ns_node ns.ns_domain ns.ns_types ns.ns_entries ns.ns_slots
+        ns.ns_served ns.ns_shed ns.ns_peak_inflight ns.ns_breaker_opens
+        ns.ns_downtime_us ns.ns_resyncs
+        (Health.status_to_string ns.ns_end_status))
+    r.per_node;
+  Array.iteri
+    (fun i o ->
+      let app, type_id, at = r.request_meta.(i) in
+      add "%4d app=%s type=%d t=%.3f " i app type_id at;
+      (match o with
+      | Full { node; decision } ->
+          add "full node=%d impl=%d score=%d" node decision.Engine.impl_id
+            (Fxp.Q15.to_raw decision.Engine.score)
+      | Degraded { stale_impl; reason } ->
+          add "degraded stale=%s reason=%s"
+            (match stale_impl with Some i -> string_of_int i | None -> "-")
+            (reason_to_string reason)
+      | Failed msg -> add "failed: %s" msg);
+      add "\n")
+    r.outcomes;
+  Buffer.contents buf
+
+let results_digest r = Digest.to_hex (Digest.string (results_to_string r))
+
+let pp ppf (r : report) =
+  Format.fprintf ppf
+    "cluster serve: seed=%d nodes=%d replication=%d domains=%d jobs=%d \
+     engine=%s@,"
+    r.seed r.nodes r.replication r.fault_domains r.jobs r.engine_name;
+  Format.fprintf ppf
+    "requests=%d full=%d degraded=%d failed=%d availability=%.4f@," r.requests
+    r.full r.degraded r.failed r.availability;
+  Format.fprintf ppf
+    "failovers=%d retries=%d sheds=%d outages=%d heartbeats=%d@," r.failovers
+    r.retries r.sheds r.outage_events r.heartbeats;
+  Format.fprintf ppf "latency mean=%.1fus max=%.1fus@," r.mean_latency_us
+    r.max_latency_us;
+  List.iter
+    (fun ns ->
+      Format.fprintf ppf
+        "  node %d (domain %d): served=%d shed=%d downtime=%.0fus resyncs=%d \
+         breaker-opens=%d end=%s@,"
+        ns.ns_node ns.ns_domain ns.ns_served ns.ns_shed ns.ns_downtime_us
+        ns.ns_resyncs ns.ns_breaker_opens
+        (Health.status_to_string ns.ns_end_status))
+    r.per_node;
+  Format.fprintf ppf "digest=%s" (results_digest r)

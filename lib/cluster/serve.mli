@@ -1,0 +1,153 @@
+(** The [qosalloc serve] engine: a deterministic multi-node serving
+    run under a seeded outage campaign.
+
+    One run is three phases.
+
+    {b Workload generation} expands the seed into every request arrival
+    up front: per-application PRNG streams are split from the root seed
+    exactly as the fault campaign splits them, then two private
+    injector streams are drawn — one for the outage schedule
+    ({!Faults.Outages}), one for retry jitter.
+
+    {b Decision computation} retrieves every request on its {e primary}
+    replica's engine.  This phase is pure — a decision depends only on
+    the node's sub-case-base, which hosts the full function type — so
+    it is parallelised across [jobs] worker domains (each node's engine
+    is owned by exactly one worker) and the results are merged by
+    submission index.  Decisions are therefore identical at any
+    [jobs].
+
+    {b Control} replays the run on a single discrete-event clock:
+    heartbeats feed the {!Health} detector, outages and rejoins (with
+    catch-up re-replication lag) come from the seeded schedule, and
+    each request walks the degradation ladder — skip detector-down /
+    breaker-open / re-syncing replicas, deprioritise suspects, shed
+    from saturated nodes, fail over in-flight work killed by an
+    outage, back off with capped jittered retries, and finally answer
+    {e degraded} with the stale decision rather than fail.  Every
+    control decision happens in deterministic event order, so the
+    end-of-run report is byte-identical for a fixed seed at any
+    [jobs]. *)
+
+type spec = {
+  duration_us : float;
+  seed : int;
+  nodes : int;
+  replication : int;
+  fault_domains : int;
+  vnodes : int;
+  jobs : int;
+  engine_name : string;  (** Registry name, for the report. *)
+  engine : Qos_core.Engine.factory;
+  apps : Desim.Apps.profile list;
+  casebase : Qos_core.Casebase.t;
+  outage : Faults.Outages.spec;
+  backoff : Faults.Backoff.policy;
+  max_retries : int;
+  heartbeat_period_us : float;
+  suspect_phi : float;
+  down_phi : float;
+  breaker : Breaker.config;
+  connect_timeout_us : float;
+      (** Cost of an attempt routed to a dead-but-undetected node. *)
+  min_service_us : float;
+      (** Service-time floor for engines without a cycle model. *)
+  resync_rate : float;
+      (** Catch-up re-replication rate on rejoin, entries per us. *)
+  min_availability : float;  (** Verdict threshold (full / total). *)
+}
+
+val default_spec : unit -> spec
+(** 200 ms, seed 42, 6 nodes in 3 fault domains, replication 3, the
+    four standard applications against the reference case base on the
+    [native] engine, no outages, [Faults.Backoff.default] with 5
+    retries (a ~6 ms envelope, sized to outlast a typical transient
+    bounce plus detector recovery and rejoin re-replication), and a
+    99% availability floor. *)
+
+type reason = Breaker_open | All_replicas_down | Saturated | Retries_exhausted
+
+val reason_to_string : reason -> string
+
+type response =
+  | Full of { node : int; decision : Qos_core.Engine.decision }
+      (** Answered at full QoS by a live replica. *)
+  | Degraded of { stale_impl : int option; reason : reason }
+      (** Answered from the stale decision — the {!Parallel.Frontend}
+          shed contract — because no replica could serve in time. *)
+  | Failed of string  (** Engine error; never an availability event. *)
+
+type node_stats = {
+  ns_node : int;
+  ns_domain : int;
+  ns_types : int;
+  ns_entries : int;
+  ns_slots : int;
+  ns_served : int;
+  ns_shed : int;  (** Saturation skips charged to this node. *)
+  ns_peak_inflight : int;
+  ns_breaker_opens : int;
+  ns_downtime_us : float;  (** Ground-truth, clamped to the horizon. *)
+  ns_resyncs : int;
+  ns_end_status : Health.status;  (** Detector verdict at the horizon. *)
+}
+
+type report = {
+  seed : int;
+  duration_us : float;
+  nodes : int;
+  replication : int;
+  fault_domains : int;
+  jobs : int;
+  engine_name : string;
+  requests : int;
+  full : int;
+  degraded : int;
+  failed : int;
+  availability : float;  (** [full / requests]; 1.0 when no requests. *)
+  failovers : int;  (** In-flight attempts killed by an outage. *)
+  retries : int;  (** Backoff rounds entered. *)
+  sheds : int;  (** Saturation skips, total. *)
+  outage_events : int;
+  heartbeats : int;
+  degraded_reasons : (string * int) list;  (** Fixed order, zeros kept. *)
+  per_node : node_stats list;  (** Ascending node ID. *)
+  mean_latency_us : float;  (** Arrival to response, over all answered. *)
+  max_latency_us : float;
+  outcomes : response array;  (** By submission index. *)
+  request_meta : (string * int * float) array;
+      (** (app, type_id, arrival_us) by submission index. *)
+}
+
+type verdict = Clean | Degraded_recovered | Unrecovered_loss
+
+val classify : min_availability:float -> report -> verdict
+(** {!Unrecovered_loss} on any [Failed] response or availability below
+    the floor; {!Degraded_recovered} when outages or degraded answers
+    occurred but every request was answered; {!Clean} otherwise. *)
+
+val verdict_to_string : verdict -> string
+val exit_code : min_availability:float -> report -> int
+
+val workload : spec -> (string * float * Qos_core.Request.t) array
+(** The pre-generated arrival trace — (app, arrival time, request) in
+    submission order.  A pure function of the seed, apps and horizon;
+    exposed for property tests and the bench harness. *)
+
+val run : ?obs:Obs.Ctx.t -> spec -> (report, string) result
+(** With [obs], per-node saturation/shed/failover/replication-lag and
+    the request latency histogram land in the registry; the context's
+    clock follows the control engine.  Instrumentation never touches
+    the PRNG or injector streams, so the report is identical with or
+    without it. *)
+
+val results_to_string : report -> string
+(** Canonical plain-text rendering: run header, totals, per-node table
+    and one line per request in submission order.  Byte-identical for a
+    fixed seed at any [jobs]. *)
+
+val results_digest : report -> string
+(** MD5 hex of {!results_to_string} — the CI chaos-leg contract. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human summary (no per-request lines). *)

@@ -1,0 +1,137 @@
+open Qos_core
+
+type node = {
+  node_id : int;
+  fault_domain : int;
+  devices : Allocator.Device.t list;
+  slots : int;
+  hosted_types : int list;
+  casebase : Casebase.t;
+  engine : Engine.t option;
+  entries : int;
+}
+
+type t = {
+  nodes : node array;
+  ring : Ring.t;
+  replication : int;
+  fault_domains : int;
+  casebase : Casebase.t;
+}
+
+let ( let* ) = Result.bind
+
+(* Every node gets the same minimal Fig. 1 slice: one mid-size
+   reconfigurable fabric and one GPP.  Concurrency slots: an FPGA
+   region hosts one function per ~60 units, a processor one per task
+   slot. *)
+let node_devices node_id =
+  let* fpga =
+    Allocator.Device.make
+      ~device_id:(Printf.sprintf "n%d-fpga" node_id)
+      ~target:Target.Fpga ~capacity:240 ()
+  in
+  let* gpp =
+    Allocator.Device.make
+      ~device_id:(Printf.sprintf "n%d-gpp" node_id)
+      ~target:Target.Gpp ~capacity:8 ()
+  in
+  Ok [ fpga; gpp ]
+
+let slots_of devices =
+  let per (d : Allocator.Device.t) =
+    match d.Allocator.Device.target with
+    | Target.Fpga -> max 1 (d.Allocator.Device.capacity / 60)
+    | _ -> d.Allocator.Device.capacity
+  in
+  List.fold_left (fun a d -> a + per d) 0 devices
+
+let rec collect_results = function
+  | [] -> Ok []
+  | Error e :: _ -> Error e
+  | Ok x :: rest ->
+      let* xs = collect_results rest in
+      Ok (x :: xs)
+
+let create ?(vnodes = 64) ?(fault_domains = 3) ~nodes:count ~replication
+    ~engine (cb : Casebase.t) =
+  if count < 1 then Error "Substrate.create: nodes must be >= 1"
+  else if replication < 1 then Error "Substrate.create: replication must be >= 1"
+  else if fault_domains < 1 then
+    Error "Substrate.create: fault_domains must be >= 1"
+  else
+    let replication = min replication count in
+    let members = List.init count (fun i -> (i, i mod fault_domains)) in
+    let* ring = Ring.create ~vnodes ~nodes:members () in
+    (* Placement: each function type lands on its replica set; a node
+       hosts the full type (every variant), so any replica answers
+       decision-identically to the full case base. *)
+    let hosted = Array.make count [] in
+    List.iter
+      (fun (ft : Ftype.t) ->
+        List.iter
+          (fun n -> hosted.(n) <- ft :: hosted.(n))
+          (Ring.route ring ~key:ft.Ftype.id ~replicas:replication))
+      cb.Casebase.ftypes;
+    let* node_list =
+      collect_results
+        (List.map
+           (fun (node_id, fault_domain) ->
+             let* devices = node_devices node_id in
+             let fts = List.rev hosted.(node_id) in
+             let* sub =
+               Casebase.make
+                 ~name:(Printf.sprintf "%s@n%d" cb.Casebase.name node_id)
+                 ~schema:cb.Casebase.schema fts
+             in
+             let* eng =
+               match fts with
+               | [] -> Ok None
+               | _ -> (
+                   match engine sub with
+                   | Ok e -> Ok (Some e)
+                   | Error e ->
+                       Error
+                         (Printf.sprintf "node %d engine: %s" node_id e))
+             in
+             Ok
+               {
+                 node_id;
+                 fault_domain;
+                 devices;
+                 slots = slots_of devices;
+                 hosted_types = List.map (fun (f : Ftype.t) -> f.Ftype.id) fts;
+                 casebase = sub;
+                 engine = eng;
+                 entries =
+                   List.fold_left
+                     (fun a (f : Ftype.t) -> a + List.length f.Ftype.impls)
+                     0 fts;
+               })
+           members)
+    in
+    Ok
+      {
+        nodes = Array.of_list node_list;
+        ring;
+        replication;
+        fault_domains;
+        casebase = cb;
+      }
+
+let replicas_for t ~type_id =
+  Ring.route t.ring ~key:type_id ~replicas:t.replication
+
+let node t i = t.nodes.(i)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cluster: %d nodes, replication %d, %d domains@,"
+    (Array.length t.nodes) t.replication t.fault_domains;
+  Array.iter
+    (fun n ->
+      Format.fprintf ppf "  node %d (domain %d): %d types, %d entries, %d slots@,"
+        n.node_id n.fault_domain
+        (List.length n.hosted_types)
+        n.entries n.slots)
+    t.nodes;
+  Format.fprintf ppf "@]"

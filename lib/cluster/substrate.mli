@@ -1,0 +1,54 @@
+(** The multi-node substrate: membership, replica placement and
+    per-node retrieval engines.
+
+    Each node owns a device inventory (an FPGA fabric plus a GPP, the
+    minimal Fig. 1 slice), hosts the sub-case-base of every function
+    type the {!Ring} routes to it, and compiles that sub-case-base into
+    its own [Qos_core.Engine] instance.  Because a replica hosts the
+    {e entire} function type — every implementation variant — a
+    retrieval answered by any replica of a type is decision-identical
+    to the single-node answer over the full case base: failover never
+    changes the decision, only who serves it.
+
+    Construction is a pure function of (case base, node count,
+    replication, fault domains, engine factory): same inputs, same
+    placement, same engines, on every run. *)
+
+type node = {
+  node_id : int;
+  fault_domain : int;
+  devices : Allocator.Device.t list;  (** This node's inventory. *)
+  slots : int;  (** Concurrent-service capacity derived from devices. *)
+  hosted_types : int list;  (** Ascending function-type IDs. *)
+  casebase : Qos_core.Casebase.t;  (** Sub-case-base of hosted types. *)
+  engine : Qos_core.Engine.t option;  (** [None] when nothing is hosted. *)
+  entries : int;  (** Implementation variants hosted (re-sync unit). *)
+}
+
+type t = {
+  nodes : node array;  (** Indexed by [node_id]. *)
+  ring : Ring.t;
+  replication : int;  (** Effective (clamped to the node count). *)
+  fault_domains : int;
+  casebase : Qos_core.Casebase.t;  (** The full case base. *)
+}
+
+val create :
+  ?vnodes:int ->
+  ?fault_domains:int ->
+  nodes:int ->
+  replication:int ->
+  engine:Qos_core.Engine.factory ->
+  Qos_core.Casebase.t ->
+  (t, string) result
+(** [fault_domains] defaults to 3 (racks); node [i] lives in domain
+    [i mod fault_domains].  [replication] is clamped to [nodes].
+    Fails when any hosted sub-case-base refuses to compile for the
+    chosen engine. *)
+
+val replicas_for : t -> type_id:int -> int list
+(** Replica node IDs in routing order (primary first). *)
+
+val node : t -> int -> node
+
+val pp : Format.formatter -> t -> unit

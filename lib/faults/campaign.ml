@@ -15,10 +15,26 @@ type retry_policy = {
   max_retries : int;
   backoff_base_us : float;
   backoff_factor : float;
+  backoff_cap_us : float;
+  backoff_jitter : float;
 }
 
 let default_retry =
-  { max_retries = 3; backoff_base_us = 200.0; backoff_factor = 2.0 }
+  {
+    max_retries = 3;
+    backoff_base_us = Backoff.default.Backoff.base_us;
+    backoff_factor = Backoff.default.Backoff.factor;
+    backoff_cap_us = Backoff.default.Backoff.cap_us;
+    backoff_jitter = Backoff.default.Backoff.jitter;
+  }
+
+let backoff_policy retry =
+  {
+    Backoff.base_us = retry.backoff_base_us;
+    factor = retry.backoff_factor;
+    cap_us = retry.backoff_cap_us;
+    jitter = retry.backoff_jitter;
+  }
 
 type spec = {
   base : Simulate.spec;
@@ -277,9 +293,16 @@ let run ?obs spec =
           Manager.record_reconfig_failure manager ~task ~cause
             ~attempt:(attempt + 1);
           if attempt < spec.retry.max_retries then begin
+            (* Capped exponential with seeded jitter; a jitter-free
+               policy must not consume randomness, so campaigns with
+               [backoff_jitter = 0] draw the stream they always did. *)
             let backoff =
-              spec.retry.backoff_base_us
-              *. (spec.retry.backoff_factor ** float_of_int attempt)
+              let u =
+                if spec.retry.backoff_jitter > 0.0 then
+                  Injector.uniform injector
+                else 0.5
+              in
+              Backoff.delay (backoff_policy spec.retry) ~attempt ~u
             in
             incr retries;
             Manager.record_retry manager ~task ~attempt:(attempt + 1)

@@ -20,11 +20,20 @@ type retry_policy = {
   max_retries : int;  (** Retries after the initial attempt. *)
   backoff_base_us : float;
   backoff_factor : float;
-      (** Attempt [k] (0-based) backs off [base * factor^k]. *)
+      (** Attempt [k] (0-based) backs off [base * factor^k] ... *)
+  backoff_cap_us : float;
+      (** ... clamped at this cap, so the delay never outgrows the
+          campaign horizon however many attempts the budget allows. *)
+  backoff_jitter : float;
+      (** Relative jitter half-width in [0, 1) (see {!Backoff.policy});
+          the uniform draw comes from the campaign's injector stream.
+          0 disables jitter {e and} consumes no randomness, so legacy
+          jitter-free campaigns replay their exact fault schedule. *)
 }
 
 val default_retry : retry_policy
-(** 3 retries, 200 us base, factor 2. *)
+(** 3 retries, 200 us base, factor 2, 5000 us cap, 0.1 jitter
+    ({!Backoff.default}). *)
 
 type spec = {
   base : Desim.Simulate.spec;  (** Workload, devices, policy, seed. *)

@@ -17,3 +17,5 @@ let draw t ~prob =
   else Workload.Prng.float t.rng < prob
 
 let interval t ~mean_us = Workload.Prng.exponential t.rng ~mean:mean_us
+let uniform t = Workload.Prng.float t.rng
+let index t ~bound = Workload.Prng.int t.rng ~bound

@@ -26,3 +26,11 @@ val draw : t -> prob:float -> bool
 val interval : t -> mean_us:float -> float
 (** Exponentially distributed time to the next fault (Poisson
     process), as SEU arrivals are conventionally modelled. *)
+
+val uniform : t -> float
+(** Uniform in [0, 1) — the raw draw behind retry jitter and outage
+    placement. *)
+
+val index : t -> bound:int -> int
+(** Uniform in [0, bound); [bound] must be positive.  Used to pick
+    outage victims. *)

@@ -1,0 +1,50 @@
+(** Seed-driven node-outage campaigns for the cluster substrate.
+
+    Where {!Campaign} injects faults into one machine's devices, this
+    module schedules whole-{e node} failures: a bounded set of
+    permanent kills plus per-node Poisson bounce storms (transient
+    outages with uniform durations).  The schedule is drawn entirely
+    from one {!Injector} stream, so a campaign is a pure function of
+    the injector's seed — the property the cluster's byte-identical
+    end-of-run reports rest on.
+
+    Node identity is positional ([0 .. nodes-1]); the consumer maps
+    indices onto its own node records. *)
+
+type event = {
+  ev_node : int;
+  ev_at_us : float;
+  ev_kind : [ `Transient of float | `Permanent ];
+      (** [`Transient dur] restores the node [dur] us later. *)
+}
+
+type spec = {
+  permanent_frac : float;
+      (** Fraction of the fleet killed for good: [floor (frac * nodes)]
+          distinct victims.  Clamped to [0, 1]. *)
+  permanent_window : float * float;
+      (** Kill times land uniformly in this window, given as fractions
+          of the campaign duration (e.g. [(0.2, 0.7)]). *)
+  transient_mean_us : float option;
+      (** Mean interval of each node's Poisson bounce process; [None]
+          disables transient outages. *)
+  transient_down_us : float * float;
+      (** Uniform range of a transient outage's duration. *)
+}
+
+val default_spec : spec
+(** No permanent kills, bounces off — a campaign that schedules
+    nothing. *)
+
+val generate : Injector.t -> nodes:int -> duration_us:float -> spec -> event list
+(** Draw one campaign.  Invariants: events are sorted by
+    [(ev_at_us, ev_node)]; per node, transient outages are disjoint;
+    no event is scheduled on or after a node's permanent kill; every
+    event lands inside [0, duration_us).
+    @raise Invalid_argument when [nodes < 1]. *)
+
+val down_intervals : event list -> duration_us:float -> node:int -> (float * float) list
+(** The node's ground-truth downtime as sorted disjoint
+    [(from, until)] intervals (a permanent kill extends to
+    [duration_us]) — the oracle health checks and availability
+    accounting read. *)

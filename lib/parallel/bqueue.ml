@@ -29,11 +29,18 @@ let push t x =
       while (not t.closed) && Queue.length t.queue >= t.capacity do
         Condition.wait t.not_full t.mutex
       done;
-      if t.closed then invalid_arg "Bqueue.push: queue is closed";
-      Queue.push x t.queue;
-      let d = Queue.length t.queue in
-      if d > t.peak then t.peak <- d;
-      Condition.signal t.not_empty)
+      (* A close can arrive while the submitter is blocked at
+         high-water: the element is shed (false) rather than enqueued,
+         raised on, or left blocking forever.  Entries already queued
+         stay for consumers to drain. *)
+      if t.closed then false
+      else begin
+        Queue.push x t.queue;
+        let d = Queue.length t.queue in
+        if d > t.peak then t.peak <- d;
+        Condition.signal t.not_empty;
+        true
+      end)
 
 let pop t =
   with_lock t (fun () ->

@@ -6,16 +6,23 @@
     the submitter), [pop] blocks while it is empty and returns [None]
     once the queue has been closed and drained.  The high-water mark of
     the depth is tracked so the front-end can export a queue-depth
-    gauge without sampling races. *)
+    gauge without sampling races.
+
+    Closing is the shed contract's edge case: a [close] that lands
+    while a submitter is blocked at high-water wakes the submitter,
+    which returns [false] — the element is shed deterministically, not
+    enqueued, raised on, or left blocking — while everything already
+    queued remains for consumers to drain. *)
 
 type 'a t
 
 val create : capacity:int -> 'a t
 (** @raise Invalid_argument when [capacity < 1]. *)
 
-val push : 'a t -> 'a -> unit
-(** Blocks while full.
-    @raise Invalid_argument if the queue was closed. *)
+val push : 'a t -> 'a -> bool
+(** Blocks while the queue is full {e and} open.  [true] when the
+    element was enqueued; [false] when the queue was (or became)
+    closed — the caller sheds the element. *)
 
 val pop : 'a t -> 'a option
 (** Blocks while empty and open; [None] once closed and drained. *)

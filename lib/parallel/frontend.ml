@@ -240,7 +240,13 @@ let run t jobs =
         match !p with
         | [] -> ()
         | b :: rest ->
-            Bqueue.push queues.(i) b;
+            (* The coordinator closes only after this loop, so a [false]
+               (queue closed under us) cannot happen here; shed the
+               batch anyway rather than lose it silently. *)
+            if not (Bqueue.push queues.(i) b) then
+              List.iter
+                (fun (idx, _) -> outcomes.(idx) <- Shed { stale_impl = None })
+                b;
             p := rest;
             decr remaining)
       pending

@@ -1,0 +1,369 @@
+(* Cluster substrate: consistent-hash placement, the phi failure
+   detector, circuit breakers, capped jittered backoff, seeded outage
+   campaigns, and the serve run's robustness contract — zero
+   unrecovered requests and a jobs-invariant report digest. *)
+
+open Qos_core
+module Ring = Cluster.Ring
+module Health = Cluster.Health
+module Breaker = Cluster.Breaker
+module Substrate = Cluster.Substrate
+module Serve = Cluster.Serve
+module Backoff = Faults.Backoff
+module Outages = Faults.Outages
+module Injector = Faults.Injector
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let get = function Ok x -> x | Error e -> Alcotest.fail e
+
+let six_nodes = List.init 6 (fun i -> (i, i mod 3))
+
+(* --- ring ------------------------------------------------------------------ *)
+
+let test_ring_route () =
+  let ring = get (Ring.create ~nodes:six_nodes ()) in
+  check_int "members" 6 (List.length (Ring.node_ids ring));
+  let r = Ring.route ring ~key:3 ~replicas:3 in
+  check_int "replica count" 3 (List.length r);
+  check_int "distinct" 3 (List.length (List.sort_uniq compare r));
+  check_bool "deterministic" true (Ring.route ring ~key:3 ~replicas:3 = r);
+  check_int "oversubscribed walk returns everyone" 6
+    (List.length (Ring.route ring ~key:3 ~replicas:99));
+  Alcotest.check_raises "bad replicas"
+    (Invalid_argument "Ring.route: replicas must be >= 1") (fun () ->
+      ignore (Ring.route ring ~key:1 ~replicas:0))
+
+let test_ring_domain_diversity () =
+  (* Three domains, three replicas: every replica set must use each
+     domain exactly once, so one rack outage never strands a type. *)
+  let ring = get (Ring.create ~nodes:six_nodes ()) in
+  for key = 1 to 50 do
+    let domains =
+      List.map
+        (fun n -> Option.get (Ring.domain_of ring n))
+        (Ring.route ring ~key ~replicas:3)
+    in
+    check_int
+      (Printf.sprintf "key %d spans all domains" key)
+      3
+      (List.length (List.sort_uniq compare domains))
+  done
+
+let test_ring_spread () =
+  let ring = get (Ring.create ~nodes:six_nodes ()) in
+  let keys = List.init 100 (fun i -> i + 1) in
+  let census = Ring.spread ring ~keys ~replicas:3 in
+  check_int "census covers members" 6 (List.length census);
+  check_int "every key counted once per replica" 300
+    (List.fold_left (fun a (_, c) -> a + c) 0 census);
+  List.iter
+    (fun (node, count) ->
+      check_bool (Printf.sprintf "node %d hosts something" node) true
+        (count > 0))
+    census
+
+(* --- health ---------------------------------------------------------------- *)
+
+let test_health_thresholds () =
+  let h = Health.create ~period_us:500.0 ~nodes:2 () in
+  Health.beat h ~node:0 ~at:1_000.0;
+  check_bool "fresh beat is up" true
+    (Health.status h ~node:0 ~at:1_100.0 = Health.Up);
+  check_bool "phi is zero at the beat" true (Health.phi h ~node:0 ~at:1_000.0 = 0.0);
+  (* suspect_phi 1.0 crosses at ~2.3 missed periods *)
+  check_bool "late beats turn suspect" true
+    (Health.status h ~node:0 ~at:(1_000.0 +. (2.5 *. 500.0)) = Health.Suspect);
+  (* down_phi 3.0 crosses at ~6.9 missed periods *)
+  check_bool "very late beats turn down" true
+    (Health.status h ~node:0 ~at:(1_000.0 +. (8.0 *. 500.0)) = Health.Down);
+  Health.beat h ~node:0 ~at:5_000.0;
+  check_bool "a beat recovers the node" true
+    (Health.status h ~node:0 ~at:5_100.0 = Health.Up);
+  Health.beat h ~node:0 ~at:4_000.0;
+  check_bool "beats never move time backwards" true
+    (Health.last_beat h ~node:0 = 5_000.0)
+
+(* --- breaker --------------------------------------------------------------- *)
+
+let test_breaker_ladder () =
+  let b =
+    Breaker.create
+      ~config:{ Breaker.failure_threshold = 3; cooldown_us = 1_000.0 }
+      ()
+  in
+  Breaker.record_failure b ~at:10.0;
+  Breaker.record_failure b ~at:20.0;
+  check_bool "under threshold stays closed" true (Breaker.allows b ~at:25.0);
+  Breaker.record_failure b ~at:30.0;
+  check_bool "third consecutive failure opens" true
+    (Breaker.state b ~at:31.0 = Breaker.Open);
+  check_bool "open sheds" false (Breaker.allows b ~at:500.0);
+  check_bool "cooldown expiry goes half-open" true
+    (Breaker.state b ~at:1_031.0 = Breaker.Half_open);
+  check_bool "half-open admits one probe" true (Breaker.allows b ~at:1_031.0);
+  Breaker.mark_probe b;
+  check_bool "probe slot taken" false (Breaker.allows b ~at:1_032.0);
+  Breaker.record_failure b ~at:1_040.0;
+  check_bool "failed probe re-opens" true
+    (Breaker.state b ~at:1_041.0 = Breaker.Open);
+  check_int "two trips recorded" 2 (Breaker.opens b);
+  Breaker.record_success b ~at:2_100.0;
+  check_bool "successful probe closes" true
+    (Breaker.state b ~at:2_101.0 = Breaker.Closed && Breaker.allows b ~at:2_101.0)
+
+(* --- backoff --------------------------------------------------------------- *)
+
+let test_backoff_cap_and_jitter () =
+  let p =
+    { Backoff.base_us = 200.0; factor = 2.0; cap_us = 1_000.0; jitter = 0.25 }
+  in
+  let mid = { p with Backoff.jitter = 0.0 } in
+  check_bool "attempt 0 is the base" true
+    (Backoff.delay mid ~attempt:0 ~u:0.5 = 200.0);
+  check_bool "attempt 2 is base*factor^2" true
+    (Backoff.delay mid ~attempt:2 ~u:0.5 = 800.0);
+  check_bool "the exponential is capped" true
+    (Backoff.delay mid ~attempt:20 ~u:0.5 = 1_000.0);
+  (* Jitter stays inside [capped*(1-j), capped*(1+j)). *)
+  List.iter
+    (fun u ->
+      let d = Backoff.delay p ~attempt:20 ~u in
+      check_bool
+        (Printf.sprintf "jittered delay in bounds at u=%.2f" u)
+        true
+        (d >= 750.0 && d < 1_250.0))
+    [ 0.0; 0.25; 0.5; 0.75; 0.999 ];
+  check_bool "max_delay bounds the envelope" true
+    (Backoff.max_delay p = 1_250.0);
+  Alcotest.check_raises "jitter must stay below 1"
+    (Invalid_argument "Backoff.delay: jitter must be in [0, 1)") (fun () ->
+      ignore (Backoff.delay { p with Backoff.jitter = 1.0 } ~attempt:0 ~u:0.5))
+
+(* --- outages --------------------------------------------------------------- *)
+
+let outage_spec =
+  {
+    Outages.permanent_frac = 0.34;
+    permanent_window = (0.2, 0.7);
+    transient_mean_us = Some 20_000.0;
+    transient_down_us = (1_000.0, 5_000.0);
+  }
+
+let test_outages_schedule () =
+  let gen () =
+    Outages.generate
+      (Injector.create ~seed:5)
+      ~nodes:6 ~duration_us:100_000.0 outage_spec
+  in
+  let events = gen () in
+  check_bool "same seed, same schedule" true (events = gen ());
+  let kills =
+    List.filter (fun e -> e.Outages.ev_kind = `Permanent) events
+  in
+  check_int "floor(0.34 * 6) permanent kills" 2 (List.length kills);
+  check_int "distinct victims" 2
+    (List.length
+       (List.sort_uniq compare (List.map (fun e -> e.Outages.ev_node) kills)));
+  let times = List.map (fun e -> e.Outages.ev_at_us) events in
+  check_bool "sorted by time" true (List.sort compare times = times);
+  for node = 0 to 5 do
+    let spans =
+      Outages.down_intervals events ~duration_us:100_000.0 ~node
+    in
+    ignore
+      (List.fold_left
+         (fun prev (lo, hi) ->
+           check_bool "interval well-formed" true (lo < hi);
+           check_bool "intervals disjoint and sorted" true (lo > prev);
+           hi)
+         (-1.0) spans)
+  done
+
+(* --- substrate ------------------------------------------------------------- *)
+
+let native = get (Engines.of_name "native")
+
+let test_substrate_placement () =
+  let cb = Desim.Apps.reference_casebase in
+  let sub =
+    get
+      (Substrate.create ~nodes:6 ~replication:3 ~fault_domains:3 ~engine:native
+         cb)
+  in
+  check_int "replication effective" 3 sub.Substrate.replication;
+  let total_impls =
+    List.fold_left
+      (fun a (ft : Ftype.t) -> a + List.length ft.Ftype.impls)
+      0 cb.Casebase.ftypes
+  in
+  let hosted_entries =
+    Array.fold_left (fun a n -> a + n.Substrate.entries) 0 sub.Substrate.nodes
+  in
+  check_int "every entry hosted replication times" (3 * total_impls)
+    hosted_entries;
+  List.iter
+    (fun (ft : Ftype.t) ->
+      let replicas = Substrate.replicas_for sub ~type_id:ft.Ftype.id in
+      check_int "replica set size" 3 (List.length replicas);
+      List.iter
+        (fun r ->
+          let node = Substrate.node sub r in
+          check_bool "replica hosts the type" true
+            (List.mem ft.Ftype.id node.Substrate.hosted_types);
+          check_bool "replica has an engine" true
+            (node.Substrate.engine <> None))
+        replicas)
+    cb.Casebase.ftypes
+
+(* --- serve ----------------------------------------------------------------- *)
+
+let spec ?(duration_us = 60_000.0) ?(seed = 7) ?(nodes = 6) ?(replication = 3)
+    ?(jobs = 1) ?(outage = Outages.default_spec) () =
+  let d = Serve.default_spec () in
+  { d with Serve.duration_us; seed; nodes; replication; jobs; outage }
+
+let test_serve_clean () =
+  let s = spec ~duration_us:20_000.0 ~seed:42 () in
+  let r = get (Serve.run s) in
+  check_bool "has requests" true (r.Serve.requests > 0);
+  check_int "all full" r.Serve.requests r.Serve.full;
+  check_bool "availability 1.0" true (r.Serve.availability = 1.0);
+  check_int "clean exit" 0 (Serve.exit_code ~min_availability:0.99 r);
+  let again = get (Serve.run s) in
+  check_bool "byte-identical rerun" true
+    (String.equal (Serve.results_to_string r) (Serve.results_to_string again))
+
+let test_serve_chaos_acceptance () =
+  (* The ISSUE acceptance: a seeded campaign permanently killing 1/3 of
+     the nodes and bouncing the rest must complete with every request
+     answered (full or explicitly degraded), >= 99% full-QoS
+     availability, and a report digest that is byte-identical at any
+     --jobs. *)
+  let run jobs =
+    get (Serve.run (spec ~duration_us:200_000.0 ~seed:7 ~jobs ~outage:outage_spec ()))
+  in
+  let r1 = run 1 in
+  check_bool "outages actually happened" true (r1.Serve.outage_events > 0);
+  check_int "zero unrecovered requests" 0 r1.Serve.failed;
+  check_int "every request answered" r1.Serve.requests
+    (r1.Serve.full + r1.Serve.degraded);
+  check_bool "availability >= 99%" true (r1.Serve.availability >= 0.99);
+  check_bool "failovers exercised" true (r1.Serve.failovers > 0);
+  check_bool "verdict at worst degraded-recovered" true
+    (Serve.exit_code ~min_availability:0.99 r1 <= 1);
+  let d1 = Serve.results_digest r1 in
+  check_bool "digest invariant at jobs=3" true
+    (String.equal d1 (Serve.results_digest (run 3)));
+  check_bool "digest invariant at jobs=4" true
+    (String.equal d1 (Serve.results_digest (run 4)))
+
+let test_serve_degraded_path () =
+  (* Replication 1 leaves no replica to fail over to: killing nodes
+     must degrade (stale decisions), never drop requests. *)
+  let outage = { outage_spec with Outages.permanent_frac = 0.5 } in
+  let r =
+    get (Serve.run (spec ~duration_us:100_000.0 ~seed:3 ~replication:1 ~outage ()))
+  in
+  check_int "zero unrecovered" 0 r.Serve.failed;
+  check_bool "degradation engaged" true (r.Serve.degraded > 0);
+  Array.iter
+    (function
+      | Serve.Degraded { stale_impl; _ } ->
+          check_bool "degraded carries the stale decision" true
+            (stale_impl <> None)
+      | Serve.Full _ -> ()
+      | Serve.Failed msg -> Alcotest.fail ("unexpected failure: " ^ msg))
+    r.Serve.outcomes
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_serve_obs () =
+  let obs = Obs.Ctx.create () in
+  let _r = get (Serve.run ~obs (spec ~duration_us:30_000.0 ~outage:outage_spec ())) in
+  let prom = Obs.Metrics.to_prometheus obs.Obs.Ctx.registry in
+  List.iter
+    (fun name -> check_bool (name ^ " exported") true (contains prom name))
+    [
+      "qosalloc_cluster_requests_total";
+      "qosalloc_cluster_node_saturation";
+      "qosalloc_cluster_shed_total";
+      "qosalloc_cluster_failover_total";
+      "qosalloc_cluster_replication_lag_us";
+      "qosalloc_cluster_latency_us";
+    ]
+
+(* --- replica-consistency property ------------------------------------------ *)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen f)
+
+let props =
+  [
+    (* For any seeded outage schedule, every successful (full-QoS)
+       response is decision-identical to the single-node native engine
+       over the whole case base: replication and failover never change
+       an answer, only who serves it. *)
+    prop "full responses match the single-node engine"
+      QCheck2.Gen.(triple (int_range 0 10_000) bool (int_range 1 4))
+      (fun (seed, storm, jobs) ->
+        let outage =
+          if storm then outage_spec else Outages.default_spec
+        in
+        let s = spec ~duration_us:20_000.0 ~seed ~jobs ~outage () in
+        let r = get (Serve.run s) in
+        let reference = get (native s.Serve.casebase) in
+        let requests = Serve.workload s in
+        check_int "trace and outcomes align" (Array.length requests)
+          (Array.length r.Serve.outcomes);
+        Array.for_all2
+          (fun (_, _, request) outcome ->
+            match outcome with
+            | Serve.Failed _ -> false
+            | Serve.Degraded { stale_impl; _ } -> (
+                match reference.Engine.retrieve request with
+                | Ok d -> stale_impl = Some d.Engine.impl_id
+                | Error _ -> false)
+            | Serve.Full { decision; _ } -> (
+                match reference.Engine.retrieve request with
+                | Ok d -> Engine.equal_decision d decision
+                | Error _ -> false))
+          requests r.Serve.outcomes);
+  ]
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "route" `Quick test_ring_route;
+          Alcotest.test_case "fault-domain diversity" `Quick
+            test_ring_domain_diversity;
+          Alcotest.test_case "spread" `Quick test_ring_spread;
+        ] );
+      ( "health",
+        [ Alcotest.test_case "phi thresholds" `Quick test_health_thresholds ] );
+      ( "breaker",
+        [ Alcotest.test_case "open/half-open ladder" `Quick test_breaker_ladder ]
+      );
+      ( "backoff",
+        [
+          Alcotest.test_case "cap and jitter bounds" `Quick
+            test_backoff_cap_and_jitter;
+        ] );
+      ( "outages",
+        [ Alcotest.test_case "seeded schedule" `Quick test_outages_schedule ] );
+      ( "substrate",
+        [ Alcotest.test_case "placement" `Quick test_substrate_placement ] );
+      ( "serve",
+        [
+          Alcotest.test_case "clean run" `Quick test_serve_clean;
+          Alcotest.test_case "chaos acceptance" `Quick
+            test_serve_chaos_acceptance;
+          Alcotest.test_case "degraded path" `Quick test_serve_degraded_path;
+          Alcotest.test_case "obs metrics" `Quick test_serve_obs;
+        ] );
+      ("properties", props);
+    ]

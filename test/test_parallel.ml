@@ -49,17 +49,17 @@ let run_with ~jobs:n ?engine ?(batch = 8) ?(high_water = 4096) stream =
 
 let test_bqueue_fifo () =
   let q = Q.create ~capacity:4 in
-  Q.push q 1;
-  Q.push q 2;
-  Q.push q 3;
+  check_bool "push accepted" true (Q.push q 1);
+  check_bool "push accepted" true (Q.push q 2);
+  check_bool "push accepted" true (Q.push q 3);
   check_int "depth" 3 (Q.depth q);
   check_int "peak" 3 (Q.peak_depth q);
   check_bool "fifo" true (Q.pop q = Some 1 && Q.pop q = Some 2);
   Q.close q;
   check_bool "drains after close" true (Q.pop q = Some 3);
   check_bool "then None" true (Q.pop q = None);
-  Alcotest.check_raises "push after close"
-    (Invalid_argument "Bqueue.push: queue is closed") (fun () -> Q.push q 4);
+  check_bool "push after close sheds" false (Q.push q 4);
+  check_bool "shed push enqueued nothing" true (Q.pop q = None);
   Alcotest.check_raises "bad capacity"
     (Invalid_argument "Bqueue.create: capacity must be >= 1") (fun () ->
       ignore (Q.create ~capacity:0))
@@ -81,11 +81,30 @@ let test_bqueue_backpressure () =
         loop ())
   in
   for i = 1 to 20 do
-    Q.push q i
+    check_bool "accepted while open" true (Q.push q i)
   done;
   Q.close q;
   check_int "all consumed" 20 (Domain.join consumer);
   check_bool "depth never exceeded capacity" true (Q.peak_depth q <= 2)
+
+let test_bqueue_close_while_full () =
+  (* Regression: a submitter blocked at high-water must be woken by
+     [close] and told its element was shed ([false]) — previously it
+     either blocked forever or raised depending on the race — while the
+     entries already queued survive for the consumer. *)
+  let q = Q.create ~capacity:1 in
+  check_bool "first fill" true (Q.push q 1);
+  let blocked =
+    Domain.spawn (fun () -> Q.push q 2 (* blocks: queue is at capacity *))
+  in
+  (* Give the pusher ample time to park on [not_full], then close. *)
+  for _ = 1 to 100_000 do
+    Domain.cpu_relax ()
+  done;
+  Q.close q;
+  check_bool "blocked push shed on close" false (Domain.join blocked);
+  check_bool "queued entry survives close" true (Q.pop q = Some 1);
+  check_bool "shed entry never enqueued" true (Q.pop q = None)
 
 (* --- Shard partition ------------------------------------------------------- *)
 
@@ -271,6 +290,8 @@ let () =
         [
           Alcotest.test_case "fifo and close" `Quick test_bqueue_fifo;
           Alcotest.test_case "backpressure" `Quick test_bqueue_backpressure;
+          Alcotest.test_case "close while full" `Quick
+            test_bqueue_close_while_full;
         ] );
       ("shard", [ Alcotest.test_case "partition" `Quick test_partition ]);
       ( "frontend",
