@@ -18,7 +18,8 @@
      B2  extra    - Mahalanobis cost comparison (Sec. 2.2 claim)
      R1  extra    - fault campaigns: scrubbing on vs off under SEUs
      NETLIST extra - IR elaboration + pass-suite cost (BENCH_netlist.json)
-     OBS extra    - observability instrumentation overhead (BENCH_obs.json) *)
+     OBS extra    - observability instrumentation overhead (BENCH_obs.json)
+     OBS2 extra   - flight-recorder overhead on the serve path (BENCH_obs2.json) *)
 
 open Qos_core
 
@@ -1362,6 +1363,104 @@ let run_obs_bench () =
       Printf.printf "-> BENCH_obs.json\n"
   | _ -> Printf.printf "no estimates (benchmark failed to stabilise)\n"
 
+let run_obs2_bench () =
+  section "OBS2" "flight-recorder overhead on the serve path (BENCH_obs2.json)";
+  Printf.printf
+    "the replication-3 chaos campaign three ways: uninstrumented, with\n\
+     the structured event log recording every admission / failover /\n\
+     verdict, and with the full recorder (events + streaming metrics +\n\
+     spans + two SLO trackers).  Events are recorded only from the\n\
+     sequential control phase, so the cost is a ring-slot write per\n\
+     event — never a lock or an allocation proportional to the run.\n\n";
+  let outage =
+    {
+      Faults.Outages.permanent_frac = 0.34;
+      permanent_window = (0.2, 0.7);
+      transient_mean_us = Some 20_000.0;
+      transient_down_us = (1_000.0, 5_000.0);
+    }
+  in
+  let spec ?slo () =
+    {
+      (Cluster.Serve.default_spec ()) with
+      Cluster.Serve.duration_us = 50_000.0;
+      seed = 7;
+      replication = 3;
+      jobs = 1;
+      outage;
+      slo;
+    }
+  in
+  let slo =
+    Cluster.Serve.default_slo ~availability:0.99 ~latency_us:500.0
+  in
+  let tests =
+    [
+      Test.make ~name:"off"
+        (Staged.stage (fun () -> ignore (get (Cluster.Serve.run (spec ())))));
+      Test.make ~name:"events"
+        (Staged.stage (fun () ->
+             let obs = Obs.Ctx.create ~events:(Obs.Events.recording ()) () in
+             ignore (get (Cluster.Serve.run ~obs (spec ())))));
+      Test.make ~name:"full"
+        (Staged.stage (fun () ->
+             let obs =
+               Obs.Ctx.create
+                 ~tracer:(Obs.Tracer.collecting ())
+                 ~events:(Obs.Events.recording ())
+                 ()
+             in
+             ignore (get (Cluster.Serve.run ~obs (spec ~slo ())))));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"obs2" ~fmt:"%s/%s" tests)
+  in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  let estimate name =
+    match Hashtbl.find_opt results (Measure.label Instance.monotonic_clock) with
+    | None -> None
+    | Some per_test ->
+        Option.bind
+          (Hashtbl.find_opt per_test ("obs2/" ^ name))
+          (fun ols ->
+            match Analyze.OLS.estimates ols with
+            | Some [ ns ] -> Some ns
+            | Some _ | None -> None)
+  in
+  match (estimate "off", estimate "events", estimate "full") with
+  | Some off, Some events, Some full ->
+      let pct v = 100.0 *. (v -. off) /. off in
+      let events_pct = pct events and full_pct = pct full in
+      Printf.printf "%-12s %14s %10s\n" "variant" "ns/run" "overhead";
+      Printf.printf "%-12s %14.0f %10s\n" "off" off "-";
+      Printf.printf "%-12s %14.0f %+9.2f%%\n" "events" events events_pct;
+      Printf.printf "%-12s %14.0f %+9.2f%%\n" "full" full full_pct;
+      Printf.printf
+        "\nacceptance: events-enabled serve overhead < 5%% (the decision\n\
+         phase never records; the control phase pays one ring write per\n\
+         event).\n";
+      let oc = open_out "BENCH_obs2.json" in
+      Printf.fprintf oc
+        "{\"bench\":\"obs2\",\"workload\":\"serve-50ms-repl3-chaos\",\
+         \"ns_per_run\":{\"off\":%.1f,\"events\":%.1f,\"full\":%.1f},\
+         \"events_overhead_pct\":%.2f,\"full_overhead_pct\":%.2f}\n"
+        off events full events_pct full_pct;
+      close_out oc;
+      Printf.printf "-> BENCH_obs2.json\n"
+  | _ -> Printf.printf "no estimates (benchmark failed to stabilise)\n"
+
 let run_netlist_bench () =
   section "NETLIST"
     "extra: netlist elaboration and IR pass suite (BENCH_netlist.json)";
@@ -1508,6 +1607,7 @@ let sections =
     ("native", run_native);
     ("netlist", run_netlist_bench);
     ("obs", run_obs_bench);
+    ("obs2", run_obs2_bench);
     ("micro", run_micro);
     ("scorecard", run_scorecard);
   ]

@@ -73,24 +73,40 @@ let trace_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
-(* Metrics alone run with the no-op tracer sink, so spans cost one
-   branch unless --trace-out asked for them. *)
-let make_obs ~metrics ~trace_out =
-  match (metrics, trace_out) with
-  | None, None -> None
+let events_out_arg =
+  let doc =
+    "Write the structured event log (the flight recorder) as NDJSON to \
+     $(docv): one JSON object per event — request life cycle, node and \
+     breaker transitions, rejoins, sheds, SLO alerts — stamped with \
+     sim-time, terminated by an $(b,eventlog-summary) line.  \
+     Byte-identical for a fixed seed at any $(b,--jobs)."
+  in
+  Arg.(value & opt (some string) None & info [ "events-out" ] ~docv:"FILE" ~doc)
+
+(* Metrics alone run with the no-op tracer and event sinks, so spans
+   and events cost one branch unless --trace-out / --events-out asked
+   for them. *)
+let make_obs ~metrics ~trace_out ~events_out =
+  match (metrics, trace_out, events_out) with
+  | None, None, None -> None
   | _ ->
       let tracer =
         match trace_out with
         | None -> Obs.Tracer.noop ()
         | Some _ -> Obs.Tracer.collecting ()
       in
-      Some (Obs.Ctx.create ~tracer ())
+      let events =
+        match events_out with
+        | None -> Obs.Events.noop ()
+        | Some _ -> Obs.Events.recording ()
+      in
+      Some (Obs.Ctx.create ~tracer ~events ())
 
 let write_file path contents =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc contents)
 
-let emit_obs obs ~metrics ~trace_out =
+let emit_obs obs ~metrics ~trace_out ~events_out =
   match obs with
   | None -> ()
   | Some ctx ->
@@ -103,7 +119,10 @@ let emit_obs obs ~metrics ~trace_out =
              else Obs.Metrics.to_prometheus ctx.Obs.Ctx.registry));
       (match trace_out with
       | None -> ()
-      | Some path -> write_file path (Obs.Tracer.to_json ctx.Obs.Ctx.tracer))
+      | Some path -> write_file path (Obs.Tracer.to_json ctx.Obs.Ctx.tracer));
+      (match events_out with
+      | None -> ()
+      | Some path -> write_file path (Obs.Events.to_ndjson ctx.Obs.Ctx.events))
 
 (* --- retrieve ----------------------------------------------------------- *)
 
@@ -326,11 +345,11 @@ let trace_cmd =
     Printf.printf "best: impl %d, S = %.4f\n" o.Rtlsim.Machine.best_impl_id
       (Fxp.Q15.to_float o.Rtlsim.Machine.best_score);
     Format.printf "%a@." Rtlsim.Machine.pp_stats o.Rtlsim.Machine.stats;
-    (match make_obs ~metrics ~trace_out with
+    (match make_obs ~metrics ~trace_out ~events_out:None with
     | None -> ()
     | Some ctx as obs ->
         observe_retrieval ctx o;
-        emit_obs obs ~metrics ~trace_out);
+        emit_obs obs ~metrics ~trace_out ~events_out:None);
     match vcd with
     | None -> ()
     | Some path ->
@@ -442,7 +461,7 @@ let simulate_cmd =
         retrieval_engine;
       }
     in
-    let obs = make_obs ~metrics ~trace_out in
+    let obs = make_obs ~metrics ~trace_out ~events_out:None in
     let report = Desim.Simulate.run ?obs spec in
     (match (jobs, batch, par_out) with
     | None, None, None -> ()
@@ -451,7 +470,7 @@ let simulate_cmd =
           ~jobs:(Option.value jobs ~default:1)
           ~batch:(Option.value batch ~default:16)
           ~par_out);
-    emit_obs obs ~metrics ~trace_out;
+    emit_obs obs ~metrics ~trace_out ~events_out:None;
     Format.printf "%a@." Desim.Simulate.pp_report report;
     match trace_csv with
     | None -> ()
@@ -563,7 +582,7 @@ let parse_device_fault s =
 let faults_cmd =
   let run duration_us seed seu_mean scrub_period reconfig_prob flash_prob
       deadline max_retries backoff_us backoff_factor backoff_cap_us
-      backoff_jitter device_faults format metrics trace_out engine =
+      backoff_jitter device_faults format metrics trace_out events_out engine =
     let base =
       {
         (Desim.Simulate.default_spec ()) with
@@ -603,9 +622,9 @@ let faults_cmd =
         device_faults;
       }
     in
-    let obs = make_obs ~metrics ~trace_out in
+    let obs = make_obs ~metrics ~trace_out ~events_out in
     let report = Faults.Campaign.run ?obs spec in
-    emit_obs obs ~metrics ~trace_out;
+    emit_obs obs ~metrics ~trace_out ~events_out;
     (match format with
     | `Json -> print_string (Faults.Campaign.to_json report)
     | `Text -> Format.printf "@[<v>%a@]@." Faults.Campaign.pp report);
@@ -752,14 +771,15 @@ let faults_cmd =
       const run $ duration $ seed $ seu_mean $ scrub_period $ reconfig_prob
       $ flash_prob $ deadline $ max_retries $ backoff_us $ backoff_factor
       $ backoff_cap_us $ backoff_jitter $ device_faults $ format_arg
-      $ metrics_arg $ trace_out_arg $ engine)
+      $ metrics_arg $ trace_out_arg $ events_out_arg $ engine)
 
 (* --- serve ----------------------------------------------------------------- *)
 
 let serve_cmd =
   let run duration_us seed nodes replication fault_domains jobs engine_name
       kill_frac bounce_mean bounce_down retries backoff_us backoff_factor
-      backoff_cap_us backoff_jitter min_availability out metrics trace_out =
+      backoff_cap_us backoff_jitter min_availability slo slo_out out metrics
+      trace_out events_out =
     let engine = or_die (Engines.of_name engine_name) in
     let d = Cluster.Serve.default_spec () in
     let spec =
@@ -789,14 +809,23 @@ let serve_cmd =
           };
         max_retries = retries;
         min_availability;
+        slo =
+          Option.map
+            (fun (availability, latency_us) ->
+              Cluster.Serve.default_slo ~availability ~latency_us)
+            slo;
       }
     in
-    let obs = make_obs ~metrics ~trace_out in
+    let obs = make_obs ~metrics ~trace_out ~events_out in
     let report = or_die (Cluster.Serve.run ?obs spec) in
-    emit_obs obs ~metrics ~trace_out;
+    emit_obs obs ~metrics ~trace_out ~events_out;
     (match out with
     | None -> ()
     | Some path -> write_file path (Cluster.Serve.results_to_string report));
+    (match slo_out with
+    | None -> ()
+    | Some path ->
+        write_file path (Obs.Slo.reports_to_json report.Cluster.Serve.slo));
     Format.printf "@[<v>%a@]@." Cluster.Serve.pp report;
     exit (Cluster.Serve.exit_code ~min_availability report)
   in
@@ -906,6 +935,28 @@ let serve_cmd =
             "Full-QoS availability floor below which the run classifies as \
              unrecovered loss (exit 2).")
   in
+  let slo =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' float float)) None
+      & info [ "slo" ] ~docv:"AVAIL:LAT_US"
+          ~doc:
+            "Track two service-level objectives over the run with \
+             multi-window burn-rate alerting: an availability objective \
+             (a full-QoS answer is a good event) and a latency objective \
+             (a response within $(b,LAT_US) microseconds is a good event), \
+             both targeting the fraction $(b,AVAIL).  A missed objective \
+             classifies the run as unrecovered loss (exit 2).")
+  in
+  let slo_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slo-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the per-objective SLO reports (attainment, burn alerts, \
+             firing time) as canonical JSON to $(docv).")
+  in
   let out =
     Arg.(
       value
@@ -931,7 +982,8 @@ let serve_cmd =
         "Exit status: 0 when every request was answered at full QoS with no \
          outage activity, 1 when faults occurred but every request was \
          still answered and availability held above the floor, 2 on any \
-         failed request or availability below $(b,--min-availability).";
+         failed request, availability below $(b,--min-availability), or a \
+         missed $(b,--slo) objective.";
     ]
   in
   Cmd.v (Cmd.info "serve" ~doc ~man)
@@ -939,7 +991,7 @@ let serve_cmd =
       const run $ duration $ seed $ nodes $ replication $ fault_domains $ jobs
       $ engine $ kill_frac $ bounce_mean $ bounce_down $ retries $ backoff_us
       $ backoff_factor $ backoff_cap_us $ backoff_jitter $ min_availability
-      $ out $ metrics_arg $ trace_out_arg)
+      $ slo $ slo_out $ out $ metrics_arg $ trace_out_arg $ events_out_arg)
 
 (* --- profile --------------------------------------------------------------- *)
 

@@ -1,5 +1,23 @@
 open Qos_core
 
+type slo_spec = {
+  slo_availability : float;
+  slo_latency_us : float;
+  slo_fast_window_us : float;
+  slo_slow_window_us : float;
+  slo_burn_threshold : float;
+}
+
+let default_slo ~availability ~latency_us =
+  let d = Obs.Slo.default_spec in
+  {
+    slo_availability = availability;
+    slo_latency_us = latency_us;
+    slo_fast_window_us = d.Obs.Slo.fast_window_us;
+    slo_slow_window_us = d.Obs.Slo.slow_window_us;
+    slo_burn_threshold = d.Obs.Slo.burn_threshold;
+  }
+
 type spec = {
   duration_us : float;
   seed : int;
@@ -23,6 +41,7 @@ type spec = {
   min_service_us : float;
   resync_rate : float;
   min_availability : float;
+  slo : slo_spec option;
 }
 
 let clock_mhz = 75.0
@@ -59,6 +78,7 @@ let default_spec () =
     min_service_us = 40.0;
     resync_rate = 0.01;
     min_availability = 0.99;
+    slo = None;
   }
 
 type reason = Breaker_open | All_replicas_down | Saturated | Retries_exhausted
@@ -73,6 +93,11 @@ type response =
   | Full of { node : int; decision : Engine.decision }
   | Degraded of { stale_impl : int option; reason : reason }
   | Failed of string
+
+let response_tag = function
+  | Full _ -> "full"
+  | Degraded _ -> "degraded"
+  | Failed _ -> "failed"
 
 type node_stats = {
   ns_node : int;
@@ -113,6 +138,7 @@ type report = {
   max_latency_us : float;
   outcomes : response array;
   request_meta : (string * int * float) array;
+  slo : Obs.Slo.report list;
 }
 
 type verdict = Clean | Degraded_recovered | Unrecovered_loss
@@ -123,7 +149,11 @@ let verdict_to_string = function
   | Unrecovered_loss -> "unrecovered-loss"
 
 let classify ~min_availability r =
-  if r.failed > 0 || r.availability < min_availability then Unrecovered_loss
+  if
+    r.failed > 0
+    || r.availability < min_availability
+    || List.exists (fun s -> not s.Obs.Slo.r_met) r.slo
+  then Unrecovered_loss
   else if
     r.degraded > 0 || r.failovers > 0 || r.sheds > 0 || r.retries > 0
     || r.outage_events > 0
@@ -279,6 +309,108 @@ let service_us (spec : spec) (d : Engine.decision) =
   | Some c -> Float.max spec.min_service_us (float_of_int c /. clock_mhz)
   | None -> spec.min_service_us
 
+(* Streaming metric handles, resolved once up-front so the hot path
+   only increments.  All updates happen in the sequential control
+   phase, at the sim-time of the thing they measure. *)
+type instr = {
+  i_full : Obs.Metrics.counter;
+  i_degraded : Obs.Metrics.counter;
+  i_failed : Obs.Metrics.counter;
+  i_retries : Obs.Metrics.counter;
+  i_heartbeats : Obs.Metrics.counter;
+  i_failover : Obs.Metrics.counter array;
+  i_served : Obs.Metrics.counter array;
+  i_shed : Obs.Metrics.counter array;
+  i_breaker_opens : Obs.Metrics.counter array;
+  i_saturation : Obs.Metrics.gauge array;
+  i_latency : Obs.Metrics.histogram;
+  i_lag : Obs.Metrics.histogram;
+}
+
+let make_instr reg ~nodes =
+  let outcome kind =
+    Obs.Metrics.counter reg ~help:"Cluster requests by outcome"
+      ~labels:[ ("outcome", kind) ]
+      "qosalloc_cluster_requests_total"
+  in
+  let per_node ?help name =
+    Array.init nodes (fun n ->
+        Obs.Metrics.counter reg ?help
+          ~labels:[ ("node", string_of_int n) ]
+          name)
+  in
+  {
+    i_full = outcome "full";
+    i_degraded = outcome "degraded";
+    i_failed = outcome "failed";
+    i_retries =
+      Obs.Metrics.counter reg ~help:"Backoff rounds scheduled"
+        "qosalloc_cluster_retries_total";
+    i_heartbeats =
+      Obs.Metrics.counter reg ~help:"Heartbeats observed by the detector"
+        "qosalloc_cluster_heartbeats_total";
+    i_failover =
+      per_node ~help:"In-flight attempts failed over to a replica"
+        "qosalloc_cluster_failover_total";
+    i_served =
+      per_node ~help:"Requests served at full QoS"
+        "qosalloc_cluster_served_total";
+    i_shed =
+      per_node ~help:"Requests shed from a saturated node"
+        "qosalloc_cluster_shed_total";
+    i_breaker_opens =
+      per_node ~help:"Circuit-breaker trips"
+        "qosalloc_cluster_breaker_opens_total";
+    i_saturation =
+      Array.init nodes (fun n ->
+          Obs.Metrics.gauge reg
+            ~help:"Peak in-flight service fraction per node"
+            ~labels:[ ("node", string_of_int n) ]
+            "qosalloc_cluster_node_saturation");
+    i_latency =
+      Obs.Metrics.histogram reg
+        ~help:"Request latency, arrival to response (us)"
+        ~buckets:Obs.Metrics.latency_buckets_us "qosalloc_cluster_latency_us";
+    i_lag =
+      Obs.Metrics.histogram reg
+        ~help:"Catch-up re-replication lag on rejoin (us)"
+        ~buckets:Obs.Metrics.lag_buckets_us
+        "qosalloc_cluster_replication_lag_us";
+  }
+
+(* The SLO trackers live independently of [?obs]: [--slo] must move the
+   exit code even when nothing is exported. *)
+type slo_tracker = {
+  st_slo : Obs.Slo.t;
+  st_name : string;
+  st_good : response -> float -> bool;  (* response, latency_us *)
+}
+
+let make_slo_trackers (s : slo_spec) =
+  let mk name =
+    Obs.Slo.create
+      {
+        Obs.Slo.name;
+        target = s.slo_availability;
+        fast_window_us = s.slo_fast_window_us;
+        slow_window_us = s.slo_slow_window_us;
+        burn_threshold = s.slo_burn_threshold;
+        min_samples = Obs.Slo.default_spec.Obs.Slo.min_samples;
+      }
+  in
+  [
+    {
+      st_slo = mk "availability";
+      st_name = "availability";
+      st_good = (fun r _ -> match r with Full _ -> true | _ -> false);
+    };
+    {
+      st_slo = mk "latency";
+      st_name = "latency";
+      st_good = (fun _ lat -> lat <= s.slo_latency_us);
+    };
+  ]
+
 let run ?obs (spec : spec) =
   let ( let* ) = Result.bind in
   let* sub =
@@ -315,6 +447,20 @@ let run ?obs (spec : spec) =
   (match obs with
   | Some o -> Obs.Ctx.set_clock o (fun () -> Desim.Engine.now sim)
   | None -> ());
+  let ev =
+    match obs with Some o -> o.Obs.Ctx.events | None -> Obs.Events.noop ()
+  in
+  let tracer =
+    match obs with Some o -> o.Obs.Ctx.tracer | None -> Obs.Tracer.noop ()
+  in
+  let instr =
+    match obs with
+    | Some o -> Some (make_instr o.Obs.Ctx.registry ~nodes:spec.nodes)
+    | None -> None
+  in
+  let inc f = match instr with None -> () | Some i -> Obs.Metrics.inc (f i) in
+  let observing = Obs.Events.enabled ev in
+  let slos = match spec.slo with None -> [] | Some s -> make_slo_trackers s in
   let detector =
     Health.create ~period_us:spec.heartbeat_period_us
       ~suspect_phi:spec.suspect_phi ~down_phi:spec.down_phi ~nodes:spec.nodes
@@ -330,6 +476,31 @@ let run ?obs (spec : spec) =
   let resync_until = Array.make spec.nodes 0.0 in
   let resyncs = Array.make spec.nodes 0 in
   let resync_lags = ref [] in
+  (* Last observed detector verdict / breaker state per node, so the
+     event log carries transitions rather than a level sample per
+     tick.  Both start in their creation state. *)
+  let last_health = Array.make spec.nodes Health.Up in
+  let last_breaker = Array.make spec.nodes Breaker.Closed in
+  (* Breaker state changes on marks but also by cooldown expiry, so
+     transitions are detected by observation: call at every point the
+     ladder consults or updates a breaker. *)
+  let sync_breaker node ~at =
+    let st = Breaker.state breakers.(node) ~at in
+    if st <> last_breaker.(node) then begin
+      if observing then
+        Obs.Events.record ev ~ts:at ~node
+          (Obs.Events.Breaker_transition
+             {
+               prev = Breaker.state_to_string last_breaker.(node);
+               next = Breaker.state_to_string st;
+             });
+      (match (last_breaker.(node), st) with
+      | (Breaker.Closed | Breaker.Half_open), Breaker.Open ->
+          inc (fun i -> i.i_breaker_opens.(node))
+      | _ -> ());
+      last_breaker.(node) <- st
+    end
+  in
   let heartbeats = ref 0 in
   let failovers = ref 0 in
   let retries = ref 0 in
@@ -347,7 +518,20 @@ let run ?obs (spec : spec) =
       (fun node _ ->
         if not (is_down node t) then begin
           Health.beat detector ~node ~at:t;
-          incr heartbeats
+          incr heartbeats;
+          inc (fun i -> i.i_heartbeats)
+        end;
+        if observing then begin
+          let st = Health.status detector ~node ~at:t in
+          if st <> last_health.(node) then begin
+            Obs.Events.record ev ~ts:t ~node
+              (Obs.Events.Node_transition
+                 {
+                   prev = Health.status_to_string last_health.(node);
+                   next = Health.status_to_string st;
+                 });
+            last_health.(node) <- st
+          end
         end)
       inflight;
     let next = float_of_int (k + 1) *. spec.heartbeat_period_us in
@@ -367,22 +551,89 @@ let run ?obs (spec : spec) =
                 let lag = float_of_int entries /. spec.resync_rate in
                 resync_until.(node) <- hi +. lag;
                 resyncs.(node) <- resyncs.(node) + 1;
-                resync_lags := lag :: !resync_lags))
+                resync_lags := lag :: !resync_lags;
+                if observing then
+                  Obs.Events.record ev ~ts:hi ~node
+                    (Obs.Events.Node_rejoin { resync_lag_us = lag });
+                match instr with
+                | None -> ()
+                | Some i -> Obs.Metrics.observe i.i_lag lag))
         intervals)
     down;
+  let breaker_watch = observing || Option.is_some instr in
   (* Per-request degradation ladder. *)
   let start_request idx (a : arrival) =
+    let t0 = a.a_at_us in
+    if observing then
+      Obs.Events.record ev ~ts:t0 ~request:idx
+        (Obs.Events.Request_admitted
+           { app = a.a_app; type_id = a.a_request.Request.type_id });
+    let respond r =
+      let now = Desim.Engine.now sim in
+      outcomes.(idx) <- Some r;
+      finished.(idx) <- now;
+      let lat = now -. t0 in
+      (match r with
+      | Full { node; decision } ->
+          if observing then
+            Obs.Events.record ev ~ts:now ~request:idx ~node
+              (Obs.Events.Request_completed
+                 {
+                   at_node = node;
+                   impl_id = decision.Engine.impl_id;
+                   latency_us = lat;
+                 });
+          inc (fun i -> i.i_full)
+      | Degraded { stale_impl; reason } ->
+          if observing then
+            Obs.Events.record ev ~ts:now ~request:idx
+              (Obs.Events.Request_degraded
+                 { reason = reason_to_string reason; stale_impl });
+          inc (fun i -> i.i_degraded)
+      | Failed msg ->
+          if observing then
+            Obs.Events.record ev ~ts:now ~request:idx
+              (Obs.Events.Request_failed { error = msg });
+          inc (fun i -> i.i_failed));
+      (match instr with
+      | None -> ()
+      | Some i -> Obs.Metrics.observe i.i_latency lat);
+      (* Overlapping requests forbid B/E nesting; X events carry their
+         own extent and Perfetto nests them by time containment. *)
+      if Obs.Tracer.enabled tracer then
+        Obs.Tracer.complete tracer ~ts:t0 ~dur:lat
+          ~args:
+            [
+              ("request", string_of_int idx);
+              ("app", a.a_app);
+              ("outcome", response_tag r);
+            ]
+          "request";
+      List.iter
+        (fun st ->
+          match
+            Obs.Slo.record st.st_slo ~at:now ~good:(st.st_good r lat)
+          with
+          | None -> ()
+          | Some al ->
+              if observing then
+                Obs.Events.record ev ~ts:now
+                  (Obs.Events.Slo_alert
+                     {
+                       objective = st.st_name;
+                       state =
+                         Obs.Slo.transition_to_string
+                           al.Obs.Slo.al_transition;
+                       burn_fast = al.Obs.Slo.al_burn_fast;
+                       burn_slow = al.Obs.Slo.al_burn_slow;
+                     }))
+        slos
+    in
     match decisions.(idx) with
-    | Error e ->
-        outcomes.(idx) <- Some (Failed (Engine.error_to_string e));
-        finished.(idx) <- a.a_at_us
+    | Error e -> respond (Failed (Engine.error_to_string e))
     | Ok decision ->
         let replicas =
           Substrate.replicas_for sub ~type_id:a.a_request.Request.type_id
-        in
-        let respond r =
-          outcomes.(idx) <- Some r;
-          finished.(idx) <- Desim.Engine.now sim
         in
         let rec round attempt _e =
           let now = Desim.Engine.now sim in
@@ -395,6 +646,7 @@ let run ?obs (spec : spec) =
           let ups, suspects =
             List.fold_left
               (fun (ups, sus) node ->
+                if breaker_watch then sync_breaker node ~at:now;
                 match Health.status detector ~node ~at:tq with
                 | Health.Down ->
                     saw_down := true;
@@ -414,12 +666,17 @@ let run ?obs (spec : spec) =
             | [] ->
                 if attempt < spec.max_retries then begin
                   incr retries;
+                  inc (fun i -> i.i_retries);
                   let u =
                     if spec.backoff.Faults.Backoff.jitter > 0.0 then
                       Faults.Injector.uniform retry_inj
                     else 0.5
                   in
                   let delay = Faults.Backoff.delay spec.backoff ~attempt ~u in
+                  if observing then
+                    Obs.Events.record ev ~ts:(Desim.Engine.now sim)
+                      ~request:idx
+                      (Obs.Events.Request_retry { attempt; delay_us = delay });
                   Desim.Engine.schedule sim ~delay (round (attempt + 1))
                 end
                 else
@@ -440,6 +697,10 @@ let run ?obs (spec : spec) =
                      [Parallel.Bqueue] contract at cluster scope. *)
                   saw_saturated := true;
                   shed.(node) <- shed.(node) + 1;
+                  inc (fun i -> i.i_shed.(node));
+                  if observing then
+                    Obs.Events.record ev ~ts:now ~request:idx ~node
+                      (Obs.Events.Request_shed { at_node = node });
                   try_candidates rest
                 end
                 else begin
@@ -447,16 +708,37 @@ let run ?obs (spec : spec) =
                   | Breaker.Half_open -> Breaker.mark_probe breakers.(node)
                   | _ -> ());
                   inflight.(node) <- inflight.(node) + 1;
-                  if inflight.(node) > peak_inflight.(node) then
+                  if inflight.(node) > peak_inflight.(node) then begin
                     peak_inflight.(node) <- inflight.(node);
+                    match instr with
+                    | None -> ()
+                    | Some i ->
+                        Obs.Metrics.set i.i_saturation.(node)
+                          (float_of_int peak_inflight.(node)
+                          /. float_of_int slots)
+                  end;
                   let s = service_us spec decision in
+                  let attempt_span outcome ~until =
+                    if Obs.Tracer.enabled tracer then
+                      Obs.Tracer.complete tracer ~ts:now ~dur:(until -. now)
+                        ~args:
+                          [
+                            ("request", string_of_int idx);
+                            ("node", string_of_int node);
+                            ("outcome", outcome);
+                          ]
+                        "attempt"
+                  in
                   match next_failure node now s with
                   | None ->
                       Desim.Engine.schedule sim ~delay:s (fun _ ->
+                          let tdone = Desim.Engine.now sim in
                           inflight.(node) <- inflight.(node) - 1;
-                          Breaker.record_success breakers.(node)
-                            ~at:(Desim.Engine.now sim);
+                          Breaker.record_success breakers.(node) ~at:tdone;
+                          if breaker_watch then sync_breaker node ~at:tdone;
                           served.(node) <- served.(node) + 1;
+                          inc (fun i -> i.i_served.(node));
+                          attempt_span "ok" ~until:tdone;
                           respond (Full { node; decision }))
                   | Some tf ->
                       (* The outage kills this attempt in flight: fail
@@ -464,7 +746,14 @@ let run ?obs (spec : spec) =
                       Desim.Engine.schedule_at sim ~time:tf (fun _ ->
                           inflight.(node) <- inflight.(node) - 1;
                           Breaker.record_failure breakers.(node) ~at:tf;
+                          if breaker_watch then sync_breaker node ~at:tf;
                           incr failovers;
+                          inc (fun i -> i.i_failover.(node));
+                          if observing then
+                            Obs.Events.record ev ~ts:tf ~request:idx ~node
+                              (Obs.Events.Request_failover
+                                 { from_node = node });
+                          attempt_span "failover" ~until:tf;
                           try_candidates rest)
                 end
           in
@@ -537,6 +826,10 @@ let run ?obs (spec : spec) =
     else Array.fold_left ( +. ) 0.0 latencies /. float_of_int n_req
   in
   let max_latency = Array.fold_left Float.max 0.0 latencies in
+  let end_ts = Float.max spec.duration_us (Desim.Engine.now sim) in
+  let slo_reports =
+    List.map (fun st -> Obs.Slo.report st.st_slo ~at:end_ts) slos
+  in
   let report =
     {
       seed = spec.seed;
@@ -569,56 +862,9 @@ let run ?obs (spec : spec) =
         Array.map
           (fun a -> (a.a_app, a.a_request.Request.type_id, a.a_at_us))
           arrivals;
+      slo = slo_reports;
     }
   in
-  (match obs with
-  | None -> ()
-  | Some o ->
-      let reg = o.Obs.Ctx.registry in
-      let outcome_counter kind =
-        Obs.Metrics.counter reg ~help:"Cluster requests by outcome"
-          ~labels:[ ("outcome", kind) ]
-          "qosalloc_cluster_requests_total"
-      in
-      Obs.Metrics.inc_by (outcome_counter "full") full;
-      Obs.Metrics.inc_by (outcome_counter "degraded") degraded;
-      Obs.Metrics.inc_by (outcome_counter "failed") failed;
-      Obs.Metrics.inc_by
-        (Obs.Metrics.counter reg
-           ~help:"In-flight attempts failed over to a replica"
-           "qosalloc_cluster_failover_total")
-        !failovers;
-      List.iter
-        (fun ns ->
-          let labels = [ ("node", string_of_int ns.ns_node) ] in
-          Obs.Metrics.set
-            (Obs.Metrics.gauge reg
-               ~help:"Peak in-flight service fraction per node" ~labels
-               "qosalloc_cluster_node_saturation")
-            (float_of_int ns.ns_peak_inflight /. float_of_int ns.ns_slots);
-          Obs.Metrics.inc_by
-            (Obs.Metrics.counter reg
-               ~help:"Requests shed from a saturated node" ~labels
-               "qosalloc_cluster_shed_total")
-            ns.ns_shed;
-          Obs.Metrics.inc_by
-            (Obs.Metrics.counter reg ~help:"Requests served at full QoS"
-               ~labels "qosalloc_cluster_served_total")
-            ns.ns_served)
-        per_node;
-      let lag_histo =
-        Obs.Metrics.histogram reg
-          ~help:"Catch-up re-replication lag on rejoin (us)"
-          ~buckets:Obs.Metrics.default_buckets
-          "qosalloc_cluster_replication_lag_us"
-      in
-      List.iter (Obs.Metrics.observe lag_histo) (List.rev !resync_lags);
-      let lat_histo =
-        Obs.Metrics.histogram reg
-          ~help:"Request latency, arrival to response (us)"
-          ~buckets:Obs.Metrics.default_buckets "qosalloc_cluster_latency_us"
-      in
-      Array.iter (Obs.Metrics.observe lat_histo) latencies);
   Ok report
 
 (* --- rendering -------------------------------------------------------------- *)
@@ -680,6 +926,14 @@ let pp ppf (r : report) =
     r.retries r.sheds r.outage_events r.heartbeats;
   Format.fprintf ppf "latency mean=%.1fus max=%.1fus@," r.mean_latency_us
     r.max_latency_us;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf
+        "slo %s: target=%.4f attained=%.4f met=%b alerts=%d firing=%.0fus@,"
+        s.Obs.Slo.r_spec.Obs.Slo.name s.Obs.Slo.r_spec.Obs.Slo.target
+        s.Obs.Slo.r_attained s.Obs.Slo.r_met s.Obs.Slo.r_alerts_fired
+        s.Obs.Slo.r_firing_us)
+    r.slo;
   List.iter
     (fun ns ->
       Format.fprintf ppf

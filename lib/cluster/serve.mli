@@ -29,6 +29,17 @@
     end-of-run report is byte-identical for a fixed seed at any
     [jobs]. *)
 
+type slo_spec = {
+  slo_availability : float;  (** Target fraction, shared by both objectives. *)
+  slo_latency_us : float;  (** A response slower than this is a bad event. *)
+  slo_fast_window_us : float;
+  slo_slow_window_us : float;
+  slo_burn_threshold : float;
+}
+
+val default_slo : availability:float -> latency_us:float -> slo_spec
+(** Windows and burn threshold from {!Obs.Slo.default_spec}. *)
+
 type spec = {
   duration_us : float;
   seed : int;
@@ -55,6 +66,12 @@ type spec = {
   resync_rate : float;
       (** Catch-up re-replication rate on rejoin, entries per us. *)
   min_availability : float;  (** Verdict threshold (full / total). *)
+  slo : slo_spec option;
+      (** When set, an availability and a latency objective are tracked
+          over the run with multi-window burn-rate alerting; a missed
+          objective is an {!Unrecovered_loss}.  Tracking is independent
+          of [?obs] — it must move the exit code even when nothing is
+          exported. *)
 }
 
 val default_spec : unit -> spec
@@ -76,6 +93,9 @@ type response =
       (** Answered from the stale decision — the {!Parallel.Frontend}
           shed contract — because no replica could serve in time. *)
   | Failed of string  (** Engine error; never an availability event. *)
+
+val response_tag : response -> string
+(** ["full"], ["degraded"] or ["failed"] — the metric/span label. *)
 
 type node_stats = {
   ns_node : int;
@@ -117,14 +137,18 @@ type report = {
   outcomes : response array;  (** By submission index. *)
   request_meta : (string * int * float) array;
       (** (app, type_id, arrival_us) by submission index. *)
+  slo : Obs.Slo.report list;
+      (** One report per tracked objective; [[]] when [spec.slo] is
+          [None]. *)
 }
 
 type verdict = Clean | Degraded_recovered | Unrecovered_loss
 
 val classify : min_availability:float -> report -> verdict
-(** {!Unrecovered_loss} on any [Failed] response or availability below
-    the floor; {!Degraded_recovered} when outages or degraded answers
-    occurred but every request was answered; {!Clean} otherwise. *)
+(** {!Unrecovered_loss} on any [Failed] response, availability below
+    the floor, or a missed SLO; {!Degraded_recovered} when outages or
+    degraded answers occurred but every request was answered; {!Clean}
+    otherwise. *)
 
 val verdict_to_string : verdict -> string
 val exit_code : min_availability:float -> report -> int
@@ -135,11 +159,17 @@ val workload : spec -> (string * float * Qos_core.Request.t) array
     exposed for property tests and the bench harness. *)
 
 val run : ?obs:Obs.Ctx.t -> spec -> (report, string) result
-(** With [obs], per-node saturation/shed/failover/replication-lag and
-    the request latency histogram land in the registry; the context's
-    clock follows the control engine.  Instrumentation never touches
-    the PRNG or injector streams, so the report is identical with or
-    without it. *)
+(** With [obs], the control phase streams per-node labelled metrics
+    (served / shed / failover / breaker trips / saturation, plus
+    request-latency and replication-lag histograms) into the registry
+    at the sim-time each thing happens, records the request life cycle,
+    node and breaker transitions, rejoins and SLO alerts into the
+    context's event log, and emits one [X] span per request plus one
+    per attempt hop into its tracer; the context's clock follows the
+    control engine.  All of it happens in the sequential control phase,
+    so every export is byte-identical at any [jobs].  Instrumentation
+    never touches the PRNG or injector streams, so the report is
+    identical with or without it. *)
 
 val results_to_string : report -> string
 (** Canonical plain-text rendering: run header, totals, per-node table

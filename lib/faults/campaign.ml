@@ -217,6 +217,10 @@ let run ?obs spec =
              ~buckets:Obs.Metrics.default_buckets "qosalloc_device_mttr_us")
   in
   let duration = base.Simulate.duration_us in
+  let flight_log =
+    match obs with Some o -> o.Obs.Ctx.events | None -> Obs.Events.noop ()
+  in
+  let observing = Obs.Events.enabled flight_log in
   let scrub_enabled = spec.scrub_period_us <> None in
   (* Counters. *)
   let requests = ref 0 and grants = ref 0 in
@@ -346,7 +350,10 @@ let run ?obs spec =
           let words = Scrubber.repair s in
           incr scrub_repairs;
           Manager.record_scrub manager ~corrupted_words:words
-            ~diagnostics:diags
+            ~diagnostics:diags;
+          if observing then
+            Obs.Events.record flight_log ~ts:(Engine.now engine)
+              (Obs.Events.Scrub { corrupted_words = words; diagnostics = diags })
         end
         else incr undetected_retrievals
     | Some _ | None -> ());
@@ -412,6 +419,14 @@ let run ?obs spec =
                         | Ok (regrant, delta) ->
                             incr relocations;
                             rev_deltas := delta :: !rev_deltas;
+                            if observing then
+                              Obs.Events.record flight_log
+                                ~ts:(Engine.now engine)
+                                (Obs.Events.Relocation
+                                   {
+                                     device = df.df_device_id;
+                                     qos_delta = delta;
+                                   });
                             let new_id =
                               regrant.Manager.task.Manager.task_id
                             in
@@ -450,7 +465,10 @@ let run ?obs spec =
           let words = Scrubber.repair s in
           incr scrub_repairs;
           Manager.record_scrub manager ~corrupted_words:words
-            ~diagnostics:diags
+            ~diagnostics:diags;
+          if observing then
+            Obs.Events.record flight_log ~ts:(Engine.now engine)
+              (Obs.Events.Scrub { corrupted_words = words; diagnostics = diags })
         end;
         if Engine.now engine +. period <= duration then
           Engine.schedule engine ~delay:period scrub_tick

@@ -1,11 +1,12 @@
 type t = {
   registry : Metrics.t;
   tracer : Tracer.t;
+  events : Events.t;
   mutable clock : unit -> float;
 }
 
-let create ?(tracer = Tracer.noop ()) () =
-  { registry = Metrics.create (); tracer; clock = (fun () -> 0.0) }
+let create ?(tracer = Tracer.noop ()) ?(events = Events.noop ()) () =
+  { registry = Metrics.create (); tracer; events; clock = (fun () -> 0.0) }
 
 let set_clock t f = t.clock <- f
 let now t = t.clock ()

@@ -1,9 +1,11 @@
 (** Observability context threaded through the allocation stack.
 
-    Bundles one metrics registry, one span tracer and the simulation
-    clock they read timestamps from.  Components take [?obs:Ctx.t] —
-    [None] means fully uninstrumented; a context with a {!Tracer.noop}
-    sink means metrics only, spans one branch each.
+    Bundles one metrics registry, one span tracer, one structured event
+    log and the simulation clock they read timestamps from.  Components
+    take [?obs:Ctx.t] — [None] means fully uninstrumented; a context
+    with a {!Tracer.noop} sink means metrics only, spans one branch
+    each, and likewise an {!Events.noop} log costs one constructor
+    match per record.
 
     The clock starts pinned at 0; a simulation owner re-points it at
     its engine ({!set_clock}) once the engine exists, so spans recorded
@@ -13,11 +15,13 @@
 type t = {
   registry : Metrics.t;
   tracer : Tracer.t;
+  events : Events.t;
   mutable clock : unit -> float;  (** Sim-time, microseconds. *)
 }
 
-val create : ?tracer:Tracer.t -> unit -> t
-(** Fresh registry; the tracer defaults to {!Tracer.noop}. *)
+val create : ?tracer:Tracer.t -> ?events:Events.t -> unit -> t
+(** Fresh registry; the tracer and event log default to their no-op
+    sinks. *)
 
 val set_clock : t -> (unit -> float) -> unit
 val now : t -> float

@@ -17,5 +17,12 @@ let escape s =
 let str s = "\"" ^ escape s ^ "\""
 
 let float_str v =
+  if not (Float.is_finite v) then
+    invalid_arg
+      (Printf.sprintf "Obs.Jsonu.float_str: non-finite value %h reached an \
+                       exporter" v);
+  (* [-0.] would otherwise print as "-0": two canonical spellings of the
+     same number would break the byte-determinism contract. *)
+  let v = if v = 0.0 then 0.0 else v in
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.6f" v

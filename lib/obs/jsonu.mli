@@ -11,6 +11,12 @@ val str : string -> string
 
 val float_str : float -> string
 (** Canonical decimal form: integers print without a fractional part,
-    everything else as [%.6f].  Total and deterministic for finite
-    inputs — the byte-determinism contract of every obs export leans on
-    this. *)
+    everything else as [%.6f], and [-0.] canonicalizes to [0] — the
+    byte-determinism contract of every obs export leans on there being
+    exactly one spelling per value.
+
+    @raise Invalid_argument on NaN or infinities.  A non-finite value
+    reaching an exporter is an instrumentation bug (histograms drop
+    them at observation time); per the registry's philosophy it fails
+    loudly at the boundary instead of smuggling ["nan"] into a JSON
+    document. *)

@@ -195,6 +195,21 @@ let default_buckets =
   [ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024.; 2048.; 4096.;
     8192.; 16384.; 32768.; 65536. ]
 
+(* Request latencies cluster around the ~40-60 us service floor with a
+   retry/failover tail a few backoff envelopes long; a power-of-two
+   ladder from 1 us wastes its bottom half and smears the service knee
+   into one bucket.  This set resolves the knee (25-100 us) and the
+   backoff tail (200 us - 20 ms) separately. *)
+let latency_buckets_us =
+  [ 25.; 50.; 75.; 100.; 150.; 200.; 300.; 500.; 750.; 1_000.; 1_500.;
+    2_500.; 5_000.; 10_000.; 20_000.; 50_000. ]
+
+(* Rejoin re-replication lags are entries / resync-rate: tens of
+   milliseconds at the defaults — MTTR scale, not request scale. *)
+let lag_buckets_us =
+  [ 1_000.; 2_500.; 5_000.; 10_000.; 25_000.; 50_000.; 100_000.; 250_000.;
+    500_000.; 1_000_000. ]
+
 (* --- Export ------------------------------------------------------------- *)
 
 let sorted_families t =

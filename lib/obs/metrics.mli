@@ -58,6 +58,15 @@ val observe : histogram -> float -> unit
 val default_buckets : float list
 (** Powers-of-two microsecond latency ladder: 1, 2, 4, ... 65536. *)
 
+val latency_buckets_us : float list
+(** Purpose-fit request-latency ladder: resolves the ~40-60 us service
+    knee (25-150 us steps) and the retry/backoff tail (200 us - 50 ms)
+    instead of spending half the ladder below 1 us of sim-time. *)
+
+val lag_buckets_us : float list
+(** MTTR-scale ladder (1 ms - 1 s) for rejoin re-replication lag and
+    other recovery durations. *)
+
 val to_prometheus : t -> string
 (** Text exposition format: [# HELP]/[# TYPE] headers, families sorted
     by name, cells sorted by label serialisation, histogram cells as

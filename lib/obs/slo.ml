@@ -1,0 +1,208 @@
+type spec = {
+  name : string;
+  target : float;
+  fast_window_us : float;
+  slow_window_us : float;
+  burn_threshold : float;
+  min_samples : int;
+}
+
+(* Windows are sized to the standard workload's ~1 request/ms: the
+   fast window holds ~20 samples (safely above the min_samples floor),
+   the slow one ~100, so a sustained outage fires within two fast
+   windows while a lone bad sample cannot. *)
+let default_spec =
+  {
+    name = "availability";
+    target = 0.99;
+    fast_window_us = 20_000.0;
+    slow_window_us = 100_000.0;
+    burn_threshold = 10.0;
+    min_samples = 10;
+  }
+
+type window = {
+  span_us : float;
+  samples : (float * bool) Queue.t;  (* (at, good), oldest first. *)
+  mutable total : int;
+  mutable bad : int;
+}
+
+type transition = Fired | Resolved
+
+let transition_to_string = function
+  | Fired -> "firing"
+  | Resolved -> "resolved"
+
+type alert = {
+  al_at : float;
+  al_transition : transition;
+  al_burn_fast : float;
+  al_burn_slow : float;
+}
+
+type t = {
+  spec : spec;
+  budget : float;  (* 1 - target, floored away from zero. *)
+  fast : window;
+  slow : window;
+  mutable total : int;
+  mutable good : int;
+  mutable firing_since : float option;
+  mutable firing_us : float;
+  mutable rev_alerts : alert list;
+}
+
+let create spec =
+  if not (spec.target > 0.0 && spec.target <= 1.0) then
+    invalid_arg "Obs.Slo.create: target must be in (0, 1]";
+  if spec.fast_window_us <= 0.0 || spec.slow_window_us < spec.fast_window_us
+  then
+    invalid_arg "Obs.Slo.create: need 0 < fast_window_us <= slow_window_us";
+  if spec.burn_threshold <= 0.0 then
+    invalid_arg "Obs.Slo.create: burn_threshold must be > 0";
+  if spec.min_samples < 1 then
+    invalid_arg "Obs.Slo.create: min_samples must be >= 1";
+  let window span_us =
+    { span_us; samples = Queue.create (); total = 0; bad = 0 }
+  in
+  {
+    spec;
+    (* A 100% objective has no error budget; the floor keeps burn rates
+       finite (and enormous) instead of dividing by zero. *)
+    budget = Float.max (1.0 -. spec.target) 1e-9;
+    fast = window spec.fast_window_us;
+    slow = window spec.slow_window_us;
+    total = 0;
+    good = 0;
+    firing_since = None;
+    firing_us = 0.0;
+    rev_alerts = [];
+  }
+
+let push w ~at ~good =
+  Queue.push (at, good) w.samples;
+  w.total <- w.total + 1;
+  if not good then w.bad <- w.bad + 1;
+  let rec evict () =
+    match Queue.peek_opt w.samples with
+    | Some (t0, g0) when t0 <= at -. w.span_us ->
+        ignore (Queue.pop w.samples);
+        w.total <- w.total - 1;
+        if not g0 then w.bad <- w.bad - 1;
+        evict ()
+    | Some _ | None -> ()
+  in
+  evict ()
+
+let burn t (w : window) =
+  if w.total = 0 then 0.0
+  else float_of_int w.bad /. float_of_int w.total /. t.budget
+
+let record t ~at ~good =
+  t.total <- t.total + 1;
+  if good then t.good <- t.good + 1;
+  push t.fast ~at ~good;
+  push t.slow ~at ~good;
+  let bf = burn t t.fast and bs = burn t t.slow in
+  let over =
+    t.fast.total >= t.spec.min_samples
+    && bf >= t.spec.burn_threshold
+    && bs >= t.spec.burn_threshold
+  in
+  match (t.firing_since, over) with
+  | None, true ->
+      t.firing_since <- Some at;
+      let a =
+        { al_at = at; al_transition = Fired; al_burn_fast = bf;
+          al_burn_slow = bs }
+      in
+      t.rev_alerts <- a :: t.rev_alerts;
+      Some a
+  | Some since, false ->
+      t.firing_since <- None;
+      t.firing_us <- t.firing_us +. (at -. since);
+      let a =
+        { al_at = at; al_transition = Resolved; al_burn_fast = bf;
+          al_burn_slow = bs }
+      in
+      t.rev_alerts <- a :: t.rev_alerts;
+      Some a
+  | None, false | Some _, true -> None
+
+let attained t =
+  if t.total = 0 then 1.0 else float_of_int t.good /. float_of_int t.total
+
+let met t = attained t >= t.spec.target
+
+type report = {
+  r_spec : spec;
+  r_total : int;
+  r_good : int;
+  r_attained : float;
+  r_met : bool;
+  r_alerts_fired : int;
+  r_firing_us : float;
+  r_alerts : alert list;
+}
+
+let report t ~at =
+  (* Close an alert still firing at the horizon so firing_us is total. *)
+  let firing_us =
+    match t.firing_since with
+    | None -> t.firing_us
+    | Some since -> t.firing_us +. (at -. since)
+  in
+  {
+    r_spec = t.spec;
+    r_total = t.total;
+    r_good = t.good;
+    r_attained = attained t;
+    r_met = met t;
+    r_alerts_fired =
+      List.length
+        (List.filter (fun a -> a.al_transition = Fired) t.rev_alerts);
+    r_firing_us = firing_us;
+    r_alerts = List.rev t.rev_alerts;
+  }
+
+let report_json (r : report) =
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add
+    "{\"objective\":%s,\"target\":%s,\"fast_window_us\":%s,\
+     \"slow_window_us\":%s,\"burn_threshold\":%s,\"total\":%d,\"good\":%d,\
+     \"attained\":%s,\"met\":%b,\"alerts_fired\":%d,\"firing_us\":%s,\
+     \"alerts\":["
+    (Jsonu.str r.r_spec.name)
+    (Jsonu.float_str r.r_spec.target)
+    (Jsonu.float_str r.r_spec.fast_window_us)
+    (Jsonu.float_str r.r_spec.slow_window_us)
+    (Jsonu.float_str r.r_spec.burn_threshold)
+    r.r_total r.r_good
+    (Jsonu.float_str r.r_attained)
+    r.r_met r.r_alerts_fired
+    (Jsonu.float_str r.r_firing_us);
+  List.iteri
+    (fun i a ->
+      if i > 0 then add ",";
+      add "{\"at\":%s,\"state\":%s,\"burn_fast\":%s,\"burn_slow\":%s}"
+        (Jsonu.float_str a.al_at)
+        (Jsonu.str (transition_to_string a.al_transition))
+        (Jsonu.float_str a.al_burn_fast)
+        (Jsonu.float_str a.al_burn_slow))
+    r.r_alerts;
+  add "]}";
+  Buffer.contents buf
+
+let reports_to_json reports =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"slo\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",";
+      Buffer.add_string buf "\n";
+      Buffer.add_string buf (report_json r))
+    reports;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf

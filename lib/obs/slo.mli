@@ -1,0 +1,86 @@
+(** Sim-time windowed SLO tracking with multi-window burn-rate alerts.
+
+    One tracker watches one objective: a target fraction of {e good}
+    events (the SLI) out of all events recorded.  What counts as good
+    is the caller's business — the cluster runs one tracker where good
+    means "answered at full QoS" (availability) and one where good
+    means "answered within the latency objective".
+
+    Alerting is the SRE multi-window burn-rate scheme: the {e burn
+    rate} over a window is the window's bad fraction divided by the
+    error budget [1 - target] (burn 1.0 = exactly consuming the
+    budget).  An alert {e fires} when both the fast and the slow
+    window burn above [burn_threshold] — the fast window gives
+    responsiveness, the slow window keeps a brief blip from paging —
+    and {e resolves} when either drops back below.  All state is
+    driven by caller-supplied sim-time, so for a fixed run the alert
+    stream is deterministic. *)
+
+type spec = {
+  name : string;  (** Objective label ("availability", "latency"). *)
+  target : float;  (** Good fraction objective, in (0, 1]. *)
+  fast_window_us : float;
+  slow_window_us : float;
+  burn_threshold : float;
+      (** Fire when both windows burn at or above this multiple of the
+          error budget. *)
+  min_samples : int;
+      (** Fast-window population floor before an alert may fire (keeps
+          the first bad sample of a run from paging). *)
+}
+
+val default_spec : spec
+(** "availability" at 99%, 20 ms fast / 100 ms slow windows (sized to
+    the standard workload's ~1 request/ms), burn threshold 10,
+    10-sample floor. *)
+
+type t
+
+val create : spec -> t
+(** @raise Invalid_argument on a target outside (0, 1], non-positive or
+    mis-ordered windows, a non-positive threshold, or [min_samples <
+    1].  A target of exactly 1.0 has no error budget; burn rates are
+    computed against a tiny floor instead, so any bad event burns
+    (finitely) hot. *)
+
+type transition = Fired | Resolved
+
+val transition_to_string : transition -> string
+(** "firing", "resolved" — the {!Events.Slo_alert} state strings. *)
+
+type alert = {
+  al_at : float;
+  al_transition : transition;
+  al_burn_fast : float;
+  al_burn_slow : float;
+}
+
+val record : t -> at:float -> good:bool -> alert option
+(** Feed one event; [at] must not decrease across calls.  Returns the
+    alert transition this event caused, if any, so the caller can put
+    it on the event log. *)
+
+val attained : t -> float
+(** Overall good fraction so far; 1.0 before any event. *)
+
+val met : t -> bool
+(** [attained >= target] — the end-of-run exit-code contract. *)
+
+type report = {
+  r_spec : spec;
+  r_total : int;
+  r_good : int;
+  r_attained : float;
+  r_met : bool;
+  r_alerts_fired : int;
+  r_firing_us : float;  (** Total sim-time spent in the firing state. *)
+  r_alerts : alert list;  (** Chronological transitions. *)
+}
+
+val report : t -> at:float -> report
+(** Snapshot at time [at] (normally the horizon); an alert still firing
+    is charged up to [at]. *)
+
+val reports_to_json : report list -> string
+(** Canonical JSON ([{"slo":[...]}]) via {!Jsonu} — byte-deterministic
+    for a fixed run. *)

@@ -200,6 +200,22 @@ let record_obs t (r : report) =
         r.batch_cycles
 
 let run t jobs =
+  let flight_log =
+    match t.obs with Some o -> o.Obs.Ctx.events | None -> Obs.Events.noop ()
+  in
+  (* Sheds are decided by the sequential coordinator (admission
+     partition and the settle loop below), so the event order — and the
+     NDJSON export — is independent of the worker count. *)
+  let shed_event idx (j : job) =
+    if Obs.Events.enabled flight_log then
+      let ts = match t.obs with Some o -> Obs.Ctx.now o | None -> 0.0 in
+      let shard =
+        Option.value ~default:(-1)
+          (Hashtbl.find_opt t.route j.request.type_id)
+      in
+      Obs.Events.record flight_log ~ts ~request:idx
+        (Obs.Events.Queue_shed { shard })
+  in
   let submitted = List.length jobs in
   let indexed = List.mapi (fun i j -> (i, j)) jobs in
   let admitted, shed_jobs =
@@ -245,7 +261,9 @@ let run t jobs =
                batch anyway rather than lose it silently. *)
             if not (Bqueue.push queues.(i) b) then
               List.iter
-                (fun (idx, _) -> outcomes.(idx) <- Shed { stale_impl = None })
+                (fun (idx, j) ->
+                  outcomes.(idx) <- Shed { stale_impl = None };
+                  shed_event idx j)
                 b;
             p := rest;
             decr remaining)
@@ -262,7 +280,8 @@ let run t jobs =
             let shard = t.shards.(sid) in
             Bypass.peek shard.bypass (Bypass.key_of ~app_id:j.app_id j.request))
       in
-      outcomes.(idx) <- Shed { stale_impl })
+      outcomes.(idx) <- Shed { stale_impl };
+      shed_event idx j)
     shed_jobs;
   let loads =
     Array.mapi

@@ -12,6 +12,7 @@ module Serve = Cluster.Serve
 module Backoff = Faults.Backoff
 module Outages = Faults.Outages
 module Injector = Faults.Injector
+module Ev = Obs.Events
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -294,7 +295,124 @@ let test_serve_obs () =
       "qosalloc_cluster_failover_total";
       "qosalloc_cluster_replication_lag_us";
       "qosalloc_cluster_latency_us";
+      "qosalloc_cluster_retries_total";
+      "qosalloc_cluster_breaker_opens_total";
+      "qosalloc_cluster_heartbeats_total";
     ]
+
+(* --- event log through the serve path -------------------------------------- *)
+
+let events_ctx () = Obs.Ctx.create ~events:(Ev.recording ()) ()
+
+(* Transition events carry (prev, next) state names; the log is valid
+   when, per node, each event's [prev] is the previous event's [next]
+   (starting from the creation state) — i.e. the flight recorder saw
+   every state change, in order, with none invented or skipped. *)
+let transitions sel evs =
+  List.filter_map
+    (fun e ->
+      match (sel e.Ev.kind, e.Ev.node) with
+      | Some pn, Some node -> Some (node, pn)
+      | _ -> None)
+    evs
+
+let chained ~start l =
+  let last : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  List.for_all
+    (fun (node, (prev, next)) ->
+      let expected = Option.value ~default:start (Hashtbl.find_opt last node) in
+      Hashtbl.replace last node next;
+      String.equal prev expected)
+    l
+
+let test_serve_eventlog () =
+  (* Replication 1 under a kill-and-bounce campaign: failovers, breaker
+     trips, detector verdicts, rejoins and a latency-SLO burn are all
+     visible in one run — the ISSUE acceptance scenario. *)
+  let outage = { outage_spec with Outages.permanent_frac = 0.34 } in
+  let mk jobs =
+    let obs = events_ctx () in
+    let s =
+      {
+        (spec ~duration_us:100_000.0 ~seed:7 ~replication:1 ~jobs ~outage ())
+        with
+        Serve.slo = Some (Serve.default_slo ~availability:0.99 ~latency_us:500.0);
+      }
+    in
+    let r = get (Serve.run ~obs s) in
+    (r, obs.Obs.Ctx.events)
+  in
+  let r, log = mk 1 in
+  let _, log4 = mk 4 in
+  check_bool "NDJSON byte-identical at jobs 1 vs 4" true
+    (String.equal (Ev.to_ndjson log) (Ev.to_ndjson log4));
+  check_int "ring did not overflow" 0 (Ev.dropped log);
+  let evs = Ev.events log in
+  let count p = List.length (List.filter (fun e -> p e.Ev.kind) evs) in
+  check_bool "failovers recorded" true
+    (count (function Ev.Request_failover _ -> true | _ -> false) > 0);
+  check_bool "rejoins recorded" true
+    (count (function Ev.Node_rejoin _ -> true | _ -> false) > 0);
+  check_bool "SLO burn alert fired" true
+    (count (function
+       | Ev.Slo_alert { state = "firing"; _ } -> true
+       | _ -> false)
+    > 0);
+  check_int "one admission per request" r.Serve.requests
+    (count (function Ev.Request_admitted _ -> true | _ -> false));
+  check_int "one terminal event per request" r.Serve.requests
+    (count (function
+       | Ev.Request_completed _ | Ev.Request_degraded _ | Ev.Request_failed _
+         -> true
+       | _ -> false));
+  let health =
+    transitions
+      (function Ev.Node_transition { prev; next } -> Some (prev, next) | _ -> None)
+      evs
+  and breaker =
+    transitions
+      (function
+        | Ev.Breaker_transition { prev; next } -> Some (prev, next) | _ -> None)
+      evs
+  in
+  check_bool "health verdicts chain from up, no step skipped" true
+    (chained ~start:"up" health);
+  check_bool "a node was suspected" true
+    (List.exists (fun (_, (_, next)) -> String.equal next "suspect") health);
+  check_bool "suspicion precedes the down verdict" true
+    (List.exists
+       (fun (_, (prev, next)) ->
+         String.equal prev "suspect" && String.equal next "down")
+       health);
+  check_bool "a down node came back up" true
+    (List.exists
+       (fun (_, (prev, next)) ->
+         String.equal prev "down" && String.equal next "up")
+       health);
+  check_bool "breaker states chain from closed, no step skipped" true
+    (chained ~start:"closed" breaker);
+  check_bool "a breaker tripped" true
+    (List.exists
+       (fun (_, (prev, next)) ->
+         String.equal prev "closed" && String.equal next "open")
+       breaker);
+  check_bool "cooldown expiry went half-open" true
+    (List.exists
+       (fun (_, (prev, next)) ->
+         String.equal prev "open" && String.equal next "half-open")
+       breaker);
+  check_bool "a missed SLO classifies as unrecovered loss" true
+    (Serve.exit_code ~min_availability:0.0 r = 2);
+  check_bool "slo reports present" true
+    (List.exists (fun s -> not s.Obs.Slo.r_met) r.Serve.slo)
+
+let test_serve_eventlog_absent_when_disabled () =
+  (* A metrics-only context must stay on the no-op event sink: same
+     report, nothing recorded. *)
+  let obs = Obs.Ctx.create () in
+  let r = get (Serve.run ~obs (spec ~outage:outage_spec ())) in
+  check_bool "run unchanged" true (r.Serve.requests > 0);
+  check_int "no events" 0 (Ev.recorded obs.Obs.Ctx.events)
 
 (* --- replica-consistency property ------------------------------------------ *)
 
@@ -331,6 +449,31 @@ let props =
                 | Ok d -> Engine.equal_decision d decision
                 | Error _ -> false))
           requests r.Serve.outcomes);
+    (* The flight recorder only ever runs in the sequential control
+       phase, so its timestamps are nondecreasing — globally and hence
+       per correlated node — at any worker count. *)
+    prop "event timestamps are monotone per node"
+      QCheck2.Gen.(triple (int_range 0 10_000) bool (int_range 1 4))
+      (fun (seed, storm, jobs) ->
+        let outage = if storm then outage_spec else Outages.default_spec in
+        let obs = Obs.Ctx.create ~events:(Ev.recording ()) () in
+        let s = spec ~duration_us:20_000.0 ~seed ~jobs ~outage () in
+        let _ = get (Serve.run ~obs s) in
+        let last_global = ref 0.0 in
+        let last_node : (int, float) Hashtbl.t = Hashtbl.create 8 in
+        List.for_all
+          (fun e ->
+            let ok = e.Ev.ts >= !last_global in
+            last_global := e.Ev.ts;
+            match e.Ev.node with
+            | None -> ok
+            | Some node ->
+                let prev =
+                  Option.value ~default:0.0 (Hashtbl.find_opt last_node node)
+                in
+                Hashtbl.replace last_node node e.Ev.ts;
+                ok && e.Ev.ts >= prev)
+          (Ev.events obs.Obs.Ctx.events));
   ]
 
 let () =
@@ -364,6 +507,9 @@ let () =
             test_serve_chaos_acceptance;
           Alcotest.test_case "degraded path" `Quick test_serve_degraded_path;
           Alcotest.test_case "obs metrics" `Quick test_serve_obs;
+          Alcotest.test_case "event log" `Quick test_serve_eventlog;
+          Alcotest.test_case "event log disabled" `Quick
+            test_serve_eventlog_absent_when_disabled;
         ] );
       ("properties", props);
     ]

@@ -1,8 +1,11 @@
 (* Tests for the observability stack: metrics registry exports, span
-   tracer nesting, and the cycle-attribution profiler. *)
+   tracer nesting, the structured event log, SLO burn-rate tracking,
+   JSON primitives and the cycle-attribution profiler. *)
 
 module M = Obs.Metrics
 module Tr = Obs.Tracer
+module Ev = Obs.Events
+module Slo = Obs.Slo
 module P = Obs.Profile
 module Mach = Rtlsim.Machine
 module S = Desim.Simulate
@@ -221,6 +224,172 @@ let test_tracer_json () =
        ]}\n")
     (Tr.to_json t)
 
+(* --- Event log --------------------------------------------------------- *)
+
+let test_events_noop () =
+  let t = Ev.noop () in
+  check_bool "disabled" false (Ev.enabled t);
+  Ev.record t ~ts:1.0 ~request:0 ~node:2 (Ev.Request_failover { from_node = 2 });
+  check_int "records nothing" 0 (Ev.recorded t);
+  check_int "drops nothing" 0 (Ev.dropped t);
+  check_int "no capacity" 0 (Ev.capacity t);
+  check_bool "no events" true (Ev.events t = []);
+  check_str "summary-only NDJSON"
+    "{\"event\":\"eventlog-summary\",\"recorded\":0,\"dropped\":0}\n"
+    (Ev.to_ndjson t)
+
+let test_events_ring () =
+  check_bool "capacity 0 rejected" true
+    (raises_invalid (fun () -> Ev.recording ~capacity:0 ()));
+  let t = Ev.recording ~capacity:3 () in
+  check_bool "enabled" true (Ev.enabled t);
+  for k = 0 to 4 do
+    Ev.record t ~ts:(float_of_int k) ~node:k
+      (Ev.Node_transition { prev = "up"; next = "suspect" })
+  done;
+  check_int "all records counted" 5 (Ev.recorded t);
+  check_int "overwritten events are the dropped count" 2 (Ev.dropped t);
+  Alcotest.(check (list int))
+    "survivors are the newest, oldest first" [ 2; 3; 4 ]
+    (List.map (fun e -> Option.get e.Ev.node) (Ev.events t));
+  check_bool "summary line carries recorded and dropped" true
+    (let nd = Ev.to_ndjson t in
+     let lines = String.split_on_char '\n' nd in
+     List.exists
+       (String.equal
+          "{\"event\":\"eventlog-summary\",\"recorded\":5,\"dropped\":2}")
+       lines)
+
+let test_events_ndjson () =
+  let t = Ev.recording () in
+  Ev.record t ~ts:12.5 ~request:3 ~node:1
+    (Ev.Request_completed { at_node = 1; impl_id = 7; latency_us = 40.0 });
+  Ev.record t ~ts:14.0 ~node:2
+    (Ev.Breaker_transition { prev = "closed"; next = "open" });
+  Ev.record t ~ts:15.0
+    (Ev.Slo_alert
+       {
+         objective = "availability";
+         state = "firing";
+         burn_fast = 16.666667;
+         burn_slow = 12.0;
+       });
+  check_str "fixed field order, sim-time stamps, summary line"
+    ("{\"ts\":12.500000,\"event\":\"request-completed\",\"request\":3,\
+      \"node\":1,\"at_node\":1,\"impl\":7,\"latency_us\":40}\n"
+    ^ "{\"ts\":14,\"event\":\"breaker-transition\",\"node\":2,\
+       \"prev\":\"closed\",\"next\":\"open\"}\n"
+    ^ "{\"ts\":15,\"event\":\"slo-alert\",\"objective\":\"availability\",\
+       \"state\":\"firing\",\"burn_fast\":16.666667,\"burn_slow\":12}\n"
+    ^ "{\"event\":\"eventlog-summary\",\"recorded\":3,\"dropped\":0}\n")
+    (Ev.to_ndjson t)
+
+(* --- SLO tracking ------------------------------------------------------ *)
+
+(* Threshold 9.5 keeps every burn comparison away from an exactly-
+   representable boundary (1 bad of 10 samples against budget 0.01 is
+   9.999... in floats, not 10). *)
+let slo_spec =
+  {
+    Slo.name = "availability";
+    target = 0.99;
+    fast_window_us = 10.0;
+    slow_window_us = 50.0;
+    burn_threshold = 9.5;
+    min_samples = 5;
+  }
+
+let test_slo_validation () =
+  let bad f = raises_invalid (fun () -> Slo.create (f slo_spec)) in
+  check_bool "target 0 rejected" true (bad (fun s -> { s with Slo.target = 0.0 }));
+  check_bool "target > 1 rejected" true
+    (bad (fun s -> { s with Slo.target = 1.1 }));
+  check_bool "mis-ordered windows rejected" true
+    (bad (fun s -> { s with Slo.slow_window_us = 5.0 }));
+  check_bool "non-positive threshold rejected" true
+    (bad (fun s -> { s with Slo.burn_threshold = 0.0 }));
+  check_bool "min_samples 0 rejected" true
+    (bad (fun s -> { s with Slo.min_samples = 0 }));
+  check_bool "target 1.0 accepted (floored budget)" true
+    (match Slo.create { slo_spec with Slo.target = 1.0 } with
+    | _ -> true)
+
+let test_slo_burn_fire_resolve () =
+  let t = Slo.create slo_spec in
+  (* Five goods reach the sample floor without firing. *)
+  for k = 1 to 5 do
+    match Slo.record t ~at:(float_of_int k) ~good:true with
+    | None -> ()
+    | Some _ -> Alcotest.fail "good events must not fire"
+  done;
+  (* One bad out of six in both windows: burn 1/6/0.01 = 16.7 >= 9.5. *)
+  (match Slo.record t ~at:6.0 ~good:false with
+  | Some { Slo.al_transition = Slo.Fired; al_burn_fast; al_burn_slow; _ } ->
+      check_bool "fast burn above threshold" true (al_burn_fast >= 9.5);
+      check_bool "slow burn above threshold" true (al_burn_slow >= 9.5)
+  | _ -> Alcotest.fail "burn crossing both windows must fire");
+  (* Goods dilute both windows; down to 1 bad of 10 samples (burn ~10)
+     both stay above the threshold — still firing. *)
+  for k = 7 to 10 do
+    match Slo.record t ~at:(float_of_int k) ~good:true with
+    | None -> ()
+    | Some _ -> Alcotest.fail "still firing while both windows burn hot"
+  done;
+  (* At t=11 the slow window holds 11 samples: burn 9.09 < 9.5 — one
+     window dropping below the threshold resolves the alert even
+     though the fast window (which evicted its oldest good) still
+     burns at ~10. *)
+  (match Slo.record t ~at:11.0 ~good:true with
+  | Some { Slo.al_transition = Slo.Resolved; _ } -> ()
+  | _ -> Alcotest.fail "slow window dropping below threshold must resolve");
+  let r = Slo.report t ~at:20.0 in
+  check_int "one alert fired" 1 r.Slo.r_alerts_fired;
+  check_bool "firing time is fire-to-resolve" true
+    (Float.abs (r.Slo.r_firing_us -. 5.0) < 1e-9);
+  check_int "two transitions on record" 2 (List.length r.Slo.r_alerts);
+  check_bool "attainment is overall good fraction" true
+    (Float.abs (r.Slo.r_attained -. (10.0 /. 11.0)) < 1e-9);
+  check_bool "objective missed" true (not r.Slo.r_met)
+
+let test_slo_still_firing_charged () =
+  let t = Slo.create slo_spec in
+  for k = 1 to 5 do
+    ignore (Slo.record t ~at:(float_of_int k) ~good:true)
+  done;
+  (match Slo.record t ~at:6.0 ~good:false with
+  | Some { Slo.al_transition = Slo.Fired; _ } -> ()
+  | _ -> Alcotest.fail "must fire");
+  let r = Slo.report t ~at:11.0 in
+  check_bool "open alert charged up to the horizon" true
+    (Float.abs (r.Slo.r_firing_us -. 5.0) < 1e-9);
+  check_int "no resolve transition yet" 1 (List.length r.Slo.r_alerts)
+
+let test_slo_zero_budget_finite () =
+  let t = Slo.create { slo_spec with Slo.target = 1.0; min_samples = 1 } in
+  (match Slo.record t ~at:1.0 ~good:false with
+  | Some { Slo.al_transition = Slo.Fired; al_burn_fast; _ } ->
+      check_bool "burn enormous but finite" true (Float.is_finite al_burn_fast)
+  | _ -> Alcotest.fail "any bad event burns a zero budget");
+  (* The report must survive the canonical JSON export (float_str
+     rejects non-finite values). *)
+  check_bool "report exports" true
+    (String.length (Slo.reports_to_json [ Slo.report t ~at:2.0 ]) > 0)
+
+(* --- JSON primitives --------------------------------------------------- *)
+
+let test_jsonu_float_str () =
+  check_str "integers render bare" "42" (Obs.Jsonu.float_str 42.0);
+  check_str "negative zero canonicalized" "0" (Obs.Jsonu.float_str (-0.0));
+  check_str "fractions render with six places" "1.500000"
+    (Obs.Jsonu.float_str 1.5);
+  check_str "negative values keep their sign" "-3" (Obs.Jsonu.float_str (-3.0));
+  check_bool "NaN rejected" true
+    (raises_invalid (fun () -> Obs.Jsonu.float_str Float.nan));
+  check_bool "+inf rejected" true
+    (raises_invalid (fun () -> Obs.Jsonu.float_str Float.infinity));
+  check_bool "-inf rejected" true
+    (raises_invalid (fun () -> Obs.Jsonu.float_str Float.neg_infinity))
+
 (* --- Instrumented simulation ------------------------------------------- *)
 
 let test_instrumented_simulation () =
@@ -380,6 +549,25 @@ let () =
           Alcotest.test_case "instrumented simulation" `Quick
             test_instrumented_simulation;
         ] );
+      ( "events",
+        [
+          Alcotest.test_case "noop sink" `Quick test_events_noop;
+          Alcotest.test_case "ring overwrite" `Quick test_events_ring;
+          Alcotest.test_case "NDJSON export" `Quick test_events_ndjson;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "spec validation" `Quick test_slo_validation;
+          Alcotest.test_case "burn fire and resolve" `Quick
+            test_slo_burn_fire_resolve;
+          Alcotest.test_case "open alert charged" `Quick
+            test_slo_still_firing_charged;
+          Alcotest.test_case "zero budget stays finite" `Quick
+            test_slo_zero_budget_finite;
+        ] );
+      ( "jsonu",
+        [ Alcotest.test_case "float_str contract" `Quick test_jsonu_float_str ]
+      );
       ( "profiler",
         [
           Alcotest.test_case "audio scenario" `Quick test_profile_audio;
