@@ -1193,6 +1193,131 @@ let run_cluster () =
   Printf.printf "-> BENCH_cluster.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* CLUSTER2: work stealing + streaming arrivals                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_cluster2 () =
+  section "CLUSTER2"
+    "extra: work stealing + streaming arrivals (BENCH_cluster2.json)";
+  Printf.printf
+    "a skewed mix — one hot Poisson application hammering a single\n\
+     function type next to the standard mp3/video apps — saturates the\n\
+     hot type's 3-node replica set while the other half of the cluster\n\
+     idles.  Without stealing every overflow arrival burns a shed plus\n\
+     a backoff retry and p99 latency blows up; with --steal the\n\
+     overloaded primary hands the request to the least-loaded eligible\n\
+     node (resync penalty when the victim must fetch the type), sheds\n\
+     collapse and p99 drops at equal availability.  Victim election is\n\
+     seeded and sim-time-deterministic, so the steal-enabled report\n\
+     stays byte-identical across --jobs and across arrival sources.\n\n";
+  let hot =
+    {
+      Desim.Apps.automotive_ecu with
+      Desim.Apps.app_id = "hot";
+      arrival = Desim.Apps.Poisson;
+      period_us = 1.3;
+    }
+  in
+  let spec ~steal ~jobs ~source =
+    {
+      (Cluster.Serve.default_spec ()) with
+      Cluster.Serve.duration_us = 50_000.0;
+      seed = 11;
+      jobs;
+      apps = [ hot; Desim.Apps.mp3_player; Desim.Apps.video_scaler ];
+      steal = { Cluster.Steal.default with Cluster.Steal.enabled = steal };
+      source;
+    }
+  in
+  let run ~steal ~jobs ~source =
+    get (Cluster.Serve.run (spec ~steal ~jobs ~source))
+  in
+  let off = run ~steal:false ~jobs:1 ~source:Cluster.Serve.Pregenerated in
+  let on = run ~steal:true ~jobs:1 ~source:Cluster.Serve.Pregenerated in
+  let p99 (r : Cluster.Serve.report) =
+    match r.Cluster.Serve.latency with
+    | Some s -> s.Workload.Stats.p99
+    | None -> nan
+  in
+  Printf.printf "%8s %9s %6s %7s %8s %12s %8s\n" "steal" "requests" "shed"
+    "steals" "retries" "availability" "p99_us";
+  List.iter
+    (fun (tag, (r : Cluster.Serve.report)) ->
+      Printf.printf "%8s %9d %6d %7d %8d %13.4f %8.1f\n" tag
+        r.Cluster.Serve.requests r.Cluster.Serve.sheds r.Cluster.Serve.steals
+        r.Cluster.Serve.retries r.Cluster.Serve.availability (p99 r))
+    [ ("off", off); ("on", on) ];
+  let sheds_decrease = on.Cluster.Serve.sheds < off.Cluster.Serve.sheds in
+  let p99_improves = p99 on < p99 off in
+  let avail_equal =
+    on.Cluster.Serve.availability >= off.Cluster.Serve.availability
+  in
+  let on_jobs4 = run ~steal:true ~jobs:4 ~source:Cluster.Serve.Pregenerated in
+  let jobs_match =
+    String.equal (Cluster.Serve.results_digest on)
+      (Cluster.Serve.results_digest on_jobs4)
+  in
+  let on_stream = run ~steal:true ~jobs:1 ~source:Cluster.Serve.Stream in
+  let stream_match =
+    String.equal (Cluster.Serve.results_digest on)
+      (Cluster.Serve.results_digest on_stream)
+  in
+  Printf.printf
+    "\nsheds strictly decrease with stealing: %b (%d -> %d)\n\
+     p99 improves at no availability cost: %b (%.1f -> %.1f us)\n\
+     steal-on digest byte-identical at --jobs 1 vs 4: %b\n\
+     steal-on digest byte-identical stream vs pregenerated: %b\n"
+    sheds_decrease off.Cluster.Serve.sheds on.Cluster.Serve.sheds
+    (p99_improves && avail_equal)
+    (p99 off) (p99 on) jobs_match stream_match;
+  subsection "streaming scale: 1M requests without pregeneration";
+  let big =
+    {
+      (Cluster.Serve.default_spec ()) with
+      Cluster.Serve.duration_us = 3.0e6;
+      seed = 5;
+      load_scale = 400.0;
+      source = Cluster.Serve.Stream;
+      max_requests = Some 1_000_000;
+      retain_requests = false;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let br = get (Cluster.Serve.run big) in
+  let wall = Unix.gettimeofday () -. t0 in
+  let rps = float_of_int br.Cluster.Serve.requests /. wall in
+  Printf.printf
+    "requests=%d availability=%.4f wall=%.2fs throughput=%.0f req/s\n\
+     (pull-based source: O(apps) arrival memory, aggregates only)\n"
+    br.Cluster.Serve.requests br.Cluster.Serve.availability wall rps;
+  let oc = open_out "BENCH_cluster2.json" in
+  Printf.fprintf oc
+    "{\"bench\":\"cluster2\",\"nodes\":6,\"fault_domains\":3,\"seed\":11,\
+     \"duration_us\":50000,\
+     \"off\":{\"requests\":%d,\"sheds\":%d,\"retries\":%d,\
+     \"availability\":%.4f,\"p99_us\":%.1f,\"results_digest\":\"%s\"},\
+     \"on\":{\"requests\":%d,\"sheds\":%d,\"steals\":%d,\
+     \"steal_denials\":%d,\"retries\":%d,\"availability\":%.4f,\
+     \"p99_us\":%.1f,\"results_digest\":\"%s\"},\
+     \"sheds_decrease\":%b,\"p99_improves\":%b,\
+     \"jobs_digest_match\":%b,\"stream_digest_match\":%b,\
+     \"stream_1m\":{\"requests\":%d,\"availability\":%.4f,\
+     \"wall_s\":%.2f,\"requests_per_s\":%.0f}}\n"
+    off.Cluster.Serve.requests off.Cluster.Serve.sheds
+    off.Cluster.Serve.retries off.Cluster.Serve.availability (p99 off)
+    (Cluster.Serve.results_digest off)
+    on.Cluster.Serve.requests on.Cluster.Serve.sheds on.Cluster.Serve.steals
+    on.Cluster.Serve.steal_denials on.Cluster.Serve.retries
+    on.Cluster.Serve.availability (p99 on)
+    (Cluster.Serve.results_digest on)
+    sheds_decrease
+    (p99_improves && avail_equal)
+    jobs_match stream_match br.Cluster.Serve.requests
+    br.Cluster.Serve.availability wall rps;
+  close_out oc;
+  Printf.printf "-> BENCH_cluster2.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* NATIVE: IR-compiled engine throughput                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1604,6 +1729,7 @@ let sections =
     ("r1", run_r1);
     ("par", run_par);
     ("cluster", run_cluster);
+    ("cluster2", run_cluster2);
     ("native", run_native);
     ("netlist", run_netlist_bench);
     ("obs", run_obs_bench);

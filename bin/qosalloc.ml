@@ -778,8 +778,8 @@ let faults_cmd =
 let serve_cmd =
   let run duration_us seed nodes replication fault_domains jobs engine_name
       kill_frac bounce_mean bounce_down retries backoff_us backoff_factor
-      backoff_cap_us backoff_jitter min_availability slo slo_out out metrics
-      trace_out events_out =
+      backoff_cap_us backoff_jitter min_availability slo steal steal_threshold
+      stream requests load_scale slo_out out metrics trace_out events_out =
     let engine = or_die (Engines.of_name engine_name) in
     let d = Cluster.Serve.default_spec () in
     let spec =
@@ -814,6 +814,17 @@ let serve_cmd =
             (fun (availability, latency_us) ->
               Cluster.Serve.default_slo ~availability ~latency_us)
             slo;
+        steal =
+          {
+            Cluster.Steal.default with
+            Cluster.Steal.enabled = steal;
+            threshold = steal_threshold;
+            seed;
+          };
+        source =
+          (if stream then Cluster.Serve.Stream else Cluster.Serve.Pregenerated);
+        max_requests = requests;
+        load_scale;
       }
     in
     let obs = make_obs ~metrics ~trace_out ~events_out in
@@ -948,6 +959,52 @@ let serve_cmd =
              both targeting the fraction $(b,AVAIL).  A missed objective \
              classifies the run as unrecovered loss (exit 2).")
   in
+  let steal =
+    Arg.(
+      value & flag
+      & info [ "steal" ]
+          ~doc:
+            "Enable deterministic work stealing: an overloaded node hands \
+             the request to the least-loaded eligible node of its replica \
+             set, or — when every replica is saturated — to the globally \
+             least-loaded node (paying a resync penalty when the victim \
+             does not hold the type).  Victim election is seeded, so \
+             reports stay byte-identical at any $(b,--jobs).")
+  in
+  let steal_threshold =
+    Arg.(
+      value & opt float 0.9
+      & info [ "steal-threshold" ] ~docv:"F"
+          ~doc:
+            "Saturation fraction of a node's slots at which it donates \
+             work, and above which it refuses to be a victim.")
+  in
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Pull arrivals from the streaming source instead of \
+             pregenerating the request array — O(apps) generation memory, \
+             byte-identical report.")
+  in
+  let requests =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "requests" ] ~docv:"N"
+          ~doc:
+            "Stop after the first $(docv) arrivals of the merged sequence \
+             (identical for either source).")
+  in
+  let load_scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "load-scale" ] ~docv:"F"
+          ~doc:
+            "Divide every application's inter-arrival period by $(docv); \
+             values above ~1000 saturate the standard mix.")
+  in
   let slo_out =
     Arg.(
       value
@@ -980,7 +1037,8 @@ let serve_cmd =
          tripped or saturated.";
       `P
         "Exit status: 0 when every request was answered at full QoS with no \
-         outage activity, 1 when faults occurred but every request was \
+         outage or recovery activity, 1 when faults or recovery actions \
+         (failovers, sheds, retries, steals) occurred but every request was \
          still answered and availability held above the floor, 2 on any \
          failed request, availability below $(b,--min-availability), or a \
          missed $(b,--slo) objective.";
@@ -991,7 +1049,8 @@ let serve_cmd =
       const run $ duration $ seed $ nodes $ replication $ fault_domains $ jobs
       $ engine $ kill_frac $ bounce_mean $ bounce_down $ retries $ backoff_us
       $ backoff_factor $ backoff_cap_us $ backoff_jitter $ min_availability
-      $ slo $ slo_out $ out $ metrics_arg $ trace_out_arg $ events_out_arg)
+      $ slo $ steal $ steal_threshold $ stream $ requests $ load_scale
+      $ slo_out $ out $ metrics_arg $ trace_out_arg $ events_out_arg)
 
 (* --- profile --------------------------------------------------------------- *)
 

@@ -55,16 +55,22 @@ let start_index t h =
 
 let walk t ~key =
   let n = Array.length t.points in
+  let members = List.length t.members in
   let s = start_index t (hash2 key 0x5eed) in
-  (* Distinct nodes in first-encounter order around the ring. *)
+  (* Distinct nodes in first-encounter order around the ring; stop as
+     soon as every member has been seen instead of scanning all
+     nodes x vnodes points (with 64 vnodes the tail of the scan is
+     ~98% wasted work per key). *)
   let seen = Hashtbl.create 8 in
   let acc = ref [] in
-  for i = 0 to n - 1 do
-    let p = t.points.((s + i) mod n) in
+  let i = ref 0 in
+  while Hashtbl.length seen < members && !i < n do
+    let p = t.points.((s + !i) mod n) in
     if not (Hashtbl.mem seen p.node) then begin
       Hashtbl.add seen p.node ();
       acc := p.node :: !acc
-    end
+    end;
+    incr i
   done;
   List.rev !acc
 

@@ -18,6 +18,12 @@ let default_slo ~availability ~latency_us =
     slo_burn_threshold = d.Obs.Slo.burn_threshold;
   }
 
+type source = Pregenerated | Stream
+
+let source_to_string = function
+  | Pregenerated -> "pregenerated"
+  | Stream -> "stream"
+
 type spec = {
   duration_us : float;
   seed : int;
@@ -42,6 +48,11 @@ type spec = {
   resync_rate : float;
   min_availability : float;
   slo : slo_spec option;
+  steal : Steal.policy;
+  source : source;
+  max_requests : int option;
+  retain_requests : bool;
+  load_scale : float;
 }
 
 let clock_mhz = 75.0
@@ -79,6 +90,11 @@ let default_spec () =
     resync_rate = 0.01;
     min_availability = 0.99;
     slo = None;
+    steal = Steal.default;
+    source = Pregenerated;
+    max_requests = None;
+    retain_requests = true;
+    load_scale = 1.0;
   }
 
 type reason = Breaker_open | All_replicas_down | Saturated | Retries_exhausted
@@ -88,6 +104,12 @@ let reason_to_string = function
   | All_replicas_down -> "all-replicas-down"
   | Saturated -> "saturated"
   | Retries_exhausted -> "retries-exhausted"
+
+let reason_index = function
+  | Breaker_open -> 0
+  | All_replicas_down -> 1
+  | Saturated -> 2
+  | Retries_exhausted -> 3
 
 type response =
   | Full of { node : int; decision : Engine.decision }
@@ -107,6 +129,8 @@ type node_stats = {
   ns_slots : int;
   ns_served : int;
   ns_shed : int;
+  ns_stolen : int;
+  ns_donated : int;
   ns_peak_inflight : int;
   ns_breaker_opens : int;
   ns_downtime_us : float;
@@ -130,12 +154,15 @@ type report = {
   failovers : int;
   retries : int;
   sheds : int;
+  steals : int;
+  steal_denials : int;
   outage_events : int;
   heartbeats : int;
   degraded_reasons : (string * int) list;
   per_node : node_stats list;
   mean_latency_us : float;
   max_latency_us : float;
+  latency : Workload.Stats.summary option;
   outcomes : response array;
   request_meta : (string * int * float) array;
   slo : Obs.Slo.report list;
@@ -156,7 +183,7 @@ let classify ~min_availability r =
   then Unrecovered_loss
   else if
     r.degraded > 0 || r.failovers > 0 || r.sheds > 0 || r.retries > 0
-    || r.outage_events > 0
+    || r.steals > 0 || r.outage_events > 0
   then Degraded_recovered
   else Clean
 
@@ -168,77 +195,53 @@ let exit_code ~min_availability r =
 
 (* --- workload generation ---------------------------------------------------- *)
 
-type arrival = {
-  a_app : string;
-  a_at_us : float;
-  a_request : Request.t;
-  a_order : int * int;  (** (app index, per-app sequence) tie-break. *)
-}
+type arrival = { a_app : string; a_at_us : float; a_request : Request.t }
 
-type app_state = {
-  profile : Desim.Apps.profile;
-  rng : Workload.Prng.t;
-  mutable cursor : int;
-}
-
-let next_template st =
-  let templates = st.profile.Desim.Apps.templates in
-  let t = List.nth templates st.cursor in
-  st.cursor <- (st.cursor + 1) mod List.length templates;
-  t
-
-let inter_arrival st =
-  match st.profile.Desim.Apps.arrival with
-  | Desim.Apps.Periodic -> st.profile.Desim.Apps.period_us
-  | Desim.Apps.Poisson ->
-      Workload.Prng.exponential st.rng ~mean:st.profile.Desim.Apps.period_us
-
-(* Expand the seed into the complete request trace plus the two
-   injector seeds.  App streams split first, in apps order — the same
-   discipline as [Faults.Campaign] — then outages, then retry jitter. *)
-let generate_workload (spec : spec) =
-  let root = Workload.Prng.create ~seed:spec.seed in
-  let states =
+let scaled_apps (spec : spec) =
+  if spec.load_scale = 1.0 then spec.apps
+  else if spec.load_scale <= 0.0 then
+    invalid_arg "Serve: load_scale must be > 0"
+  else
     List.map
-      (fun profile -> { profile; rng = Workload.Prng.split root; cursor = 0 })
+      (fun (p : Desim.Apps.profile) ->
+        { p with Desim.Apps.period_us = p.Desim.Apps.period_us /. spec.load_scale })
       spec.apps
+
+(* Expand the seed into the per-app pull sources plus the two injector
+   seeds.  App streams split first, in apps order — the same
+   discipline as [Faults.Campaign] — then outages, then retry jitter.
+   The sources are live: building them costs O(apps), and each pull
+   draws exactly the rng values the pregenerated expansion would. *)
+let arrival_sources (spec : spec) =
+  let root = Workload.Prng.create ~seed:spec.seed in
+  let sources =
+    List.map
+      (fun (p : Desim.Apps.profile) ->
+        ( p.Desim.Apps.app_id,
+          Desim.Apps.arrival_source p ~rng:(Workload.Prng.split root)
+            ~horizon:spec.duration_us ))
+      (scaled_apps spec)
   in
   let outage_seed = Workload.Prng.int root ~bound:0x3FFFFFFF in
   let retry_seed = Workload.Prng.int root ~bound:0x3FFFFFFF in
-  let arrivals =
-    List.concat
-      (List.mapi
-         (fun app_idx st ->
-           let rec go t seq acc =
-             let t = t +. inter_arrival st in
-             if t >= spec.duration_us then List.rev acc
-             else
-               let template = next_template st in
-               let request = Desim.Apps.instantiate st.rng template in
-               go t (seq + 1)
-                 ({
-                    a_app = st.profile.Desim.Apps.app_id;
-                    a_at_us = t;
-                    a_request = request;
-                    a_order = (app_idx, seq);
-                  }
-                 :: acc)
-           in
-           go 0.0 0 [])
-         states)
-  in
-  let sorted =
-    List.sort
-      (fun a b ->
-        match compare a.a_at_us b.a_at_us with
-        | 0 -> compare a.a_order b.a_order
-        | c -> c)
-      arrivals
-  in
-  (Array.of_list sorted, outage_seed, retry_seed)
+  (sources, outage_seed, retry_seed)
+
+(* [Workload.Stream] merges by (time, app index) with per-source order
+   preserved — exactly the stable sort the pregenerated path used to
+   apply to the expanded array, so draining reproduces it element for
+   element. *)
+let drain_arrivals ?max_items ~names stream =
+  let items = Workload.Stream.drain ?max_items stream in
+  Array.of_list
+    (List.map
+       (fun (src, t, req) -> { a_app = names.(src); a_at_us = t; a_request = req })
+       items)
 
 let workload spec =
-  let arrivals, _, _ = generate_workload spec in
+  let sources, _, _ = arrival_sources spec in
+  let names = Array.of_list (List.map fst sources) in
+  let stream = Workload.Stream.create (List.map snd sources) in
+  let arrivals = drain_arrivals ?max_items:spec.max_requests ~names stream in
   Array.map (fun a -> (a.a_app, a.a_at_us, a.a_request)) arrivals
 
 (* --- parallel decision phase ------------------------------------------------ *)
@@ -309,6 +312,27 @@ let service_us (spec : spec) (d : Engine.decision) =
   | Some c -> Float.max spec.min_service_us (float_of_int c /. clock_mhz)
   | None -> spec.min_service_us
 
+(* Growable per-request storage, only populated when the spec retains
+   requests; the streaming 1M+ bench runs with retention off so memory
+   stays in the aggregates. *)
+module Vec = struct
+  type 'a t = { mutable data : 'a array; mutable len : int }
+
+  let create () = { data = [||]; len = 0 }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let grown = Array.make (max 16 (2 * Array.length v.data)) x in
+      Array.blit v.data 0 grown 0 v.len;
+      v.data <- grown
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let set v i x = v.data.(i) <- x
+  let to_array v = Array.sub v.data 0 v.len
+end
+
 (* Streaming metric handles, resolved once up-front so the hot path
    only increments.  All updates happen in the sequential control
    phase, at the sim-time of the thing they measure. *)
@@ -318,12 +342,16 @@ type instr = {
   i_failed : Obs.Metrics.counter;
   i_retries : Obs.Metrics.counter;
   i_heartbeats : Obs.Metrics.counter;
+  i_steal_denied : Obs.Metrics.counter;
   i_failover : Obs.Metrics.counter array;
   i_served : Obs.Metrics.counter array;
   i_shed : Obs.Metrics.counter array;
+  i_stolen : Obs.Metrics.counter array;
+  i_donated : Obs.Metrics.counter array;
   i_breaker_opens : Obs.Metrics.counter array;
   i_saturation : Obs.Metrics.gauge array;
   i_latency : Obs.Metrics.histogram;
+  i_steal_latency : Obs.Metrics.histogram;
   i_lag : Obs.Metrics.histogram;
 }
 
@@ -349,6 +377,10 @@ let make_instr reg ~nodes =
     i_heartbeats =
       Obs.Metrics.counter reg ~help:"Heartbeats observed by the detector"
         "qosalloc_cluster_heartbeats_total";
+    i_steal_denied =
+      Obs.Metrics.counter reg
+        ~help:"Steal attempts that found no victim with headroom"
+        "qosalloc_cluster_steal_denied_total";
     i_failover =
       per_node ~help:"In-flight attempts failed over to a replica"
         "qosalloc_cluster_failover_total";
@@ -358,6 +390,12 @@ let make_instr reg ~nodes =
     i_shed =
       per_node ~help:"Requests shed from a saturated node"
         "qosalloc_cluster_shed_total";
+    i_stolen =
+      per_node ~help:"Requests stolen onto this node as the victim"
+        "qosalloc_cluster_stolen_total";
+    i_donated =
+      per_node ~help:"Requests this overloaded node handed to a victim"
+        "qosalloc_cluster_donated_total";
     i_breaker_opens =
       per_node ~help:"Circuit-breaker trips"
         "qosalloc_cluster_breaker_opens_total";
@@ -371,6 +409,11 @@ let make_instr reg ~nodes =
       Obs.Metrics.histogram reg
         ~help:"Request latency, arrival to response (us)"
         ~buckets:Obs.Metrics.latency_buckets_us "qosalloc_cluster_latency_us";
+    i_steal_latency =
+      Obs.Metrics.histogram reg
+        ~help:"Latency of stolen requests, arrival to response (us)"
+        ~buckets:Obs.Metrics.latency_buckets_us
+        "qosalloc_cluster_steal_latency_us";
     i_lag =
       Obs.Metrics.histogram reg
         ~help:"Catch-up re-replication lag on rejoin (us)"
@@ -418,15 +461,15 @@ let run ?obs (spec : spec) =
       ~nodes:spec.nodes ~replication:spec.replication ~engine:spec.engine
       spec.casebase
   in
-  let arrivals, outage_seed, retry_seed = generate_workload spec in
-  let n_req = Array.length arrivals in
+  let sources, outage_seed, retry_seed = arrival_sources spec in
+  let app_names = Array.of_list (List.map fst sources) in
+  let stream = Workload.Stream.create (List.map snd sources) in
   let outage_inj = Faults.Injector.create ~seed:outage_seed in
   let retry_inj = Faults.Injector.create ~seed:retry_seed in
   let events =
     Faults.Outages.generate outage_inj ~nodes:spec.nodes
       ~duration_us:spec.duration_us spec.outage
   in
-  let decisions = compute_decisions sub arrivals ~jobs:spec.jobs in
   (* Ground-truth outage intervals; permanent kills never end, so the
      retry tail past the workload horizon still sees them down. *)
   let down =
@@ -469,13 +512,12 @@ let run ?obs (spec : spec) =
   let breakers =
     Array.init spec.nodes (fun _ -> Breaker.create ~config:spec.breaker ())
   in
-  let inflight = Array.make spec.nodes 0 in
-  let peak_inflight = Array.make spec.nodes 0 in
   let served = Array.make spec.nodes 0 in
   let shed = Array.make spec.nodes 0 in
+  let stolen = Array.make spec.nodes 0 in
+  let donated = Array.make spec.nodes 0 in
   let resync_until = Array.make spec.nodes 0.0 in
   let resyncs = Array.make spec.nodes 0 in
-  let resync_lags = ref [] in
   (* Last observed detector verdict / breaker state per node, so the
      event log carries transitions rather than a level sample per
      tick.  Both start in their creation state. *)
@@ -504,8 +546,20 @@ let run ?obs (spec : spec) =
   let heartbeats = ref 0 in
   let failovers = ref 0 in
   let retries = ref 0 in
-  let outcomes = Array.make n_req None in
-  let finished = Array.make n_req 0.0 in
+  let steals = ref 0 in
+  let steal_denials = ref 0 in
+  let retain = spec.retain_requests in
+  let outcomes : response option Vec.t = Vec.create () in
+  let meta : (string * int * float) Vec.t = Vec.create () in
+  let issued = ref 0 in
+  let answered = ref 0 in
+  let full_c = ref 0 in
+  let degraded_c = ref 0 in
+  let failed_c = ref 0 in
+  let reason_counts = Array.make 4 0 in
+  let lat_acc = Workload.Stats.create () in
+  let lat_sum = ref 0.0 in
+  let lat_max = ref 0.0 in
   (* The detector has nothing new to say after the last scheduled
      heartbeat scan, so queries from the retry tail clamp to the
      horizon instead of decaying every node to Down. *)
@@ -533,48 +587,63 @@ let run ?obs (spec : spec) =
             last_health.(node) <- st
           end
         end)
-      inflight;
+      served;
     let next = float_of_int (k + 1) *. spec.heartbeat_period_us in
-    if next <= spec.duration_us then Desim.Engine.schedule_at sim ~time:next (scan (k + 1))
+    if next <= spec.duration_us then
+      Desim.Engine.schedule_at sim ~time:next (scan (k + 1))
   in
-  if spec.heartbeat_period_us <= spec.duration_us then
-    Desim.Engine.schedule_at sim ~time:spec.heartbeat_period_us (scan 1);
-  (* Rejoin after a transient outage: the node re-replicates what it
-     missed before taking traffic again. *)
-  Array.iteri
-    (fun node intervals ->
-      List.iter
-        (fun (_, hi) ->
-          if Float.is_finite hi then
-            Desim.Engine.schedule_at sim ~time:hi (fun _ ->
-                let entries = (Substrate.node sub node).Substrate.entries in
-                let lag = float_of_int entries /. spec.resync_rate in
-                resync_until.(node) <- hi +. lag;
-                resyncs.(node) <- resyncs.(node) + 1;
-                resync_lags := lag :: !resync_lags;
-                if observing then
-                  Obs.Events.record ev ~ts:hi ~node
-                    (Obs.Events.Node_rejoin { resync_lag_us = lag });
-                match instr with
-                | None -> ()
-                | Some i -> Obs.Metrics.observe i.i_lag lag))
-        intervals)
-    down;
+  (* Heartbeats and rejoin events enter the heap *after* any same-time
+     arrival event in pregenerated mode (arrivals are scheduled first,
+     so they win the insertion-order tie-break), matching streaming
+     mode where an arrival is processed before the queue catches up to
+     its timestamp — the two sources must replay identically. *)
+  let schedule_control () =
+    if spec.heartbeat_period_us <= spec.duration_us then
+      Desim.Engine.schedule_at sim ~time:spec.heartbeat_period_us (scan 1);
+    (* Rejoin after a transient outage: the node re-replicates what it
+       missed before taking traffic again. *)
+    Array.iteri
+      (fun node intervals ->
+        List.iter
+          (fun (_, hi) ->
+            if Float.is_finite hi then
+              Desim.Engine.schedule_at sim ~time:hi (fun _ ->
+                  let entries = (Substrate.node sub node).Substrate.entries in
+                  let lag = float_of_int entries /. spec.resync_rate in
+                  resync_until.(node) <- hi +. lag;
+                  resyncs.(node) <- resyncs.(node) + 1;
+                  if observing then
+                    Obs.Events.record ev ~ts:hi ~node
+                      (Obs.Events.Node_rejoin { resync_lag_us = lag });
+                  match instr with
+                  | None -> ()
+                  | Some i -> Obs.Metrics.observe i.i_lag lag))
+          intervals)
+      down
+  in
   let breaker_watch = observing || Option.is_some instr in
   (* Per-request degradation ladder. *)
-  let start_request idx (a : arrival) =
-    let t0 = a.a_at_us in
+  let start_request idx ~app ~t0 ~(request : Request.t) ~decision =
+    incr issued;
+    let type_id = request.Request.type_id in
+    if retain then begin
+      Vec.push outcomes None;
+      Vec.push meta (app, type_id, t0)
+    end;
     if observing then
       Obs.Events.record ev ~ts:t0 ~request:idx
-        (Obs.Events.Request_admitted
-           { app = a.a_app; type_id = a.a_request.Request.type_id });
+        (Obs.Events.Request_admitted { app; type_id });
     let respond r =
       let now = Desim.Engine.now sim in
-      outcomes.(idx) <- Some r;
-      finished.(idx) <- now;
+      incr answered;
+      if retain then Vec.set outcomes idx (Some r);
       let lat = now -. t0 in
+      Workload.Stats.add lat_acc lat;
+      lat_sum := !lat_sum +. lat;
+      if lat > !lat_max then lat_max := lat;
       (match r with
       | Full { node; decision } ->
+          incr full_c;
           if observing then
             Obs.Events.record ev ~ts:now ~request:idx ~node
               (Obs.Events.Request_completed
@@ -585,12 +654,16 @@ let run ?obs (spec : spec) =
                  });
           inc (fun i -> i.i_full)
       | Degraded { stale_impl; reason } ->
+          incr degraded_c;
+          reason_counts.(reason_index reason) <-
+            reason_counts.(reason_index reason) + 1;
           if observing then
             Obs.Events.record ev ~ts:now ~request:idx
               (Obs.Events.Request_degraded
                  { reason = reason_to_string reason; stale_impl });
           inc (fun i -> i.i_degraded)
       | Failed msg ->
+          incr failed_c;
           if observing then
             Obs.Events.record ev ~ts:now ~request:idx
               (Obs.Events.Request_failed { error = msg });
@@ -605,7 +678,7 @@ let run ?obs (spec : spec) =
           ~args:
             [
               ("request", string_of_int idx);
-              ("app", a.a_app);
+              ("app", app);
               ("outcome", response_tag r);
             ]
           "request";
@@ -629,12 +702,10 @@ let run ?obs (spec : spec) =
                      }))
         slos
     in
-    match decisions.(idx) with
+    match decision with
     | Error e -> respond (Failed (Engine.error_to_string e))
     | Ok decision ->
-        let replicas =
-          Substrate.replicas_for sub ~type_id:a.a_request.Request.type_id
-        in
+        let replicas = Substrate.replicas_for sub ~type_id in
         let rec round attempt _e =
           let now = Desim.Engine.now sim in
           let tq = query_time now in
@@ -689,10 +760,122 @@ let run ?obs (spec : spec) =
                   respond
                     (Degraded
                        { stale_impl = Some decision.Engine.impl_id; reason })
-            | node :: rest ->
-                let now = Desim.Engine.now sim in
-                let slots = (Substrate.node sub node).Substrate.slots in
-                if inflight.(node) >= slots then begin
+            | node :: rest -> dispatch node rest
+          (* Serve on [node] (possibly a steal victim); on an outage
+             mid-flight, fail over to the remaining candidates. *)
+          and execute ~node ~stolen rest =
+            let now = Desim.Engine.now sim in
+            (match Breaker.state breakers.(node) ~at:now with
+            | Breaker.Half_open -> Breaker.mark_probe breakers.(node)
+            | _ -> ());
+            let prev_peak = (Substrate.node sub node).Substrate.peak_inflight in
+            Substrate.acquire sub ~node;
+            let inflight_now, slots = Substrate.load sub ~node in
+            if inflight_now > prev_peak then begin
+              match instr with
+              | None -> ()
+              | Some i ->
+                  Obs.Metrics.set i.i_saturation.(node)
+                    (float_of_int inflight_now /. float_of_int slots)
+            end;
+            let s =
+              service_us spec decision
+              +.
+              match stolen with
+              | Some p when p.Steal.resync ->
+                  spec.steal.Steal.transfer_penalty_us
+              | _ -> 0.0
+            in
+            let attempt_span outcome ~until =
+              if Obs.Tracer.enabled tracer then
+                Obs.Tracer.complete tracer ~ts:now ~dur:(until -. now)
+                  ~args:
+                    [
+                      ("request", string_of_int idx);
+                      ("node", string_of_int node);
+                      ("outcome", outcome);
+                    ]
+                  "attempt"
+            in
+            match next_failure node now s with
+            | None ->
+                Desim.Engine.schedule sim ~delay:s (fun _ ->
+                    let tdone = Desim.Engine.now sim in
+                    Substrate.release sub ~node;
+                    Breaker.record_success breakers.(node) ~at:tdone;
+                    if breaker_watch then sync_breaker node ~at:tdone;
+                    served.(node) <- served.(node) + 1;
+                    inc (fun i -> i.i_served.(node));
+                    (match (stolen, instr) with
+                    | Some _, Some i ->
+                        Obs.Metrics.observe i.i_steal_latency (tdone -. t0)
+                    | _ -> ());
+                    attempt_span "ok" ~until:tdone;
+                    respond (Full { node; decision }))
+            | Some tf ->
+                (* The outage kills this attempt in flight: fail
+                   over to the next replica at the failure time. *)
+                Desim.Engine.schedule_at sim ~time:tf (fun _ ->
+                    Substrate.release sub ~node;
+                    Breaker.record_failure breakers.(node) ~at:tf;
+                    if breaker_watch then sync_breaker node ~at:tf;
+                    incr failovers;
+                    inc (fun i -> i.i_failover.(node));
+                    if observing then
+                      Obs.Events.record ev ~ts:tf ~request:idx ~node
+                        (Obs.Events.Request_failover { from_node = node });
+                    attempt_span "failover" ~until:tf;
+                    try_candidates rest)
+          and dispatch node rest =
+            let now = Desim.Engine.now sim in
+            let inflight_n, slots = Substrate.load sub ~node in
+            let steal_pick =
+              if
+                spec.steal.Steal.enabled
+                && Steal.overloaded spec.steal ~inflight:inflight_n ~slots
+              then begin
+                let eligible v =
+                  if breaker_watch then sync_breaker v ~at:now;
+                  Health.status detector ~node:v ~at:tq = Health.Up
+                  && now >= resync_until.(v)
+                  && Breaker.allows breakers.(v) ~at:now
+                in
+                let pick =
+                  Steal.select spec.steal ~salt:idx ~donor:node ~replicas
+                    ~members:(Substrate.members sub) ~eligible
+                    ~load:(fun v -> Substrate.load sub ~node:v)
+                    ~holds:(fun v -> Substrate.holds sub ~node:v ~type_id)
+                in
+                (match pick with
+                | Some p ->
+                    incr steals;
+                    donated.(node) <- donated.(node) + 1;
+                    stolen.(p.Steal.victim) <- stolen.(p.Steal.victim) + 1;
+                    inc (fun i -> i.i_donated.(node));
+                    inc (fun i -> i.i_stolen.(p.Steal.victim));
+                    if observing then
+                      Obs.Events.record ev ~ts:now ~request:idx ~node
+                        (Obs.Events.Request_steal
+                           {
+                             from_node = node;
+                             to_node = Some p.Steal.victim;
+                             scope = Steal.scope_to_string p.Steal.scope;
+                           })
+                | None ->
+                    incr steal_denials;
+                    inc (fun i -> i.i_steal_denied);
+                    if observing then
+                      Obs.Events.record ev ~ts:now ~request:idx ~node
+                        (Obs.Events.Request_steal
+                           { from_node = node; to_node = None; scope = "denied" }));
+                pick
+              end
+              else None
+            in
+            match steal_pick with
+            | Some p -> execute ~node:p.Steal.victim ~stolen:(Some p) rest
+            | None ->
+                if inflight_n >= slots then begin
                   (* Saturated: shed towards the next replica, the
                      [Parallel.Bqueue] contract at cluster scope. *)
                   saw_saturated := true;
@@ -703,93 +886,68 @@ let run ?obs (spec : spec) =
                       (Obs.Events.Request_shed { at_node = node });
                   try_candidates rest
                 end
-                else begin
-                  (match Breaker.state breakers.(node) ~at:now with
-                  | Breaker.Half_open -> Breaker.mark_probe breakers.(node)
-                  | _ -> ());
-                  inflight.(node) <- inflight.(node) + 1;
-                  if inflight.(node) > peak_inflight.(node) then begin
-                    peak_inflight.(node) <- inflight.(node);
-                    match instr with
-                    | None -> ()
-                    | Some i ->
-                        Obs.Metrics.set i.i_saturation.(node)
-                          (float_of_int peak_inflight.(node)
-                          /. float_of_int slots)
-                  end;
-                  let s = service_us spec decision in
-                  let attempt_span outcome ~until =
-                    if Obs.Tracer.enabled tracer then
-                      Obs.Tracer.complete tracer ~ts:now ~dur:(until -. now)
-                        ~args:
-                          [
-                            ("request", string_of_int idx);
-                            ("node", string_of_int node);
-                            ("outcome", outcome);
-                          ]
-                        "attempt"
-                  in
-                  match next_failure node now s with
-                  | None ->
-                      Desim.Engine.schedule sim ~delay:s (fun _ ->
-                          let tdone = Desim.Engine.now sim in
-                          inflight.(node) <- inflight.(node) - 1;
-                          Breaker.record_success breakers.(node) ~at:tdone;
-                          if breaker_watch then sync_breaker node ~at:tdone;
-                          served.(node) <- served.(node) + 1;
-                          inc (fun i -> i.i_served.(node));
-                          attempt_span "ok" ~until:tdone;
-                          respond (Full { node; decision }))
-                  | Some tf ->
-                      (* The outage kills this attempt in flight: fail
-                         over to the next replica at the failure time. *)
-                      Desim.Engine.schedule_at sim ~time:tf (fun _ ->
-                          inflight.(node) <- inflight.(node) - 1;
-                          Breaker.record_failure breakers.(node) ~at:tf;
-                          if breaker_watch then sync_breaker node ~at:tf;
-                          incr failovers;
-                          inc (fun i -> i.i_failover.(node));
-                          if observing then
-                            Obs.Events.record ev ~ts:tf ~request:idx ~node
-                              (Obs.Events.Request_failover
-                                 { from_node = node });
-                          attempt_span "failover" ~until:tf;
-                          try_candidates rest)
-                end
+                else execute ~node ~stolen:None rest
           in
           try_candidates candidates
         in
         round 0 sim
   in
-  Array.iteri
-    (fun idx a ->
-      Desim.Engine.schedule_at sim ~time:a.a_at_us (fun _ ->
-          start_request idx a))
-    arrivals;
-  (* Run to quiescence, not to the horizon: the retry tail of the last
-     arrivals must resolve — every request answers, full or degraded. *)
-  let _fired = Desim.Engine.run sim in
-  let* outcomes =
-    let unresolved = ref 0 in
-    let resolved =
-      Array.map
-        (function
-          | Some r -> r
-          | None ->
-              incr unresolved;
-              Failed "unresolved")
-        outcomes
-    in
-    if !unresolved > 0 then
-      Error (Printf.sprintf "serve: %d requests left unresolved" !unresolved)
-    else Ok resolved
-  in
-  let count p = Array.fold_left (fun a o -> if p o then a + 1 else a) 0 outcomes in
-  let full = count (function Full _ -> true | _ -> false) in
-  let degraded = count (function Degraded _ -> true | _ -> false) in
-  let failed = count (function Failed _ -> true | _ -> false) in
-  let reason_count r =
-    count (function Degraded d -> d.reason = r | _ -> false)
+  (* Feed the arrivals.  Pregenerated mode expands the whole trace,
+     shards the decisions over [jobs] and schedules every arrival as a
+     heap event; streaming mode pulls arrivals one at a time, runs the
+     queue up to each arrival's timestamp and computes its decision
+     inline on the primary's engine (the identical pure call the
+     sharded phase makes).  Both replay the same control schedule. *)
+  (match spec.source with
+  | Pregenerated ->
+      let arrivals =
+        drain_arrivals ?max_items:spec.max_requests ~names:app_names stream
+      in
+      let decisions = compute_decisions sub arrivals ~jobs:spec.jobs in
+      Array.iteri
+        (fun idx a ->
+          Desim.Engine.schedule_at sim ~time:a.a_at_us (fun _ ->
+              start_request idx ~app:a.a_app ~t0:a.a_at_us ~request:a.a_request
+                ~decision:decisions.(idx)))
+        arrivals;
+      schedule_control ();
+      (* Run to quiescence, not to the horizon: the retry tail of the
+         last arrivals must resolve — every request answers, full or
+         degraded. *)
+      ignore (Desim.Engine.run sim)
+  | Stream ->
+      schedule_control ();
+      let decide (request : Request.t) =
+        let primary =
+          match Substrate.replicas_for sub ~type_id:request.Request.type_id with
+          | p :: _ -> p
+          | [] -> 0
+        in
+        match (Substrate.node sub primary).Substrate.engine with
+        | None -> Error (Engine.Engine_failure "node hosts no types")
+        | Some e -> e.Engine.retrieve request
+      in
+      let cap = Option.value spec.max_requests ~default:max_int in
+      let rec drive idx =
+        if idx >= cap then ()
+        else
+          match Workload.Stream.pull stream with
+          | None -> ()
+          | Some (src, t, request) ->
+              ignore (Desim.Engine.run_before sim ~time:t);
+              Desim.Engine.advance sim ~time:t;
+              start_request idx ~app:app_names.(src) ~t0:t ~request
+                ~decision:(decide request);
+              drive (idx + 1)
+      in
+      drive 0;
+      ignore (Desim.Engine.run sim));
+  let n_req = !issued in
+  let* () =
+    if !answered <> n_req then
+      Error
+        (Printf.sprintf "serve: %d requests left unresolved" (n_req - !answered))
+    else Ok ()
   in
   let downtime node =
     List.fold_left
@@ -810,7 +968,9 @@ let run ?obs (spec : spec) =
           ns_slots = node.Substrate.slots;
           ns_served = served.(i);
           ns_shed = shed.(i);
-          ns_peak_inflight = peak_inflight.(i);
+          ns_stolen = stolen.(i);
+          ns_donated = donated.(i);
+          ns_peak_inflight = node.Substrate.peak_inflight;
           ns_breaker_opens = Breaker.opens breakers.(i);
           ns_downtime_us = downtime i;
           ns_resyncs = resyncs.(i);
@@ -818,17 +978,16 @@ let run ?obs (spec : spec) =
             Health.status detector ~node:i ~at:spec.duration_us;
         })
   in
-  let latencies =
-    Array.mapi (fun i a -> finished.(i) -. a.a_at_us) arrivals
-  in
-  let mean_latency =
-    if n_req = 0 then 0.0
-    else Array.fold_left ( +. ) 0.0 latencies /. float_of_int n_req
-  in
-  let max_latency = Array.fold_left Float.max 0.0 latencies in
   let end_ts = Float.max spec.duration_us (Desim.Engine.now sim) in
   let slo_reports =
     List.map (fun st -> Obs.Slo.report st.st_slo ~at:end_ts) slos
+  in
+  let outcomes_arr =
+    if retain then
+      Array.map
+        (function Some r -> r | None -> Failed "unresolved")
+        (Vec.to_array outcomes)
+    else [||]
   in
   let report =
     {
@@ -840,28 +999,29 @@ let run ?obs (spec : spec) =
       jobs = max 1 spec.jobs;
       engine_name = spec.engine_name;
       requests = n_req;
-      full;
-      degraded;
-      failed;
+      full = !full_c;
+      degraded = !degraded_c;
+      failed = !failed_c;
       availability =
-        (if n_req = 0 then 1.0 else float_of_int full /. float_of_int n_req);
+        (if n_req = 0 then 1.0 else float_of_int !full_c /. float_of_int n_req);
       failovers = !failovers;
       retries = !retries;
       sheds = Array.fold_left ( + ) 0 shed;
+      steals = !steals;
+      steal_denials = !steal_denials;
       outage_events = List.length events;
       heartbeats = !heartbeats;
       degraded_reasons =
         List.map
-          (fun r -> (reason_to_string r, reason_count r))
+          (fun r -> (reason_to_string r, reason_counts.(reason_index r)))
           [ Breaker_open; All_replicas_down; Saturated; Retries_exhausted ];
       per_node;
-      mean_latency_us = mean_latency;
-      max_latency_us = max_latency;
-      outcomes;
-      request_meta =
-        Array.map
-          (fun a -> (a.a_app, a.a_request.Request.type_id, a.a_at_us))
-          arrivals;
+      mean_latency_us =
+        (if n_req = 0 then 0.0 else !lat_sum /. float_of_int n_req);
+      max_latency_us = !lat_max;
+      latency = Workload.Stats.finalize lat_acc;
+      outcomes = outcomes_arr;
+      request_meta = Vec.to_array meta;
       slo = slo_reports;
     }
   in
@@ -869,18 +1029,28 @@ let run ?obs (spec : spec) =
 
 (* --- rendering -------------------------------------------------------------- *)
 
-(* [jobs] is deliberately absent: the rendering (and so the digest) is
-   the cross-[jobs] determinism contract. *)
+(* [jobs] and the arrival source are deliberately absent: the rendering
+   (and so the digest) is the cross-[jobs] and stream-vs-pregenerated
+   determinism contract. *)
 let results_to_string (r : report) =
   let buf = Buffer.create (96 * (r.requests + 16)) in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "cluster-results v1\n";
+  add "cluster-results v2\n";
   add "seed=%d duration_us=%.1f nodes=%d replication=%d domains=%d engine=%s\n"
     r.seed r.duration_us r.nodes r.replication r.fault_domains r.engine_name;
   add "requests=%d full=%d degraded=%d failed=%d availability=%.6f\n"
     r.requests r.full r.degraded r.failed r.availability;
-  add "failovers=%d retries=%d sheds=%d outages=%d heartbeats=%d\n" r.failovers
-    r.retries r.sheds r.outage_events r.heartbeats;
+  add
+    "failovers=%d retries=%d sheds=%d steals=%d steal-denials=%d outages=%d \
+     heartbeats=%d\n"
+    r.failovers r.retries r.sheds r.steals r.steal_denials r.outage_events
+    r.heartbeats;
+  (match r.latency with
+  | None -> ()
+  | Some l ->
+      add "latency mean=%.3f p50=%.3f p90=%.3f p95=%.3f p99=%.3f max=%.3f\n"
+        l.Workload.Stats.mean l.Workload.Stats.p50 l.Workload.Stats.p90
+        l.Workload.Stats.p95 l.Workload.Stats.p99 l.Workload.Stats.maximum);
   add "degraded:";
   List.iter (fun (k, v) -> add " %s=%d" k v) r.degraded_reasons;
   add "\n";
@@ -888,10 +1058,11 @@ let results_to_string (r : report) =
     (fun ns ->
       add
         "node %d: domain=%d types=%d entries=%d slots=%d served=%d shed=%d \
-         peak=%d opens=%d downtime_us=%.1f resyncs=%d end=%s\n"
+         stolen=%d donated=%d peak=%d opens=%d downtime_us=%.1f resyncs=%d \
+         end=%s\n"
         ns.ns_node ns.ns_domain ns.ns_types ns.ns_entries ns.ns_slots
-        ns.ns_served ns.ns_shed ns.ns_peak_inflight ns.ns_breaker_opens
-        ns.ns_downtime_us ns.ns_resyncs
+        ns.ns_served ns.ns_shed ns.ns_stolen ns.ns_donated ns.ns_peak_inflight
+        ns.ns_breaker_opens ns.ns_downtime_us ns.ns_resyncs
         (Health.status_to_string ns.ns_end_status))
     r.per_node;
   Array.iteri
@@ -922,10 +1093,15 @@ let pp ppf (r : report) =
     "requests=%d full=%d degraded=%d failed=%d availability=%.4f@," r.requests
     r.full r.degraded r.failed r.availability;
   Format.fprintf ppf
-    "failovers=%d retries=%d sheds=%d outages=%d heartbeats=%d@," r.failovers
-    r.retries r.sheds r.outage_events r.heartbeats;
+    "failovers=%d retries=%d sheds=%d steals=%d steal-denials=%d outages=%d \
+     heartbeats=%d@,"
+    r.failovers r.retries r.sheds r.steals r.steal_denials r.outage_events
+    r.heartbeats;
   Format.fprintf ppf "latency mean=%.1fus max=%.1fus@," r.mean_latency_us
     r.max_latency_us;
+  (match r.latency with
+  | None -> ()
+  | Some l -> Format.fprintf ppf "latency %a@," Workload.Stats.pp_summary l);
   List.iter
     (fun s ->
       Format.fprintf ppf
@@ -937,10 +1113,10 @@ let pp ppf (r : report) =
   List.iter
     (fun ns ->
       Format.fprintf ppf
-        "  node %d (domain %d): served=%d shed=%d downtime=%.0fus resyncs=%d \
-         breaker-opens=%d end=%s@,"
-        ns.ns_node ns.ns_domain ns.ns_served ns.ns_shed ns.ns_downtime_us
-        ns.ns_resyncs ns.ns_breaker_opens
+        "  node %d (domain %d): served=%d shed=%d stolen=%d donated=%d \
+         downtime=%.0fus resyncs=%d breaker-opens=%d end=%s@,"
+        ns.ns_node ns.ns_domain ns.ns_served ns.ns_shed ns.ns_stolen
+        ns.ns_donated ns.ns_downtime_us ns.ns_resyncs ns.ns_breaker_opens
         (Health.status_to_string ns.ns_end_status))
     r.per_node;
   Format.fprintf ppf "digest=%s" (results_digest r)

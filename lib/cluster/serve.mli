@@ -3,31 +3,37 @@
 
     One run is three phases.
 
-    {b Workload generation} expands the seed into every request arrival
-    up front: per-application PRNG streams are split from the root seed
+    {b Workload generation} expands the seed into per-application
+    arrival sources: per-app PRNG streams are split from the root seed
     exactly as the fault campaign splits them, then two private
     injector streams are drawn — one for the outage schedule
-    ({!Faults.Outages}), one for retry jitter.
+    ({!Faults.Outages}), one for retry jitter.  The sources merge
+    through [Workload.Stream] by (time, app index); the
+    {!Pregenerated} source drains the merge into an array up front,
+    the {!Stream} source pulls arrivals one at a time in O(apps)
+    memory — both produce the identical arrival sequence.
 
     {b Decision computation} retrieves every request on its {e primary}
     replica's engine.  This phase is pure — a decision depends only on
     the node's sub-case-base, which hosts the full function type — so
-    it is parallelised across [jobs] worker domains (each node's engine
-    is owned by exactly one worker) and the results are merged by
-    submission index.  Decisions are therefore identical at any
-    [jobs].
+    in pregenerated mode it is parallelised across [jobs] worker
+    domains (each node's engine is owned by exactly one worker) and the
+    results are merged by submission index; in streaming mode the same
+    pure call happens inline at each arrival.  Decisions are therefore
+    identical at any [jobs] and for either source.
 
     {b Control} replays the run on a single discrete-event clock:
     heartbeats feed the {!Health} detector, outages and rejoins (with
     catch-up re-replication lag) come from the seeded schedule, and
     each request walks the degradation ladder — skip detector-down /
-    breaker-open / re-syncing replicas, deprioritise suspects, shed
+    breaker-open / re-syncing replicas, deprioritise suspects, steal
+    from an overloaded node to a less-loaded victim ({!Steal}), shed
     from saturated nodes, fail over in-flight work killed by an
     outage, back off with capped jittered retries, and finally answer
     {e degraded} with the stale decision rather than fail.  Every
     control decision happens in deterministic event order, so the
     end-of-run report is byte-identical for a fixed seed at any
-    [jobs]. *)
+    [jobs] and for either arrival source. *)
 
 type slo_spec = {
   slo_availability : float;  (** Target fraction, shared by both objectives. *)
@@ -39,6 +45,16 @@ type slo_spec = {
 
 val default_slo : availability:float -> latency_us:float -> slo_spec
 (** Windows and burn threshold from {!Obs.Slo.default_spec}. *)
+
+type source =
+  | Pregenerated
+      (** Expand the whole arrival trace up front; decisions shard over
+          [jobs]. *)
+  | Stream
+      (** Pull arrivals on demand — O(apps) generation memory, same
+          arrival sequence and byte-identical report. *)
+
+val source_to_string : source -> string
 
 type spec = {
   duration_us : float;
@@ -72,6 +88,23 @@ type spec = {
           objective is an {!Unrecovered_loss}.  Tracking is independent
           of [?obs] — it must move the exit code even when nothing is
           exported. *)
+  steal : Steal.policy;
+      (** Work stealing between under- and over-saturated nodes;
+          disabled by default.  Victim election is seeded and
+          sim-time-deterministic, so reports stay byte-identical at
+          any [jobs]. *)
+  source : source;
+  max_requests : int option;
+      (** Stop after this many arrivals (the first N of the merged
+          sequence, identical for either source). *)
+  retain_requests : bool;
+      (** Keep per-request outcomes/meta for {!results_to_string}.
+          Off, the run holds only aggregates — how the streaming bench
+          reaches millions of requests; [report.outcomes] is then
+          empty. *)
+  load_scale : float;
+      (** Divide every app's inter-arrival period by this factor;
+          1.0 leaves the standard mix untouched. *)
 }
 
 val default_spec : unit -> spec
@@ -79,8 +112,9 @@ val default_spec : unit -> spec
     four standard applications against the reference case base on the
     [native] engine, no outages, [Faults.Backoff.default] with 5
     retries (a ~6 ms envelope, sized to outlast a typical transient
-    bounce plus detector recovery and rejoin re-replication), and a
-    99% availability floor. *)
+    bounce plus detector recovery and rejoin re-replication), a 99%
+    availability floor, stealing disabled, pregenerated source,
+    retention on, load scale 1. *)
 
 type reason = Breaker_open | All_replicas_down | Saturated | Retries_exhausted
 
@@ -105,6 +139,8 @@ type node_stats = {
   ns_slots : int;
   ns_served : int;
   ns_shed : int;  (** Saturation skips charged to this node. *)
+  ns_stolen : int;  (** Requests this node served as a steal victim. *)
+  ns_donated : int;  (** Requests this node handed off while overloaded. *)
   ns_peak_inflight : int;
   ns_breaker_opens : int;
   ns_downtime_us : float;  (** Ground-truth, clamped to the horizon. *)
@@ -128,15 +164,22 @@ type report = {
   failovers : int;  (** In-flight attempts killed by an outage. *)
   retries : int;  (** Backoff rounds entered. *)
   sheds : int;  (** Saturation skips, total. *)
+  steals : int;  (** Requests handed to a steal victim, total. *)
+  steal_denials : int;  (** Steal attempts that found no victim. *)
   outage_events : int;
   heartbeats : int;
   degraded_reasons : (string * int) list;  (** Fixed order, zeros kept. *)
   per_node : node_stats list;  (** Ascending node ID. *)
   mean_latency_us : float;  (** Arrival to response, over all answered. *)
   max_latency_us : float;
-  outcomes : response array;  (** By submission index. *)
+  latency : Workload.Stats.summary option;
+      (** Latency distribution (percentiles) over all answered
+          requests; [None] only when there were none. *)
+  outcomes : response array;
+      (** By submission index; empty when [retain_requests] was off. *)
   request_meta : (string * int * float) array;
-      (** (app, type_id, arrival_us) by submission index. *)
+      (** (app, type_id, arrival_us) by submission index; empty when
+          [retain_requests] was off. *)
   slo : Obs.Slo.report list;
       (** One report per tracked objective; [[]] when [spec.slo] is
           [None]. *)
@@ -146,35 +189,39 @@ type verdict = Clean | Degraded_recovered | Unrecovered_loss
 
 val classify : min_availability:float -> report -> verdict
 (** {!Unrecovered_loss} on any [Failed] response, availability below
-    the floor, or a missed SLO; {!Degraded_recovered} when outages or
-    degraded answers occurred but every request was answered; {!Clean}
+    the floor, or a missed SLO; {!Degraded_recovered} when outages,
+    degraded answers or recovery actions (failovers, sheds, retries,
+    steals) occurred but every request was answered; {!Clean}
     otherwise. *)
 
 val verdict_to_string : verdict -> string
 val exit_code : min_availability:float -> report -> int
 
 val workload : spec -> (string * float * Qos_core.Request.t) array
-(** The pre-generated arrival trace — (app, arrival time, request) in
-    submission order.  A pure function of the seed, apps and horizon;
-    exposed for property tests and the bench harness. *)
+(** The arrival trace — (app, arrival time, request) in submission
+    order, honouring [max_requests] and [load_scale].  A pure function
+    of the seed, apps and horizon; exposed for property tests and the
+    bench harness. *)
 
 val run : ?obs:Obs.Ctx.t -> spec -> (report, string) result
 (** With [obs], the control phase streams per-node labelled metrics
-    (served / shed / failover / breaker trips / saturation, plus
-    request-latency and replication-lag histograms) into the registry
-    at the sim-time each thing happens, records the request life cycle,
-    node and breaker transitions, rejoins and SLO alerts into the
-    context's event log, and emits one [X] span per request plus one
-    per attempt hop into its tracer; the context's clock follows the
-    control engine.  All of it happens in the sequential control phase,
-    so every export is byte-identical at any [jobs].  Instrumentation
-    never touches the PRNG or injector streams, so the report is
-    identical with or without it. *)
+    (served / shed / stolen / donated / failover / breaker trips /
+    saturation, plus request-latency, steal-latency and
+    replication-lag histograms) into the registry at the sim-time each
+    thing happens, records the request life cycle — including every
+    steal and steal denial — node and breaker transitions, rejoins and
+    SLO alerts into the context's event log, and emits one [X] span
+    per request plus one per attempt hop into its tracer; the
+    context's clock follows the control engine.  All of it happens in
+    the sequential control phase, so every export is byte-identical at
+    any [jobs].  Instrumentation never touches the PRNG or injector
+    streams, so the report is identical with or without it. *)
 
 val results_to_string : report -> string
-(** Canonical plain-text rendering: run header, totals, per-node table
-    and one line per request in submission order.  Byte-identical for a
-    fixed seed at any [jobs]. *)
+(** Canonical plain-text rendering: run header, totals, latency
+    percentiles, per-node table and one line per request in submission
+    order.  Byte-identical for a fixed seed at any [jobs] and for
+    either arrival source. *)
 
 val results_digest : report -> string
 (** MD5 hex of {!results_to_string} — the CI chaos-leg contract. *)

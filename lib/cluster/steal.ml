@@ -1,0 +1,91 @@
+(* Deterministic work stealing.
+
+   When a node crosses its saturation threshold the router may hand
+   the request to a less-loaded victim instead of queueing or shedding
+   locally: first the least-loaded node of the request's replica set,
+   then — when every replica is saturated — the globally least-loaded
+   node, paying a resync penalty if the victim does not hold the type.
+
+   The policy is a pure function of (policy seed, request salt,
+   candidate loads): no PRNG state is consumed, so enabling stealing
+   never perturbs the arrival or outage streams, and the same sim
+   state picks the same victim at any [--jobs]. *)
+
+type policy = {
+  enabled : bool;
+  threshold : float;
+  transfer_penalty_us : float;
+  seed : int;
+}
+
+let default =
+  { enabled = false; threshold = 0.9; transfer_penalty_us = 250.0; seed = 0 }
+
+type scope = Replica | Global
+
+let scope_to_string = function Replica -> "replica" | Global -> "global"
+
+type pick = { victim : int; scope : scope; resync : bool }
+
+let overloaded p ~inflight ~slots =
+  float_of_int inflight >= p.threshold *. float_of_int slots
+
+(* splitmix64 finalizer, the same platform-independent mixer as
+   [Ring.mix]. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let tiebreak p ~salt node =
+  let open Int64 in
+  let h = mix64 (add (of_int p.seed) (mul 0x9e3779b97f4a7c15L (of_int salt))) in
+  mix64 (add h (of_int node))
+
+(* A victim must have headroom: up, holding slots below its own
+   threshold — stealing onto an overloaded node only moves the
+   queueing problem. *)
+let has_headroom p ~eligible ~load node =
+  eligible node
+  &&
+  let inflight, slots = load node in
+  inflight < slots && not (overloaded p ~inflight ~slots)
+
+(* Least-loaded by in-flight fraction; ties broken by a seeded hash of
+   (policy seed, request salt, node) and finally by node id, so the
+   choice is total and sim-time-deterministic. *)
+let least_loaded p ~salt ~load candidates =
+  let fraction n =
+    let inflight, slots = load n in
+    float_of_int inflight /. float_of_int (max 1 slots)
+  in
+  let better a b =
+    let fa = fraction a and fb = fraction b in
+    if fa <> fb then fa < fb
+    else
+      let ha = tiebreak p ~salt a and hb = tiebreak p ~salt b in
+      let c = Int64.unsigned_compare ha hb in
+      if c <> 0 then c < 0 else a < b
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+      Some (List.fold_left (fun best n -> if better n best then n else best) first rest)
+
+let select p ~salt ~donor ~replicas ~members ~eligible ~load ~holds =
+  let ok = has_headroom p ~eligible ~load in
+  let replica_candidates =
+    List.filter (fun n -> n <> donor && ok n) replicas
+  in
+  match least_loaded p ~salt ~load replica_candidates with
+  | Some victim -> Some { victim; scope = Replica; resync = false }
+  | None -> (
+      let global_candidates =
+        List.filter
+          (fun n -> n <> donor && (not (List.mem n replicas)) && ok n)
+          members
+      in
+      match least_loaded p ~salt ~load global_candidates with
+      | Some victim -> Some { victim; scope = Global; resync = not (holds victim) }
+      | None -> None)

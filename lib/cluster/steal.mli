@@ -1,0 +1,61 @@
+(** Deterministic work stealing between under- and over-saturated
+    nodes.
+
+    When a node crosses [threshold * slots] in-flight requests the
+    serving ladder consults {!select} before shedding: the request
+    moves to the least-loaded eligible node of its replica set
+    ([Replica] scope), or — when every replica is saturated — to the
+    globally least-loaded eligible node ([Global] scope), paying
+    [transfer_penalty_us] extra service time when the victim must
+    resync the type it does not hold.
+
+    Victim choice is a pure function of (policy [seed], per-request
+    [salt], candidate loads): no PRNG state is consumed, so toggling
+    stealing never perturbs the arrival or outage streams, and the
+    same sim state elects the same victim at any [--jobs] — the
+    byte-identical-report contract holds with stealing on. *)
+
+type policy = {
+  enabled : bool;
+  threshold : float;
+      (** Saturation fraction of a node's slots at which it donates,
+          and above which a node refuses to be a victim. *)
+  transfer_penalty_us : float;
+      (** Extra service time when a global victim must resync the
+          stolen type. *)
+  seed : int;  (** Folded into the tie-break hash. *)
+}
+
+val default : policy
+(** Disabled; threshold 0.9, penalty 250us, seed 0. *)
+
+type scope = Replica | Global
+
+val scope_to_string : scope -> string
+
+type pick = {
+  victim : int;
+  scope : scope;
+  resync : bool;  (** Global victim does not hold the type. *)
+}
+
+val overloaded : policy -> inflight:int -> slots:int -> bool
+(** Whether a node is at or past the donation threshold. *)
+
+val select :
+  policy ->
+  salt:int ->
+  donor:int ->
+  replicas:int list ->
+  members:int list ->
+  eligible:(int -> bool) ->
+  load:(int -> int * int) ->
+  holds:(int -> bool) ->
+  pick option
+(** Pick a victim for a request ([salt] is its index) that the
+    overloaded [donor] wants to hand off.  A victim must pass
+    [eligible] (health/breaker/resync checks supplied by the caller)
+    and have headroom: [load] strictly below both its slot count and
+    the donation threshold.  Least in-flight fraction wins; ties break
+    by a seeded hash of (seed, salt, node), then node id.  [None] when
+    no node has headroom — the caller sheds as before. *)

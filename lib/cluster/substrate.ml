@@ -9,6 +9,10 @@ type node = {
   casebase : Casebase.t;
   engine : Engine.t option;
   entries : int;
+  (* Live load accounting, shared by the serving ladder and the
+     work-stealing policy. *)
+  mutable inflight : int;
+  mutable peak_inflight : int;
 }
 
 type t = {
@@ -107,6 +111,8 @@ let create ?(vnodes = 64) ?(fault_domains = 3) ~nodes:count ~replication
                    List.fold_left
                      (fun a (f : Ftype.t) -> a + List.length f.Ftype.impls)
                      0 fts;
+                 inflight = 0;
+                 peak_inflight = 0;
                })
            members)
     in
@@ -123,6 +129,21 @@ let replicas_for t ~type_id =
   Ring.route t.ring ~key:type_id ~replicas:t.replication
 
 let node t i = t.nodes.(i)
+let members t = List.init (Array.length t.nodes) (fun i -> i)
+let holds t ~node ~type_id = List.mem type_id t.nodes.(node).hosted_types
+
+let acquire t ~node =
+  let n = t.nodes.(node) in
+  n.inflight <- n.inflight + 1;
+  if n.inflight > n.peak_inflight then n.peak_inflight <- n.inflight
+
+let release t ~node =
+  let n = t.nodes.(node) in
+  n.inflight <- n.inflight - 1
+
+let load t ~node =
+  let n = t.nodes.(node) in
+  (n.inflight, n.slots)
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>cluster: %d nodes, replication %d, %d domains@,"

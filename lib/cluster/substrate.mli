@@ -23,6 +23,8 @@ type node = {
   casebase : Qos_core.Casebase.t;  (** Sub-case-base of hosted types. *)
   engine : Qos_core.Engine.t option;  (** [None] when nothing is hosted. *)
   entries : int;  (** Implementation variants hosted (re-sync unit). *)
+  mutable inflight : int;  (** Requests being served right now. *)
+  mutable peak_inflight : int;  (** High-water mark of [inflight]. *)
 }
 
 type t = {
@@ -50,5 +52,25 @@ val replicas_for : t -> type_id:int -> int list
 (** Replica node IDs in routing order (primary first). *)
 
 val node : t -> int -> node
+
+val members : t -> int list
+(** Every node ID, ascending. *)
+
+val holds : t -> node:int -> type_id:int -> bool
+(** Whether [node] hosts [type_id]'s sub-case-base. *)
+
+(** {1 Load accounting}
+
+    Shared by the serving ladder and the {!Steal} policy so both see
+    the same in-flight picture. *)
+
+val acquire : t -> node:int -> unit
+(** Start serving one request on [node]; tracks the peak. *)
+
+val release : t -> node:int -> unit
+(** Finish (or abandon) one request on [node]. *)
+
+val load : t -> node:int -> int * int
+(** [(inflight, slots)] for [node]. *)
 
 val pp : Format.formatter -> t -> unit

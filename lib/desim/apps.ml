@@ -187,3 +187,38 @@ let instantiate rng template =
   get
     (Request.make ~type_id:template.t_type_id
        (List.map jittered template.t_constraints))
+
+(* Pull-based arrival source for one profile, for [Workload.Stream]:
+   the draw order matches the pregenerated expansion exactly —
+   inter-arrival first (a Poisson profile draws here), then template
+   instantiation — so a given rng yields the identical timestamped
+   request sequence either way.  Returns [None] once the next arrival
+   would land at or past [horizon]; the source is then exhausted for
+   good and draws nothing further. *)
+let arrival_source profile ~rng ~horizon =
+  let templates = profile.templates in
+  let count = List.length templates in
+  if count = 0 then invalid_arg "Apps.arrival_source: profile has no templates";
+  let cursor = ref 0 in
+  let clock = ref 0.0 in
+  let exhausted = ref false in
+  fun () ->
+    if !exhausted then None
+    else begin
+      let step =
+        match profile.arrival with
+        | Periodic -> profile.period_us
+        | Poisson -> Workload.Prng.exponential rng ~mean:profile.period_us
+      in
+      let t = !clock +. step in
+      if t >= horizon then begin
+        exhausted := true;
+        None
+      end
+      else begin
+        clock := t;
+        let template = List.nth templates !cursor in
+        cursor := (!cursor + 1) mod count;
+        Some (t, instantiate rng template)
+      end
+    end

@@ -47,3 +47,17 @@ val instantiate :
   Workload.Prng.t -> template -> Qos_core.Request.t
 (** Apply jitter to the nominal values (clamped to the 16-bit word
     range). *)
+
+val arrival_source :
+  profile ->
+  rng:Workload.Prng.t ->
+  horizon:float ->
+  unit ->
+  (float * Qos_core.Request.t) option
+(** Pull-based arrival source for one profile, shaped for
+    [Workload.Stream]: each call draws the next inter-arrival gap and
+    then instantiates the next template — exactly the draw order of
+    the pregenerated expansion, so a given [rng] yields the identical
+    timestamped sequence either way.  [None] once the next arrival
+    would land at or past [horizon]; the source then stays exhausted
+    and draws nothing further. *)

@@ -15,6 +15,32 @@ let schedule t ~delay callback =
     invalid_arg "Engine.schedule: negative or non-finite delay"
   else schedule_at t ~time:(t.clock +. delay) callback
 
+(* Fire every queued event with time strictly before [time], leaving
+   the clock at the last fired event.  Events scheduled while firing
+   are honoured if they also land before [time].  Used together with
+   [advance] by drivers that interleave externally-produced work (a
+   streaming arrival source) with the queued events: run the queue up
+   to the next external item, advance the clock onto it, handle it. *)
+let run_before t ~time =
+  let rec loop fired =
+    match Heap.peek_time t.queue with
+    | Some et when et < time -> (
+        match Heap.pop t.queue with
+        | None -> fired
+        | Some (et, callback) ->
+            t.clock <- et;
+            callback t;
+            loop (fired + 1))
+    | _ -> fired
+  in
+  loop 0
+
+(* Move the clock forward to [time]; a no-op when [time] is not ahead
+   of it (the clock never moves backwards). *)
+let advance t ~time =
+  if Float.is_nan time then invalid_arg "Engine.advance: NaN time"
+  else if time > t.clock then t.clock <- time
+
 let run ?(until = infinity) t =
   let rec loop fired =
     match Heap.peek_time t.queue with

@@ -19,4 +19,15 @@ val run : ?until:float -> t -> int
     the queue empties or the clock would pass [until]; returns how many
     events fired. *)
 
+val run_before : t -> time:float -> int
+(** Processes every event with time strictly before [time], including
+    ones scheduled while firing; returns how many fired.  The clock
+    ends at the last fired event.  Together with {!advance} this lets
+    a driver interleave externally-produced work (a streaming arrival
+    source) with the queued events. *)
+
+val advance : t -> time:float -> unit
+(** Move the clock forward to [time]; no-op when [time] is not ahead
+    of it.  @raise Invalid_argument on NaN. *)
+
 val pending : t -> int

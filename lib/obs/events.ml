@@ -3,6 +3,7 @@ type kind =
   | Request_retry of { attempt : int; delay_us : float }
   | Request_failover of { from_node : int }
   | Request_shed of { at_node : int }
+  | Request_steal of { from_node : int; to_node : int option; scope : string }
   | Request_degraded of { reason : string; stale_impl : int option }
   | Request_completed of { at_node : int; impl_id : int; latency_us : float }
   | Request_failed of { error : string }
@@ -72,6 +73,7 @@ let kind_name = function
   | Request_retry _ -> "request-retry"
   | Request_failover _ -> "request-failover"
   | Request_shed _ -> "request-shed"
+  | Request_steal _ -> "request-steal"
   | Request_degraded _ -> "request-degraded"
   | Request_completed _ -> "request-completed"
   | Request_failed _ -> "request-failed"
@@ -100,6 +102,10 @@ let event_ndjson e =
       add ",\"attempt\":%d,\"delay_us\":%s" attempt (Jsonu.float_str delay_us)
   | Request_failover { from_node } -> add ",\"from_node\":%d" from_node
   | Request_shed { at_node } -> add ",\"at_node\":%d" at_node
+  | Request_steal { from_node; to_node; scope } ->
+      add ",\"from_node\":%d" from_node;
+      (match to_node with None -> () | Some n -> add ",\"to_node\":%d" n);
+      add ",\"scope\":%s" (Jsonu.str scope)
   | Request_degraded { reason; stale_impl } ->
       add ",\"reason\":%s" (Jsonu.str reason);
       (match stale_impl with

@@ -25,6 +25,11 @@ type kind =
       (** An in-flight attempt was killed; the ladder moves on. *)
   | Request_shed of { at_node : int }
       (** A saturated node skipped the request (cluster scope). *)
+  | Request_steal of { from_node : int; to_node : int option; scope : string }
+      (** An overloaded node handed the request to a victim
+          ([to_node = Some v], [scope] "replica" or "global"), or
+          looked for one and found none ([to_node = None], a steal
+          denial — the ladder sheds or serves locally as before). *)
   | Request_degraded of { reason : string; stale_impl : int option }
   | Request_completed of { at_node : int; impl_id : int; latency_us : float }
   | Request_failed of { error : string }

@@ -8,12 +8,24 @@ type summary = {
   p90 : float;
   p95 : float;
   p99 : float;
+  nonfinite : int;
 }
 
 let mean = function
   | [] -> None
   | values ->
       Some (List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values))
+
+(* Nearest rank, 1-based: the smallest integer r with r >= p/100 * n.
+   The two float roundings in [p *. n /. 100.0] can land the product a
+   few ulps *above* an exact integer boundary (e.g. 99.9/100 * 1000 =
+   999.0000000000001), which a plain [ceil] then bumps to the next
+   rank.  Subtract a relative epsilon before ceiling so exact
+   boundaries stay on their own rank; the epsilon is far smaller than
+   the 1/n spacing between ranks for any realistic n. *)
+let nearest_rank ~p ~n =
+  let x = p *. float_of_int n /. 100.0 in
+  max 1 (int_of_float (Float.ceil (x -. (1e-9 *. Float.max 1.0 x))))
 
 let percentile values ~p =
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p outside [0, 100]"
@@ -23,10 +35,7 @@ let percentile values ~p =
     | _ ->
         let sorted = List.sort Float.compare values in
         let n = List.length sorted in
-        (* Nearest rank: ceil(p/100 * n), 1-based. *)
-        let rank =
-          max 1 (int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)))
-        in
+        let rank = nearest_rank ~p ~n in
         Some (List.nth sorted (min (n - 1) (rank - 1)))
 
 (* --- Streaming accumulator ---------------------------------------------- *)
@@ -36,13 +45,13 @@ let percentile values ~p =
 type acc = {
   mutable values : float array;
   mutable used : int;
-  mutable nonfinite : bool;
+  mutable nonfinite : int;
 }
 
-let create () = { values = Array.make 16 0.0; used = 0; nonfinite = false }
+let create () = { values = Array.make 16 0.0; used = 0; nonfinite = 0 }
 
 let add acc v =
-  if not (Float.is_finite v) then acc.nonfinite <- true
+  if not (Float.is_finite v) then acc.nonfinite <- acc.nonfinite + 1
   else begin
     if acc.used = Array.length acc.values then begin
       let grown = Array.make (2 * acc.used) 0.0 in
@@ -54,9 +63,10 @@ let add acc v =
   end
 
 let count acc = acc.used
+let nonfinite_count acc = acc.nonfinite
 
 let finalize acc =
-  if acc.nonfinite || acc.used = 0 then None
+  if acc.used = 0 then None
   else begin
     let sorted = Array.sub acc.values 0 acc.used in
     Array.sort Float.compare sorted;
@@ -69,7 +79,7 @@ let finalize acc =
     in
     (* Nearest rank on the sorted buffer, same rule as {!percentile}. *)
     let pct p =
-      let rank = max 1 (int_of_float (Float.ceil (p /. 100.0 *. fn))) in
+      let rank = nearest_rank ~p ~n in
       sorted.(min (n - 1) (rank - 1))
     in
     Some
@@ -83,16 +93,17 @@ let finalize acc =
         p90 = pct 90.0;
         p95 = pct 95.0;
         p99 = pct 99.0;
+        nonfinite = acc.nonfinite;
       }
   end
 
 let summarize values =
   let acc = create () in
   List.iter (add acc) values;
-  (* Reject non-finite inputs outright, as before the accumulator. *)
-  if acc.nonfinite then None else finalize acc
+  finalize acc
 
 let pp_summary ppf s =
   Format.fprintf ppf
     "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p95=%.3f p99=%.3f max=%.3f"
-    s.n s.mean s.stddev s.minimum s.p50 s.p90 s.p95 s.p99 s.maximum
+    s.n s.mean s.stddev s.minimum s.p50 s.p90 s.p95 s.p99 s.maximum;
+  if s.nonfinite > 0 then Format.fprintf ppf " nonfinite=%d" s.nonfinite

@@ -1,7 +1,7 @@
 (** Small descriptive-statistics helpers for experiment reporting. *)
 
 type summary = {
-  n : int;
+  n : int;  (** Finite values summarised. *)
   mean : float;
   stddev : float;  (** Population standard deviation. *)
   minimum : float;
@@ -10,6 +10,10 @@ type summary = {
   p90 : float;
   p95 : float;
   p99 : float;
+  nonfinite : int;
+      (** NaN/inf inputs that were skipped rather than accumulated.  A
+          nonzero count flags a producer bug without discarding the
+          finite samples around it. *)
 }
 
 (** {1 Streaming accumulation}
@@ -23,20 +27,24 @@ type acc
 val create : unit -> acc
 
 val add : acc -> float -> unit
-(** Non-finite values poison the accumulator: [finalize] will return
-    [None], matching {!summarize}'s garbage-in-nothing-out rule. *)
+(** Non-finite values are skipped and counted ({!nonfinite_count});
+    they no longer poison the whole accumulator. *)
 
 val count : acc -> int
 (** Finite values accumulated so far. *)
 
+val nonfinite_count : acc -> int
+(** NaN/inf values skipped so far. *)
+
 val finalize : acc -> summary option
-(** [None] when empty or when any non-finite value was added.  The
-    accumulator may be finalized more than once; further [add]s are
-    also allowed (the summary is a snapshot). *)
+(** [None] only when no finite value was added.  The accumulator may
+    be finalized more than once; further [add]s are also allowed (the
+    summary is a snapshot). *)
 
 val summarize : float list -> summary option
-(** Wrapper over [create]/[add]/[finalize].  [None] on the empty list;
-    non-finite inputs are rejected by returning [None] as well. *)
+(** Wrapper over [create]/[add]/[finalize].  [None] when the list
+    holds no finite value; non-finite entries are skipped and surface
+    as [nonfinite] in the summary. *)
 
 val percentile : float list -> p:float -> float option
 (** Nearest-rank percentile; [p] within [0, 100].  [None] on the empty

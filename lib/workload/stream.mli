@@ -1,0 +1,33 @@
+(** Deterministic k-way merge of pull-based arrival sources.
+
+    A source is a thunk yielding timestamped items in nondecreasing
+    time order ([None] once exhausted; it is never called again after
+    that).  The stream holds exactly one lookahead item per source —
+    O(sources) memory however many items flow through — and merges by
+    [(time, source index)], lower index first on time ties.
+
+    The resulting order is identical to a stable sort of the
+    concatenated per-source sequences by that same key, which is the
+    order the pregenerated workload path uses; draining a stream is
+    therefore byte-equivalent to pregenerating the array. *)
+
+type 'a source = unit -> (float * 'a) option
+
+type 'a t
+
+val create : 'a source list -> 'a t
+(** Sources keep their list position as the tie-breaking index. *)
+
+val pull : 'a t -> (int * float * 'a) option
+(** Next item globally: [(source index, time, item)], or [None] when
+    every source is exhausted. *)
+
+val peek : 'a t -> (int * float * 'a) option
+(** Like {!pull} without consuming. *)
+
+val pulled : 'a t -> int
+(** Items pulled so far. *)
+
+val drain : ?max_items:int -> 'a t -> (int * float * 'a) list
+(** Pull until exhaustion (or until [max_items] total items have been
+    pulled from this stream, counting earlier pulls). *)

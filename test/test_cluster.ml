@@ -8,6 +8,7 @@ module Ring = Cluster.Ring
 module Health = Cluster.Health
 module Breaker = Cluster.Breaker
 module Substrate = Cluster.Substrate
+module Steal = Cluster.Steal
 module Serve = Cluster.Serve
 module Backoff = Faults.Backoff
 module Outages = Faults.Outages
@@ -406,6 +407,87 @@ let test_serve_eventlog () =
   check_bool "slo reports present" true
     (List.exists (fun s -> not s.Obs.Slo.r_met) r.Serve.slo)
 
+(* --- work stealing --------------------------------------------------------- *)
+
+(* A single-type hot app drives its 3-node replica set past saturation
+   while the rest of the cluster idles; stealing must convert sheds and
+   backoff retries into donated work, at no availability cost, without
+   perturbing the jobs/source digest contract. *)
+let steal_spec ?(jobs = 1) ?(source = Serve.Pregenerated) ~enabled () =
+  {
+    (spec ~duration_us:10_000.0 ~seed:7 ~jobs ())
+    with
+    Serve.load_scale = 1000.0;
+    steal = { Steal.default with Steal.enabled };
+    source;
+  }
+
+let test_serve_steal () =
+  let off = get (Serve.run (steal_spec ~enabled:false ())) in
+  let on = get (Serve.run (steal_spec ~enabled:true ())) in
+  check_int "same workload" off.Serve.requests on.Serve.requests;
+  check_bool "saturation without stealing" true (off.Serve.sheds > 0);
+  check_bool "steals happened" true (on.Serve.steals > 0);
+  check_bool "sheds strictly decrease" true (on.Serve.sheds < off.Serve.sheds);
+  check_bool "availability no worse" true
+    (on.Serve.availability >= off.Serve.availability);
+  check_int "every request answered" on.Serve.requests
+    (on.Serve.full + on.Serve.degraded);
+  check_bool "donations visible per node" true
+    (List.exists (fun ns -> ns.Serve.ns_donated > 0) on.Serve.per_node);
+  check_bool "thefts visible per node" true
+    (List.exists (fun ns -> ns.Serve.ns_stolen > 0) on.Serve.per_node);
+  (* Recovery actions occurred, so the verdict is degraded-recovered. *)
+  check_int "steals move the exit code" 1
+    (Serve.exit_code ~min_availability:0.99 on);
+  (* The steal decision is made on the sequential control clock with a
+     seeded tie-break: the report never depends on --jobs or on the
+     arrival source. *)
+  let d = Serve.results_digest on in
+  check_bool "digest invariant at jobs=4" true
+    (String.equal d (Serve.results_digest (get (Serve.run (steal_spec ~enabled:true ~jobs:4 ())))));
+  check_bool "digest invariant when streaming" true
+    (String.equal d
+       (Serve.results_digest
+          (get (Serve.run (steal_spec ~enabled:true ~source:Serve.Stream ())))))
+
+let test_serve_steal_events () =
+  let obs = events_ctx () in
+  let r = get (Serve.run ~obs (steal_spec ~enabled:true ())) in
+  let evs = Ev.events obs.Obs.Ctx.events in
+  let grants, denials =
+    List.fold_left
+      (fun (g, d) e ->
+        match e.Ev.kind with
+        | Ev.Request_steal { to_node = Some _; _ } -> (g + 1, d)
+        | Ev.Request_steal { to_node = None; _ } -> (g, d + 1)
+        | _ -> (g, d))
+      (0, 0) evs
+  in
+  check_int "one event per steal" r.Serve.steals grants;
+  check_int "one event per denial" r.Serve.steal_denials denials;
+  check_bool "steals visible in NDJSON" true
+    (contains (Ev.to_ndjson obs.Obs.Ctx.events) "\"event\":\"request-steal\"")
+
+let test_serve_streaming_cap () =
+  (* max_requests takes the first N of the merged arrival sequence —
+     identical for either source, and O(apps) memory when streaming
+     with retention off. *)
+  let base = { (steal_spec ~enabled:false ()) with Serve.max_requests = Some 200 } in
+  let pre = get (Serve.run base) in
+  let st =
+    get
+      (Serve.run
+         { base with Serve.source = Serve.Stream; retain_requests = false })
+  in
+  check_int "pregenerated capped" 200 pre.Serve.requests;
+  check_int "streaming capped" 200 st.Serve.requests;
+  check_bool "same availability" true
+    (pre.Serve.availability = st.Serve.availability);
+  check_int "no retained outcomes" 0 (Array.length st.Serve.outcomes);
+  check_bool "retained run keeps outcomes" true
+    (Array.length pre.Serve.outcomes = 200)
+
 let test_serve_eventlog_absent_when_disabled () =
   (* A metrics-only context must stay on the no-op event sink: same
      report, nothing recorded. *)
@@ -417,6 +499,69 @@ let test_serve_eventlog_absent_when_disabled () =
 (* --- replica-consistency property ------------------------------------------ *)
 
 let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen f)
+
+(* Reference model for the ring walk: identical splitmix64 placement,
+   but scanning every nodes x vnodes point with no early exit.  The
+   production walk stops as soon as every member has been seen; this
+   model pins that the shortcut never changes a route. *)
+let ref_mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let ref_hash2 a b =
+  ref_mix
+    (Int64.add (ref_mix (Int64.of_int a))
+       (Int64.mul 0x9e3779b97f4a7c15L (Int64.of_int b)))
+
+let ref_route ~nodes ~vnodes ~key ~replicas =
+  let points =
+    List.concat_map
+      (fun (id, _) -> List.init vnodes (fun v -> (ref_hash2 id v, id)))
+      nodes
+  in
+  let points =
+    Array.of_list
+      (List.sort
+         (fun (h1, n1) (h2, n2) ->
+           match Int64.unsigned_compare h1 h2 with
+           | 0 -> compare n1 n2
+           | c -> c)
+         points)
+  in
+  let n = Array.length points in
+  let h = ref_hash2 key 0x5eed in
+  let s = ref 0 in
+  while !s < n && Int64.unsigned_compare (fst points.(!s)) h < 0 do
+    incr s
+  done;
+  let s = if !s = n then 0 else !s in
+  (* Full scan: every point, no early exit. *)
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  for i = 0 to n - 1 do
+    let node = snd points.((s + i) mod n) in
+    if not (Hashtbl.mem seen node) then begin
+      Hashtbl.add seen node ();
+      order := node :: !order
+    end
+  done;
+  let order = List.rev !order in
+  let domains = Hashtbl.create 8 in
+  let preferred, parked =
+    List.fold_left
+      (fun (pref, park) node ->
+        let d = Option.value (List.assoc_opt node nodes) ~default:node in
+        if Hashtbl.mem domains d then (pref, node :: park)
+        else begin
+          Hashtbl.add domains d ();
+          (node :: pref, park)
+        end)
+      ([], []) order
+  in
+  let ranked = List.rev preferred @ List.rev parked in
+  List.filteri (fun i _ -> i < replicas) ranked
 
 let props =
   [
@@ -474,6 +619,34 @@ let props =
                 Hashtbl.replace last_node node e.Ev.ts;
                 ok && e.Ev.ts >= prev)
           (Ev.events obs.Obs.Ctx.events));
+    (* The early-exit ring walk must route every key exactly as the
+       exhaustive full-scan reference at any cluster shape. *)
+    prop "early-exit walk leaves every route unchanged"
+      QCheck2.Gen.(
+        tup4 (int_range 1 8) (int_range 1 16) (int_range 0 10_000)
+          (int_range 1 8))
+      (fun (node_count, vnodes, key, replicas) ->
+        let nodes = List.init node_count (fun i -> (i, i mod 3)) in
+        let ring = get (Ring.create ~vnodes ~nodes ()) in
+        Ring.route ring ~key ~replicas = ref_route ~nodes ~vnodes ~key ~replicas);
+    (* Pulling arrivals on demand must produce the byte-identical
+       report to pregenerating the whole trace, with or without chaos
+       or stealing in play. *)
+    prop "streaming arrivals are byte-equivalent to pregenerated"
+      QCheck2.Gen.(triple (int_range 0 10_000) bool bool)
+      (fun (seed, storm, stealing) ->
+        let outage = if storm then outage_spec else Outages.default_spec in
+        let base =
+          {
+            (spec ~duration_us:20_000.0 ~seed ~outage ()) with
+            Serve.steal = { Steal.default with Steal.enabled = stealing };
+          }
+        in
+        let pre = get (Serve.run base) in
+        let st = get (Serve.run { base with Serve.source = Serve.Stream }) in
+        String.equal
+          (Serve.results_to_string pre)
+          (Serve.results_to_string st));
   ]
 
 let () =
@@ -508,6 +681,9 @@ let () =
           Alcotest.test_case "degraded path" `Quick test_serve_degraded_path;
           Alcotest.test_case "obs metrics" `Quick test_serve_obs;
           Alcotest.test_case "event log" `Quick test_serve_eventlog;
+          Alcotest.test_case "work stealing" `Quick test_serve_steal;
+          Alcotest.test_case "steal events" `Quick test_serve_steal_events;
+          Alcotest.test_case "streaming cap" `Quick test_serve_streaming_cap;
           Alcotest.test_case "event log disabled" `Quick
             test_serve_eventlog_absent_when_disabled;
         ] );

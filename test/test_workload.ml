@@ -205,8 +205,39 @@ let test_stats_known_values () =
   check_bool "p50 nearest rank" true (s.St.p50 = 2.0);
   check_bool "p99 is max here" true (s.St.p99 = 4.0);
   check_bool "empty" true (St.summarize [] = None);
-  check_bool "nan rejected" true (St.summarize [ 1.0; Float.nan ] = None);
   check_bool "mean empty" true (St.mean [] = None)
+
+let test_stats_nonfinite () =
+  (* A stray NaN/inf is skipped and counted, not allowed to poison the
+     whole summary (a single bad sample used to erase a million good
+     ones). *)
+  let s = Option.get (St.summarize [ 1.0; Float.nan; 3.0 ]) in
+  check_int "finite n" 2 s.St.n;
+  check_int "nonfinite counted" 1 s.St.nonfinite;
+  check_bool "mean over finite only" true
+    (Float.abs (s.St.mean -. 2.0) < 1e-9);
+  let s2 =
+    Option.get (St.summarize [ Float.infinity; 5.0; Float.neg_infinity ])
+  in
+  check_int "inf skipped" 2 s2.St.nonfinite;
+  check_bool "max unpolluted" true (s2.St.maximum = 5.0);
+  (* All-nonfinite input has no finite samples to summarise. *)
+  check_bool "all nonfinite" true (St.summarize [ Float.nan ] = None);
+  let acc = St.create () in
+  St.add acc Float.nan;
+  St.add acc 2.0;
+  check_int "acc nonfinite_count" 1 (St.nonfinite_count acc);
+  let f = Option.get (St.finalize acc) in
+  check_int "acc finite n" 1 f.St.n;
+  check_int "acc nonfinite carried" 1 f.St.nonfinite;
+  (* The flag stays visible in the rendering, but only when nonzero. *)
+  let contains hay needle =
+    let hn = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= hn && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let rendered = Format.asprintf "%a" St.pp_summary f in
+  check_bool "pp flags nonfinite" true (contains rendered "nonfinite=1")
 
 let test_percentile () =
   let values = [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
@@ -243,6 +274,26 @@ let test_percentile_edges () =
   check_bool "p100 unsorted" true
     (St.percentile [ 9.0; 2.0; 7.0 ] ~p:100.0 = Some 9.0)
 
+let test_percentile_nearest_rank_boundary () =
+  (* Nearest-rank is ceil(p*n/100), but p*n/100 computed in binary
+     floats can land epsilon above the exact integer — 99.9*1000/100
+     evaluates to 999.0000000000001, whose ceiling selects rank 1000
+     instead of 999.  The guarded ceiling must return the exact-rank
+     element. *)
+  let thousand = List.init 1000 (fun i -> float_of_int (i + 1)) in
+  check_bool "p99.9 of 1..1000 is 999" true
+    (St.percentile thousand ~p:99.9 = Some 999.0);
+  let two_thousand = List.init 2000 (fun i -> float_of_int (i + 1)) in
+  check_bool "p99.9 of 1..2000 is 1998" true
+    (St.percentile two_thousand ~p:99.9 = Some 1998.0);
+  (* Exact ranks that were never at risk must not drift down. *)
+  check_bool "p90 of 1..1000 is 900" true
+    (St.percentile thousand ~p:90.0 = Some 900.0);
+  check_bool "p99 of 1..1000 is 990" true
+    (St.percentile thousand ~p:99.0 = Some 990.0);
+  check_bool "p100 of 1..1000 is 1000" true
+    (St.percentile thousand ~p:100.0 = Some 1000.0)
+
 let test_acc_streaming () =
   let values = [ 5.0; 1.0; 3.0; 2.0; 4.0 ] in
   let acc = St.create () in
@@ -264,9 +315,12 @@ let test_acc_streaming () =
   let s = Option.get (St.finalize big) in
   check_int "big n" 1000 s.St.n;
   check_bool "big p95" true (s.St.p95 = 950.0);
-  (* Non-finite values poison the accumulator. *)
+  (* Non-finite values are skipped and counted, never poison. *)
   St.add big Float.nan;
-  check_bool "poisoned" true (St.finalize big = None)
+  let after = Option.get (St.finalize big) in
+  check_int "nan skipped" 1000 after.St.n;
+  check_int "nan counted" 1 after.St.nonfinite;
+  check_bool "p95 unchanged" true (after.St.p95 = 950.0)
 
 let test_pp_summary_golden () =
   match St.summarize [ 5.0; 1.0; 3.0; 2.0; 4.0 ] with
@@ -276,6 +330,70 @@ let test_pp_summary_golden () =
         "golden rendering"
         "n=5 mean=3.000 sd=1.414 min=1.000 p50=3.000 p90=5.000 p95=5.000 p99=5.000 max=5.000"
         (Format.asprintf "%a" St.pp_summary s)
+
+(* --- Stream ------------------------------------------------------------------ *)
+
+module Sm = Workload.Stream
+
+let list_source items =
+  let rest = ref items in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | x :: tl ->
+        rest := tl;
+        Some x
+
+let test_stream_merge_order () =
+  let a = list_source [ (1.0, "a1"); (4.0, "a2"); (9.0, "a3") ] in
+  let b = list_source [ (2.0, "b1"); (4.0, "b2"); (5.0, "b3") ] in
+  let t = Sm.create [ a; b ] in
+  let got = Sm.drain t in
+  Alcotest.(check (list (triple int (float 0.0) string)))
+    "merged by (time, source index)"
+    [
+      (0, 1.0, "a1");
+      (1, 2.0, "b1");
+      (0, 4.0, "a2");
+      (1, 4.0, "b2");
+      (1, 5.0, "b3");
+      (0, 9.0, "a3");
+    ]
+    got;
+  check_int "pulled counts everything" 6 (Sm.pulled t)
+
+let test_stream_peek_and_cap () =
+  let a = list_source [ (1.0, 'x'); (2.0, 'y'); (3.0, 'z') ] in
+  let t = Sm.create [ a ] in
+  check_bool "peek does not consume" true
+    (Sm.peek t = Some (0, 1.0, 'x') && Sm.peek t = Some (0, 1.0, 'x'));
+  check_bool "pull returns the peeked item" true (Sm.pull t = Some (0, 1.0, 'x'));
+  (* max_items counts pulls already made on this stream. *)
+  let rest = Sm.drain ~max_items:2 t in
+  check_int "cap honours earlier pulls" 1 (List.length rest);
+  check_int "pulled total" 2 (Sm.pulled t);
+  let tail = Sm.drain t in
+  check_int "drain resumes after cap" 1 (List.length tail);
+  check_bool "exhausted" true (Sm.pull t = None)
+
+let test_stream_empty_and_exhausted () =
+  let t = Sm.create [] in
+  check_bool "no sources" true (Sm.pull t = None);
+  (* A source must never be called again once it returned None. *)
+  let calls_after_none = ref 0 in
+  let fused_done = ref false in
+  let fused () =
+    if !fused_done then (
+      incr calls_after_none;
+      None)
+    else (
+      fused_done := true;
+      None)
+  in
+  let live = list_source [ (1.0, 0) ] in
+  let t2 = Sm.create [ fused; live ] in
+  ignore (Sm.drain t2);
+  check_int "exhausted source never re-pulled" 0 !calls_after_none
 
 let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name gen f)
 
@@ -341,6 +459,33 @@ let stats_props =
         | Some v -> List.mem v values);
   ]
 
+let stream_props =
+  [
+    (* Times are drawn from a tiny integer range so cross-source ties
+       are common — the tie-break (lower source index first) is the
+       part that makes streaming byte-equivalent to pregeneration. *)
+    prop "drain equals a stable sort of the concatenated sources"
+      QCheck2.Gen.(
+        list_size (int_range 0 5) (list_size (int_range 0 20) (int_range 0 8)))
+      (fun raw ->
+        let sources =
+          List.map (fun ts -> List.sort compare (List.map float_of_int ts)) raw
+        in
+        let srcs =
+          List.map
+            (fun ts -> list_source (List.mapi (fun j t -> (t, j)) ts))
+            sources
+        in
+        let got = Sm.drain (Sm.create srcs) in
+        let expected =
+          List.concat
+            (List.mapi (fun i ts -> List.mapi (fun j t -> (i, t, j)) ts) sources)
+          |> List.stable_sort (fun (i1, t1, _) (i2, t2, _) ->
+                 compare (t1, i1) (t2, i2))
+        in
+        got = expected);
+  ]
+
 let () =
   Alcotest.run "workload"
     [
@@ -366,10 +511,22 @@ let () =
       ( "stats",
         [
           Alcotest.test_case "known values" `Quick test_stats_known_values;
+          Alcotest.test_case "nonfinite skipped and counted" `Quick
+            test_stats_nonfinite;
           Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
+          Alcotest.test_case "nearest-rank float boundary" `Quick
+            test_percentile_nearest_rank_boundary;
           Alcotest.test_case "streaming accumulator" `Quick test_acc_streaming;
           Alcotest.test_case "pp_summary golden" `Quick test_pp_summary_golden;
         ] );
-      ("properties", props @ stats_props);
+      ( "stream",
+        [
+          Alcotest.test_case "merge order" `Quick test_stream_merge_order;
+          Alcotest.test_case "peek and max_items" `Quick
+            test_stream_peek_and_cap;
+          Alcotest.test_case "empty and exhausted" `Quick
+            test_stream_empty_and_exhausted;
+        ] );
+      ("properties", props @ stats_props @ stream_props);
     ]
